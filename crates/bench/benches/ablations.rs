@@ -1,0 +1,91 @@
+//! Ablation benchmarks for the design choices in DESIGN.md §5: FNFA
+//! position, pipeline cap, first-node buffer and the local optimization.
+//! Each variant simulates the same throttled scenario so the group's
+//! relative timings read as a mini ablation table under `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smarth_core::config::{InstanceType, WriteMode};
+use smarth_core::units::{Bandwidth, ByteSize};
+use smarth_sim::scenario::{contention, two_rack};
+use smarth_sim::{simulate_upload, SimScenario};
+use std::hint::black_box;
+
+const FILE: ByteSize = ByteSize::gib(1);
+
+fn base() -> SimScenario {
+    two_rack(
+        InstanceType::Small,
+        FILE,
+        Some(Bandwidth::mbps(50.0)),
+        WriteMode::Smarth,
+    )
+}
+
+fn bench_ablation_fnfa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_fnfa");
+    g.sample_size(10);
+    g.bench_function("with_fnfa", |b| {
+        let s = base();
+        b.iter(|| simulate_upload(black_box(&s)));
+    });
+    g.bench_function("without_fnfa", |b| {
+        let mut s = base();
+        s.flags.fnfa_pipelining = false;
+        b.iter(|| simulate_upload(black_box(&s)));
+    });
+    g.finish();
+}
+
+fn bench_ablation_max_pipelines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_max_pipelines");
+    g.sample_size(10);
+    for cap in [1usize, 2, 3] {
+        g.bench_with_input(BenchmarkId::new("cap", cap), &cap, |b, &cap| {
+            let mut s = base();
+            s.config.max_pipelines_override = Some(cap);
+            b.iter(|| simulate_upload(black_box(&s)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablation_buffer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_buffer");
+    g.sample_size(10);
+    for mib in [4u64, 64, 128] {
+        g.bench_with_input(BenchmarkId::new("first_node_buffer", mib), &mib, |b, &mib| {
+            let mut s = base();
+            s.flags.first_node_buffer = Some(ByteSize::mib(mib));
+            b.iter(|| simulate_upload(black_box(&s)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablation_local_opt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_local_opt");
+    g.sample_size(10);
+    for (label, on) in [("enabled", true), ("disabled", false)] {
+        g.bench_with_input(BenchmarkId::new("exploration", label), &on, |b, &on| {
+            let mut s = contention(
+                InstanceType::Small,
+                FILE,
+                3,
+                Bandwidth::mbps(50.0),
+                WriteMode::Smarth,
+            );
+            s.flags.local_opt = on;
+            b.iter(|| simulate_upload(black_box(&s)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ablation_fnfa,
+    bench_ablation_max_pipelines,
+    bench_ablation_buffer,
+    bench_ablation_local_opt
+);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! Component micro-benchmarks: the substrate pieces on the hot path of
+//! every packet (checksums, wire codec) and of every block allocation
+//! (placement, speed registry), plus the two rate-limiting primitives
+//! (real-time token bucket, virtual-time rate server).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use smarth_core::checksum::{crc32c, ChunkedChecksum};
+use smarth_core::ids::{ClientId, DatanodeId, ExtendedBlock};
+use smarth_core::placement::{default_placement, smarth_placement, ClientLocality};
+use smarth_core::proto::{Packet, SpeedRecord};
+use smarth_core::speed::{ClientSpeedTracker, NamenodeSpeedRegistry};
+use smarth_core::topology::{NetworkTopology, TopologyNode};
+use smarth_core::units::{Bandwidth, ByteSize};
+use smarth_core::wire::Wire;
+use smarth_fabric::TokenBucket;
+use smarth_sim::RateServer;
+use std::hint::black_box;
+
+fn bench_checksum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checksum");
+    for size in [512usize, 64 * 1024, 1024 * 1024] {
+        let data = vec![0xA7u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("crc32c", size), &data, |b, data| {
+            b.iter(|| crc32c(black_box(data)));
+        });
+    }
+    // The per-packet layout the datanodes actually verify.
+    let payload = vec![0x5Au8; 64 * 1024];
+    let chunked = ChunkedChecksum::new(512);
+    let sums = chunked.compute(&payload);
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("verify_64k_packet", |b| {
+        b.iter(|| chunked.verify(black_box(&payload), black_box(&sums)));
+    });
+    g.finish();
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_codec");
+    let payload = bytes::Bytes::from(vec![0x11u8; 64 * 1024]);
+    let chunked = ChunkedChecksum::new(512);
+    let pkt = Packet {
+        seq: 12345,
+        offset_in_block: 7 * 64 * 1024,
+        last_in_block: false,
+        checksums: chunked.compute(&payload),
+        payload,
+    };
+    g.throughput(Throughput::Bytes(64 * 1024));
+    g.bench_function("encode_packet", |b| {
+        b.iter(|| black_box(&pkt).to_bytes());
+    });
+    let encoded = pkt.to_bytes();
+    g.bench_function("decode_packet", |b| {
+        b.iter(|| Packet::from_bytes(black_box(encoded.clone())).unwrap());
+    });
+    g.finish();
+}
+
+fn two_rack_topo(n: u32) -> NetworkTopology {
+    let mut t = NetworkTopology::new();
+    for i in 0..n {
+        t.add(TopologyNode {
+            id: DatanodeId(i),
+            rack: if i < n / 2 { "rack-a".into() } else { "rack-b".into() },
+            host_name: format!("dn{i}"),
+        });
+    }
+    t
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement");
+    for nodes in [9u32, 100, 1000] {
+        let topo = two_rack_topo(nodes);
+        let locality = ClientLocality {
+            client: ClientId(1),
+            rack: "rack-a".into(),
+            local_datanode: None,
+        };
+        let mut registry = NamenodeSpeedRegistry::new();
+        let records: Vec<SpeedRecord> = (0..nodes)
+            .map(|i| SpeedRecord {
+                datanode: DatanodeId(i),
+                bytes_per_sec: 1e6 + i as f64,
+                samples: 3,
+            })
+            .collect();
+        registry.ingest(ClientId(1), &records);
+
+        g.bench_with_input(BenchmarkId::new("default", nodes), &nodes, |b, _| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| default_placement(&topo, &mut rng, &locality, 3, &[]).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("smarth_algo1", nodes), &nodes, |b, _| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| {
+                smarth_placement(
+                    &topo,
+                    &registry,
+                    &mut rng,
+                    &locality,
+                    3,
+                    nodes as usize,
+                    &[],
+                )
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_speed_tracker(c: &mut Criterion) {
+    let mut g = c.benchmark_group("speed_tracker");
+    g.bench_function("observe_and_drain", |b| {
+        let mut t = ClientSpeedTracker::new(1.0);
+        let mut i = 0u32;
+        b.iter(|| {
+            t.observe_rate(DatanodeId(i % 64), (i as f64) * 10.0 + 1.0);
+            i += 1;
+            if i.is_multiple_of(100) {
+                black_box(t.drain_report());
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_rate_limiters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rate_limiters");
+    g.bench_function("token_bucket_unlimited_acquire", |b| {
+        let bucket = TokenBucket::new(Bandwidth::unlimited());
+        b.iter(|| bucket.acquire(black_box(4096)).unwrap());
+    });
+    g.bench_function("token_bucket_fast_acquire", |b| {
+        // Fast enough that the bench never has to sleep.
+        let bucket = TokenBucket::new(Bandwidth::mib_per_sec(1e7));
+        b.iter(|| bucket.acquire(black_box(4096)).unwrap());
+    });
+    g.bench_function("rate_server_reserve", |b| {
+        let mut s = RateServer::new(Bandwidth::mbps(100.0));
+        b.iter(|| {
+            black_box(s.reserve(
+                smarth_core::units::SimInstant::ZERO,
+                ByteSize::kib(64),
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn bench_block_roundtrip(c: &mut Criterion) {
+    // ExtendedBlock is on every RPC; its codec should be nanoseconds.
+    let mut g = c.benchmark_group("ids");
+    let block = ExtendedBlock::new(
+        smarth_core::ids::BlockId(77),
+        smarth_core::ids::GenStamp(3),
+        64 << 20,
+    );
+    g.bench_function("extended_block_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = black_box(&block).to_bytes();
+            ExtendedBlock::from_bytes(bytes).unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_checksum,
+    bench_wire_codec,
+    bench_placement,
+    bench_speed_tracker,
+    bench_rate_limiters,
+    bench_block_roundtrip
+);
+criterion_main!(benches);

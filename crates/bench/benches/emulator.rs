@@ -1,0 +1,97 @@
+//! End-to-end benchmarks on the *real* threaded implementation over the
+//! bandwidth-emulated fabric: a full `put` through namenode RPCs, write
+//! pipelines and ack aggregation. Sizes are scaled down (the fabric runs
+//! in real time); the protocol geometry (block/packet ratio, buffer =
+//! one block) matches the paper's, so the HDFS-vs-SMARTH comparison is
+//! preserved.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smarth_cluster::{random_data, MiniCluster};
+use smarth_core::config::{ClusterSpec, DfsConfig, InstanceType, WriteMode};
+use smarth_core::units::Bandwidth;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static UPLOAD_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn bench_config() -> DfsConfig {
+    let mut c = DfsConfig::test_scale();
+    c.disk_bandwidth = Bandwidth::unlimited();
+    c
+}
+
+fn bench_emulated_put(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emulator_put");
+    g.sample_size(10);
+
+    // Unthrottled functional path.
+    let spec = ClusterSpec::homogeneous(InstanceType::Large);
+    let cluster = MiniCluster::start(&spec, bench_config(), 3).expect("cluster");
+    let client = cluster.client().expect("client");
+    let data = random_data(7, 1024 * 1024);
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for mode in [WriteMode::Hdfs, WriteMode::Smarth] {
+        g.bench_with_input(
+            BenchmarkId::new("unthrottled_1MiB", mode.name()),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let n = UPLOAD_SEQ.fetch_add(1, Ordering::Relaxed);
+                    let path = format!("/bench/{}/{n}", mode.name());
+                    black_box(client.put(&path, &data, mode).expect("put"));
+                });
+            },
+        );
+    }
+    drop(client);
+    cluster.shutdown();
+
+    // Throttled cross-rack path: the paper's headline comparison.
+    let spec = ClusterSpec::homogeneous(InstanceType::Small)
+        .with_cross_rack_throttle(Bandwidth::mbps(60.0));
+    let cluster = MiniCluster::start(&spec, bench_config(), 5).expect("cluster");
+    let client = cluster.client().expect("client");
+    let data = random_data(9, 1024 * 1024);
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for mode in [WriteMode::Hdfs, WriteMode::Smarth] {
+        g.bench_with_input(
+            BenchmarkId::new("throttled_1MiB", mode.name()),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let n = UPLOAD_SEQ.fetch_add(1, Ordering::Relaxed);
+                    let path = format!("/bench-throttled/{}/{n}", mode.name());
+                    black_box(client.put(&path, &data, mode).expect("put"));
+                });
+            },
+        );
+    }
+    drop(client);
+    cluster.shutdown();
+    g.finish();
+}
+
+fn bench_emulated_get(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emulator_get");
+    g.sample_size(10);
+    let spec = ClusterSpec::homogeneous(InstanceType::Large);
+    let cluster = MiniCluster::start(&spec, bench_config(), 11).expect("cluster");
+    let client = cluster.client().expect("client");
+    let data = random_data(13, 1024 * 1024);
+    client
+        .put("/bench/read.bin", &data, WriteMode::Smarth)
+        .expect("seed file");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("read_1MiB", |b| {
+        b.iter(|| {
+            let got = client.get(black_box("/bench/read.bin")).expect("get");
+            black_box(got.len())
+        });
+    });
+    drop(client);
+    cluster.shutdown();
+    g.finish();
+}
+
+criterion_group!(benches, bench_emulated_put, bench_emulated_get);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! Figure-scenario benchmarks: one criterion group per paper
+//! table/figure, running the deterministic simulator at reduced file
+//! sizes (the `figures` binary produces the full-scale numbers; these
+//! groups track the *cost of regenerating* each figure point and keep
+//! HDFS-vs-SMARTH comparisons under `cargo bench`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smarth_core::config::{InstanceType, WriteMode};
+use smarth_core::units::{Bandwidth, ByteSize};
+use smarth_sim::scenario::{contention, heterogeneous, two_rack};
+use smarth_sim::simulate_upload;
+use std::hint::black_box;
+
+const BENCH_FILE: ByteSize = ByteSize::gib(1);
+
+fn small_samples<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    g
+}
+
+/// Table I has no runtime component; bench the scenario construction
+/// path instead (spec building is on every experiment's critical path).
+fn bench_table1_spec_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_specs");
+    for inst in InstanceType::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("homogeneous_spec", inst.name()),
+            &inst,
+            |b, inst| {
+                b.iter(|| smarth_core::ClusterSpec::homogeneous(black_box(*inst)));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fig5_upload_scaling(c: &mut Criterion) {
+    let mut g = small_samples(c, "fig5_upload_scaling");
+    for gib in [1u64, 2] {
+        for mode in [WriteMode::Hdfs, WriteMode::Smarth] {
+            g.bench_with_input(
+                BenchmarkId::new(mode.name(), format!("{gib}GiB")),
+                &gib,
+                |b, &gib| {
+                    let s = two_rack(
+                        InstanceType::Small,
+                        ByteSize::gib(gib),
+                        Some(Bandwidth::mbps(100.0)),
+                        mode,
+                    );
+                    b.iter(|| simulate_upload(black_box(&s)));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig6_to_8_throttle_sweeps(c: &mut Criterion) {
+    let mut g = small_samples(c, "fig6_7_8_throttle");
+    for (inst, label) in [
+        (InstanceType::Small, "fig6_small"),
+        (InstanceType::Medium, "fig7_medium"),
+        (InstanceType::Large, "fig8_large"),
+    ] {
+        for mode in [WriteMode::Hdfs, WriteMode::Smarth] {
+            g.bench_with_input(
+                BenchmarkId::new(label, mode.name()),
+                &inst,
+                |b, &inst| {
+                    let s = two_rack(inst, BENCH_FILE, Some(Bandwidth::mbps(50.0)), mode);
+                    b.iter(|| simulate_upload(black_box(&s)));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig9_improvement_series(c: &mut Criterion) {
+    let mut g = small_samples(c, "fig9_improvement");
+    for mbps in [50.0f64, 150.0] {
+        g.bench_with_input(
+            BenchmarkId::new("pair", format!("{mbps:.0}Mbps")),
+            &mbps,
+            |b, &mbps| {
+                let h = two_rack(
+                    InstanceType::Small,
+                    BENCH_FILE,
+                    Some(Bandwidth::mbps(mbps)),
+                    WriteMode::Hdfs,
+                );
+                let s = two_rack(
+                    InstanceType::Small,
+                    BENCH_FILE,
+                    Some(Bandwidth::mbps(mbps)),
+                    WriteMode::Smarth,
+                );
+                b.iter(|| {
+                    let th = simulate_upload(black_box(&h)).upload_secs;
+                    let ts = simulate_upload(black_box(&s)).upload_secs;
+                    black_box(th / ts)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_fig10_to_12_contention(c: &mut Criterion) {
+    let mut g = small_samples(c, "fig10_11_12_contention");
+    for (k, throttle, label) in [
+        (1usize, 50.0f64, "fig10_k1_50"),
+        (3, 50.0, "fig10_k3_50"),
+        (1, 150.0, "fig12_k1_150"),
+    ] {
+        for mode in [WriteMode::Hdfs, WriteMode::Smarth] {
+            g.bench_with_input(
+                BenchmarkId::new(label, mode.name()),
+                &k,
+                |b, &k| {
+                    let s = contention(
+                        InstanceType::Small,
+                        BENCH_FILE,
+                        k,
+                        Bandwidth::mbps(throttle),
+                        mode,
+                    );
+                    b.iter(|| simulate_upload(black_box(&s)));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig13_heterogeneous(c: &mut Criterion) {
+    let mut g = small_samples(c, "fig13_heterogeneous");
+    for mode in [WriteMode::Hdfs, WriteMode::Smarth] {
+        g.bench_function(mode.name(), |b| {
+            let s = heterogeneous(BENCH_FILE, mode);
+            b.iter(|| simulate_upload(black_box(&s)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_des_engine(c: &mut Criterion) {
+    // Raw engine cost: events per second on a mid-size run.
+    let mut g = small_samples(c, "des_engine");
+    g.bench_function("one_gib_smarth_50mbps", |b| {
+        let s = two_rack(
+            InstanceType::Small,
+            BENCH_FILE,
+            Some(Bandwidth::mbps(50.0)),
+            WriteMode::Smarth,
+        );
+        b.iter(|| simulate_upload(black_box(&s)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1_spec_construction,
+    bench_fig5_upload_scaling,
+    bench_fig6_to_8_throttle_sweeps,
+    bench_fig9_improvement_series,
+    bench_fig10_to_12_contention,
+    bench_fig13_heterogeneous,
+    bench_des_engine
+);
+criterion_main!(benches);

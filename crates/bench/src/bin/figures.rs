@@ -1,0 +1,57 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p smarth-bench --release --bin figures            # everything
+//! cargo run -p smarth-bench --release --bin figures -- fig6    # one figure
+//! cargo run -p smarth-bench --release --bin figures -- --quick # sparser sweeps
+//! ```
+//!
+//! Output: aligned tables on stdout plus `results/<id>.{csv,json}`.
+
+use smarth_bench::figures::{self, FigureOpts};
+use smarth_bench::report::Table;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let opts = FigureOpts { quick };
+
+    let selected: Vec<Table> = if wanted.is_empty() {
+        figures::all_figures(opts)
+    } else {
+        let mut out = Vec::new();
+        for w in wanted {
+            match w.as_str() {
+                "table1" => out.push(figures::table1()),
+                "fig5" => out.extend(figures::fig5(opts)),
+                "fig6" => out.push(figures::fig6(opts)),
+                "fig7" => out.push(figures::fig7(opts)),
+                "fig8" => out.push(figures::fig8(opts)),
+                "fig9" => out.push(figures::fig9(opts)),
+                "fig10" => out.push(figures::fig10(opts)),
+                "fig11" => out.extend(figures::fig11(opts)),
+                "fig12" => out.extend(figures::fig12(opts)),
+                "fig13" => out.push(figures::fig13(opts)),
+                "ablations" => out.extend(figures::ablations(opts)),
+                "ext_storage" => out.push(figures::ext_storage(opts)),
+                other => {
+                    eprintln!("unknown figure id: {other}");
+                    eprintln!("known: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 ablations ext_storage");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    };
+
+    let out_dir = PathBuf::from("results");
+    for table in &selected {
+        println!("{}", table.render());
+        match table.save(&out_dir) {
+            Ok((csv, _)) => println!("  saved {}\n", csv.display()),
+            Err(e) => eprintln!("  failed to save {}: {e}", table.id),
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! `DfsClient` — the user-facing handle: session registration, the
+//! 3-second speed-report heartbeat (§III-B), stream creation and the
+//! `put`/`get` convenience paths used by every example and benchmark.
+
+use crate::ostream::{DfsOutputStream, StreamStats};
+use crate::rpc::NamenodeClient;
+use parking_lot::Mutex;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use smarth_core::checksum::ChunkedChecksum;
+use smarth_core::config::{DfsConfig, WriteMode};
+use smarth_core::error::{DfsError, DfsResult};
+use smarth_core::ids::ClientId;
+use smarth_core::proto::{DataOp, DataReply, FileStatus, LocatedBlock, Packet};
+use smarth_core::speed::ClientSpeedTracker;
+use smarth_core::wire::{recv_message, send_message};
+use smarth_fabric::Fabric;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Shared context between the client handle, its streams and the
+/// heartbeat thread.
+pub(crate) struct ClientCtx {
+    pub fabric: Fabric,
+    pub host: String,
+    #[allow(dead_code)] // recorded for future rack-aware client features
+    pub rack: String,
+    pub config: DfsConfig,
+    pub rpc: NamenodeClient,
+    pub id: ClientId,
+    /// §III-B: per-first-datanode transfer speeds, drained every
+    /// heartbeat.
+    pub tracker: Mutex<ClientSpeedTracker>,
+    pub rng: Mutex<ChaCha8Rng>,
+}
+
+/// Outcome of a `put` — what the paper's experiments measure.
+#[derive(Debug, Clone)]
+pub struct UploadReport {
+    pub path: String,
+    pub bytes: u64,
+    pub elapsed: Duration,
+    pub stats: StreamStats,
+}
+
+impl UploadReport {
+    /// Mean goodput of the upload.
+    pub fn throughput_mbps(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return f64::INFINITY;
+        }
+        self.bytes as f64 * 8.0 / 1e6 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// A DFS client session bound to one fabric host.
+pub struct DfsClient {
+    ctx: Arc<ClientCtx>,
+    stop: Arc<AtomicBool>,
+    heartbeat: Option<JoinHandle<()>>,
+}
+
+impl DfsClient {
+    /// Registers with the namenode and starts the heartbeat thread.
+    pub fn connect(
+        fabric: &Fabric,
+        host: &str,
+        rack: &str,
+        nn_client_addr: &str,
+        config: DfsConfig,
+        seed: u64,
+    ) -> DfsResult<Self> {
+        config.validate().map_err(DfsError::Internal)?;
+        let rpc = NamenodeClient::connect(fabric, host, nn_client_addr)?;
+        let id = rpc.register(host, rack)?;
+        let ctx = Arc::new(ClientCtx {
+            fabric: fabric.clone(),
+            host: host.to_string(),
+            rack: rack.to_string(),
+            tracker: Mutex::new(ClientSpeedTracker::new(config.speed_ewma_alpha)),
+            rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
+            config,
+            rpc,
+            id,
+        });
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let heartbeat = {
+            let ctx = Arc::clone(&ctx);
+            let stop = Arc::clone(&stop);
+            let interval = Duration::from_secs_f64(
+                ctx.config.heartbeat_interval.as_secs_f64(),
+            )
+            .max(Duration::from_millis(5));
+            std::thread::Builder::new()
+                .name(format!("client-{host}-heartbeat"))
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        std::thread::sleep(interval);
+                        let records = ctx.tracker.lock().drain_report();
+                        if records.is_empty() {
+                            continue;
+                        }
+                        if ctx.rpc.report_speeds(ctx.id, records).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .map_err(|e| DfsError::internal(format!("spawn heartbeat: {e}")))?
+        };
+
+        Ok(Self {
+            ctx,
+            stop,
+            heartbeat: Some(heartbeat),
+        })
+    }
+
+    pub fn id(&self) -> ClientId {
+        self.ctx.id
+    }
+
+    pub fn config(&self) -> &DfsConfig {
+        &self.ctx.config
+    }
+
+    /// Creates a file and returns a writable stream using the given
+    /// protocol.
+    pub fn create(&self, path: &str, mode: WriteMode) -> DfsResult<DfsOutputStream> {
+        self.create_with(path, mode, self.ctx.config.replication as u32, false)
+    }
+
+    pub fn create_with(
+        &self,
+        path: &str,
+        mode: WriteMode,
+        replication: u32,
+        overwrite: bool,
+    ) -> DfsResult<DfsOutputStream> {
+        let file_id = self.ctx.rpc.create(
+            self.ctx.id,
+            path,
+            replication,
+            self.ctx.config.block_size.as_u64(),
+            overwrite,
+            mode,
+        )?;
+        Ok(DfsOutputStream::new(
+            Arc::clone(&self.ctx),
+            file_id,
+            path.to_string(),
+            mode,
+            replication as usize,
+        ))
+    }
+
+    /// Uploads a byte buffer — the equivalent of `hdfs dfs -put` that
+    /// every experiment in §V times.
+    pub fn put(&self, path: &str, data: &[u8], mode: WriteMode) -> DfsResult<UploadReport> {
+        let start = Instant::now();
+        let mut stream = self.create(path, mode)?;
+        // Feed in app-sized chunks so production interleaves with
+        // transmission like a real `put` reading a local file.
+        for chunk in data.chunks(256 * 1024) {
+            stream.write(chunk)?;
+        }
+        let stats = stream.close()?;
+        Ok(UploadReport {
+            path: path.to_string(),
+            bytes: data.len() as u64,
+            elapsed: start.elapsed(),
+            stats,
+        })
+    }
+
+    /// Streams `total_bytes` of generated data — same as [`Self::put`]
+    /// without materializing the payload (for large emulated uploads).
+    pub fn put_generated(
+        &self,
+        path: &str,
+        total_bytes: u64,
+        mode: WriteMode,
+    ) -> DfsResult<UploadReport> {
+        let start = Instant::now();
+        let mut stream = self.create(path, mode)?;
+        let chunk = vec![0xA5u8; 256 * 1024];
+        let mut remaining = total_bytes;
+        while remaining > 0 {
+            let n = remaining.min(chunk.len() as u64) as usize;
+            stream.write(&chunk[..n])?;
+            remaining -= n as u64;
+        }
+        let stats = stream.close()?;
+        Ok(UploadReport {
+            path: path.to_string(),
+            bytes: total_bytes,
+            elapsed: start.elapsed(),
+            stats,
+        })
+    }
+
+    /// Reads a whole file back, verifying checksums, trying replicas in
+    /// namenode order and failing over on dead nodes.
+    pub fn get(&self, path: &str) -> DfsResult<Vec<u8>> {
+        let info = self
+            .ctx
+            .rpc
+            .file_info(path)?
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        if info.is_dir {
+            return Err(DfsError::IsADirectory(path.to_string()));
+        }
+        let blocks = self.ctx.rpc.block_locations(path)?;
+        let mut out = Vec::with_capacity(info.len as usize);
+        for lb in &blocks {
+            out.extend(self.read_block(lb)?);
+        }
+        if out.len() as u64 != info.len {
+            return Err(DfsError::internal(format!(
+                "read {} bytes, expected {}",
+                out.len(),
+                info.len
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Reads `len` bytes starting at `offset` — a positional read
+    /// (`pread`) touching only the blocks that overlap the range.
+    pub fn get_range(&self, path: &str, offset: u64, len: u64) -> DfsResult<Vec<u8>> {
+        let info = self
+            .ctx
+            .rpc
+            .file_info(path)?
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        if info.is_dir {
+            return Err(DfsError::IsADirectory(path.to_string()));
+        }
+        if offset.checked_add(len).is_none_or(|end| end > info.len) {
+            return Err(DfsError::internal(format!(
+                "range {offset}+{len} out of bounds for {path} ({} bytes)",
+                info.len
+            )));
+        }
+        let blocks = self.ctx.rpc.block_locations(path)?;
+        let mut out = Vec::with_capacity(len as usize);
+        let mut block_start = 0u64;
+        for lb in &blocks {
+            let block_end = block_start + lb.block.len;
+            let want_start = offset.max(block_start);
+            let want_end = (offset + len).min(block_end);
+            if want_start < want_end {
+                let within = self.read_block_range(
+                    lb,
+                    want_start - block_start,
+                    want_end - want_start,
+                )?;
+                out.extend(within);
+            }
+            block_start = block_end;
+            if block_start >= offset + len {
+                break;
+            }
+        }
+        if out.len() as u64 != len {
+            return Err(DfsError::internal(format!(
+                "ranged read returned {} of {len} bytes",
+                out.len()
+            )));
+        }
+        Ok(out)
+    }
+
+    fn read_block(&self, lb: &LocatedBlock) -> DfsResult<Vec<u8>> {
+        self.read_block_range(lb, 0, lb.block.len)
+    }
+
+    fn read_block_range(
+        &self,
+        lb: &LocatedBlock,
+        offset: u64,
+        len: u64,
+    ) -> DfsResult<Vec<u8>> {
+        let csum = ChunkedChecksum::new(self.ctx.config.bytes_per_checksum);
+        let mut last_err =
+            DfsError::internal(format!("block {} has no replicas", lb.block.id));
+        for target in &lb.targets {
+            let attempt = (|| -> DfsResult<Vec<u8>> {
+                let mut stream = self.ctx.fabric.connect(&self.ctx.host, &target.addr)?;
+                send_message(
+                    &mut stream,
+                    &DataOp::ReadBlock {
+                        block: lb.block,
+                        offset,
+                        len,
+                    },
+                )?;
+                let expect = match recv_message::<DataReply>(&mut stream)? {
+                    DataReply::ReadOk { len: n } => n,
+                    DataReply::Error(e) => return Err(DfsError::internal(e)),
+                    other => {
+                        return Err(DfsError::internal(format!("unexpected {other:?}")))
+                    }
+                };
+                debug_assert_eq!(expect, len);
+                let mut data = Vec::with_capacity(expect as usize);
+                if expect > 0 {
+                    loop {
+                        let pkt: Packet = recv_message(&mut stream)?;
+                        if !csum.verify(&pkt.payload, &pkt.checksums) {
+                            return Err(DfsError::ChecksumMismatch {
+                                block: lb.block.id,
+                                seq: pkt.seq,
+                            });
+                        }
+                        data.extend_from_slice(&pkt.payload);
+                        if pkt.last_in_block {
+                            break;
+                        }
+                    }
+                }
+                Ok(data)
+            })();
+            match attempt {
+                Ok(data) => return Ok(data),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    pub fn file_info(&self, path: &str) -> DfsResult<Option<FileStatus>> {
+        self.ctx.rpc.file_info(path)
+    }
+
+    pub fn exists(&self, path: &str) -> DfsResult<bool> {
+        Ok(self.ctx.rpc.file_info(path)?.is_some())
+    }
+
+    pub fn list(&self, path: &str) -> DfsResult<Vec<FileStatus>> {
+        self.ctx.rpc.list(path)
+    }
+
+    pub fn delete(&self, path: &str) -> DfsResult<bool> {
+        self.ctx.rpc.delete(path)
+    }
+
+    /// Current locally tracked speed records (diagnostics).
+    pub fn known_speeds(&self) -> usize {
+        self.ctx.tracker.lock().len()
+    }
+
+    /// Forces an immediate speed report instead of waiting for the next
+    /// heartbeat tick (tests and benches use this to avoid sleeping).
+    pub fn flush_speed_report(&self) -> DfsResult<()> {
+        let records = self.ctx.tracker.lock().drain_report();
+        if records.is_empty() {
+            return Ok(());
+        }
+        self.ctx.rpc.report_speeds(self.ctx.id, records)
+    }
+}
+
+impl Drop for DfsClient {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.heartbeat.take() {
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,814 @@
+//! `DfsOutputStream` — the client write path, in both protocols.
+//!
+//! * **HDFS mode** (§II): one pipeline at a time. The stream sends every
+//!   packet of a block, then blocks until the pipeline is *fully acked*
+//!   by all replicas before asking the namenode for the next block —
+//!   the stop-and-wait behaviour whose cost §III-D's Formula (2) models.
+//!
+//! * **SMARTH mode** (§III-A): the stream waits only for the first
+//!   datanode's FIRST_NODE_FINISH ack, then immediately allocates the
+//!   next block on a *new* pipeline while the previous pipelines keep
+//!   replicating in the background. The active-pipeline set is bounded
+//!   by the §IV-C rule (a datanode serves at most one of this client's
+//!   pipelines; when every datanode is busy, block allocation fails and
+//!   the stream waits for a pipeline to drain).
+//!
+//! Fault tolerance implements Algorithm 3 (single pipeline recovery:
+//! requeue retained packets, probe replicas, bump the generation stamp,
+//! truncate survivors to the common prefix, rebuild and resend) embedded
+//! in Algorithm 4's multi-pipeline loop (recover every errored pipeline,
+//! then resume the interrupted block).
+
+use crate::client::ClientCtx;
+use crate::pipeline::{Pipeline, PipelineEvent, PipelineEventKind};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use smarth_core::checksum::ChunkedChecksum;
+use smarth_core::config::WriteMode;
+use smarth_core::error::{DfsError, DfsResult};
+use smarth_core::ids::{DatanodeId, ExtendedBlock, FileId, PipelineId};
+use smarth_core::localopt::{local_optimize, LocalOptOutcome};
+use smarth_core::proto::{DataOp, DataReply, DatanodeInfo, Packet};
+use smarth_core::units::{ByteSize, SimDuration};
+use smarth_core::wire::{recv_message, send_message};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long the stream waits on pipeline events before declaring a hang.
+const EVENT_TIMEOUT: Duration = Duration::from_secs(60);
+/// Recovery attempts per incident before giving up.
+const MAX_RECOVERY_ATTEMPTS: u32 = 5;
+
+macro_rules! trace {
+    ($($arg:tt)*) => {
+        if std::env::var_os("SMARTH_TRACE").is_some() {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Counters reported by [`DfsOutputStream::close`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    pub bytes_written: u64,
+    pub blocks_committed: u64,
+    /// Pipeline recoveries performed (Algorithm 3 invocations).
+    pub recoveries: u64,
+    /// Exploration swaps done by the local optimization (Algorithm 2).
+    pub explored_swaps: u64,
+    /// High-water mark of concurrently active pipelines.
+    pub max_concurrent_pipelines: usize,
+}
+
+struct ActiveBlock {
+    pipeline: Pipeline,
+    next_seq: u64,
+    /// Bytes handed to the pipeline so far.
+    offset: u64,
+    fnfa: bool,
+    fully_acked: bool,
+}
+
+struct PendingPipeline {
+    pipeline: Pipeline,
+    len: u64,
+}
+
+/// A writable stream to one DFS file. Not `Sync`: one writer per stream,
+/// like HDFS's single-writer lease model.
+pub struct DfsOutputStream {
+    ctx: Arc<ClientCtx>,
+    file_id: FileId,
+    path: String,
+    mode: WriteMode,
+    replication: usize,
+    checksum: ChunkedChecksum,
+
+    events_tx: Sender<PipelineEvent>,
+    events_rx: Receiver<PipelineEvent>,
+    next_pipeline: u64,
+
+    current: Option<ActiveBlock>,
+    pending: Vec<PendingPipeline>,
+    /// Datanodes discovered dead through recovery; excluded from all
+    /// future placements of this stream.
+    dead: Vec<DatanodeId>,
+    packet_buf: Vec<u8>,
+    stats: StreamStats,
+    closed: bool,
+}
+
+impl DfsOutputStream {
+    pub(crate) fn new(
+        ctx: Arc<ClientCtx>,
+        file_id: FileId,
+        path: String,
+        mode: WriteMode,
+        replication: usize,
+    ) -> Self {
+        let (events_tx, events_rx) = unbounded();
+        let checksum = ChunkedChecksum::new(ctx.config.bytes_per_checksum);
+        Self {
+            ctx,
+            file_id,
+            path,
+            mode,
+            replication,
+            checksum,
+            events_tx,
+            events_rx,
+            next_pipeline: 1,
+            current: None,
+            pending: Vec::new(),
+            dead: Vec::new(),
+            packet_buf: Vec::new(),
+            stats: StreamStats::default(),
+            closed: false,
+        }
+    }
+
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    pub fn mode(&self) -> WriteMode {
+        self.mode
+    }
+
+    /// Bytes accepted so far.
+    pub fn len(&self) -> u64 {
+        self.stats.bytes_written
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stats.bytes_written == 0
+    }
+
+    /// Currently active pipelines (current + draining).
+    pub fn active_pipelines(&self) -> usize {
+        self.pending.len() + usize::from(self.current.is_some())
+    }
+
+    /// Appends data to the stream, blocking under network backpressure.
+    pub fn write(&mut self, mut data: &[u8]) -> DfsResult<()> {
+        if self.closed {
+            return Err(DfsError::internal("write to closed stream"));
+        }
+        let packet_size = self.ctx.config.packet_size.as_u64() as usize;
+        let block_size = self.ctx.config.block_size.as_u64();
+        while !data.is_empty() {
+            self.ensure_current_block()?;
+            let offset = self
+                .current
+                .as_ref()
+                .map(|c| c.offset)
+                .expect("ensure_current_block");
+            let block_remaining = block_size - offset - self.packet_buf.len() as u64;
+            let packet_remaining = packet_size - self.packet_buf.len();
+            let take = data
+                .len()
+                .min(packet_remaining)
+                .min(block_remaining as usize);
+            self.packet_buf.extend_from_slice(&data[..take]);
+            data = &data[take..];
+            self.stats.bytes_written += take as u64;
+
+            let at_block_end =
+                offset + self.packet_buf.len() as u64 == block_size;
+            if self.packet_buf.len() == packet_size || at_block_end {
+                self.flush_packet(at_block_end)?;
+                if at_block_end {
+                    self.finish_current_block()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes any partial packet, waits for full durability of every
+    /// block, seals the file, and returns the stream statistics.
+    pub fn close(mut self) -> DfsResult<StreamStats> {
+        if self.closed {
+            return Ok(self.stats.clone());
+        }
+        // Tail of the file: a last, possibly short, packet. When the
+        // file ends exactly on a packet boundary mid-block, the buffer
+        // is empty but the block is still open — seal it with an empty
+        // `last` packet (the datanodes finalize at the current length).
+        if !self.packet_buf.is_empty() || self.current.is_some() {
+            self.flush_packet(true)?;
+            self.finish_current_block()?;
+        }
+
+        // §II steps 5-6: wait for every ack, then complete.
+        // (In HDFS mode finish_current_block already waited per block, so
+        // `pending` is only populated in SMARTH mode.)
+        self.wait_all_pending_acked()?;
+        self.ctx.rpc.complete(self.ctx.id, self.file_id, None)?;
+        self.closed = true;
+        Ok(self.stats.clone())
+    }
+
+    // ------------------------------------------------------------------
+    // Block lifecycle
+    // ------------------------------------------------------------------
+
+    fn ensure_current_block(&mut self) -> DfsResult<()> {
+        if self.current.is_some() {
+            return Ok(());
+        }
+        // Ablation cap on concurrent pipelines (§IV-C's rule emerges
+        // naturally from placement exclusions; the override forces a
+        // different cap).
+        if let Some(cap) = self.ctx.config.max_pipelines_override {
+            while self.pending.len() + 1 > cap.max(1) {
+                let ev = self.wait_event()?;
+                self.process_event(ev)?;
+            }
+        }
+
+        let mut attempts = 0u32;
+        let located = loop {
+            let excluded = self.busy_and_dead();
+            match self
+                .ctx
+                .rpc
+                .add_block(self.ctx.id, self.file_id, None, &excluded)
+            {
+                Ok(lb) if lb.targets.len() < self.replication && !self.pending.is_empty() => {
+                    // The namenode could only find a short pipeline
+                    // because our own active pipelines occupy the rest
+                    // (§IV-C). Release the allocation and wait for one
+                    // to drain rather than writing under-replicated.
+                    let _ = self.ctx.rpc.abandon_block(
+                        self.ctx.id,
+                        self.file_id,
+                        lb.block.id,
+                    );
+                    let ev = self.wait_event()?;
+                    self.process_event(ev)?;
+                }
+                Ok(lb) => break lb,
+                Err(DfsError::PlacementFailed { .. }) if !self.pending.is_empty() => {
+                    // Every datanode is busy in one of our pipelines —
+                    // the §IV-C limit. Wait for one to drain.
+                    let ev = self.wait_event()?;
+                    self.process_event(ev)?;
+                }
+                Err(e) => {
+                    attempts += 1;
+                    if attempts >= MAX_RECOVERY_ATTEMPTS {
+                        return Err(e);
+                    }
+                    // Transient (e.g. a node died between liveness check
+                    // and placement): retry.
+                    if !e.is_recoverable() {
+                        return Err(e);
+                    }
+                }
+            }
+        };
+
+        let mut targets = located.targets;
+        // Algorithm 2: client-side re-sort plus ε-exploration.
+        if self.mode == WriteMode::Smarth && self.ctx.config.local_opt_enabled {
+            let tracker = self.ctx.tracker.lock();
+            let mut rng = self.ctx.rng.lock();
+            if let LocalOptOutcome::Explored { .. } = local_optimize(
+                &mut targets,
+                &tracker,
+                self.ctx.config.local_opt_threshold,
+                &mut *rng,
+            ) {
+                self.stats.explored_swaps += 1;
+            }
+        }
+
+        let pipeline = self.open_pipeline(located.block, targets)?;
+        self.current = Some(ActiveBlock {
+            pipeline,
+            next_seq: 0,
+            offset: 0,
+            fnfa: false,
+            fully_acked: false,
+        });
+        let active = self.active_pipelines();
+        self.stats.max_concurrent_pipelines = self.stats.max_concurrent_pipelines.max(active);
+        Ok(())
+    }
+
+    fn open_pipeline(
+        &mut self,
+        block: ExtendedBlock,
+        targets: Vec<DatanodeInfo>,
+    ) -> DfsResult<Pipeline> {
+        let id = PipelineId(self.next_pipeline);
+        self.next_pipeline += 1;
+        Pipeline::open(
+            &self.ctx.fabric,
+            &self.ctx.host,
+            self.ctx.id,
+            id,
+            block,
+            targets,
+            self.mode,
+            self.ctx.config.datanode_client_buffer.as_u64(),
+            self.events_tx.clone(),
+        )
+    }
+
+    fn flush_packet(&mut self, last_in_block: bool) -> DfsResult<()> {
+        // Surface any pending pipeline events (errors especially) before
+        // committing more data to a possibly-dead pipeline.
+        while let Ok(ev) = self.events_rx.try_recv() {
+            self.process_event(ev)?;
+        }
+        let payload = bytes::Bytes::from(std::mem::take(&mut self.packet_buf));
+        let current = self.current.as_mut().expect("flush without current block");
+        let pkt = Packet {
+            seq: current.next_seq,
+            offset_in_block: current.offset,
+            last_in_block,
+            checksums: self.checksum.compute(&payload),
+            payload,
+        };
+        current.next_seq += 1;
+        current.offset += pkt.payload.len() as u64;
+        let pipeline_id = current.pipeline.id;
+        if current.pipeline.send_packet(pkt).is_err() {
+            // The packet is retained in the pipeline, so recovery will
+            // resend it (Algorithm 3 line 3).
+            self.recover(pipeline_id, None)?;
+        }
+        Ok(())
+    }
+
+    /// Called once the last packet of the current block has been sent.
+    fn finish_current_block(&mut self) -> DfsResult<()> {
+        match self.mode {
+            WriteMode::Hdfs => {
+                // Stop-and-wait: block until every replica acked.
+                loop {
+                    if self.current.as_ref().is_some_and(|c| c.fully_acked) {
+                        break;
+                    }
+                    let ev = self.wait_event()?;
+                    self.process_event(ev)?;
+                }
+                let done = self.current.take().expect("current");
+                let block = ExtendedBlock::new(
+                    done.pipeline.block.id,
+                    done.pipeline.block.gen,
+                    done.offset,
+                );
+                self.ctx.rpc.commit_block(self.ctx.id, self.file_id, block)?;
+                self.stats.blocks_committed += 1;
+                done.pipeline.close();
+            }
+            WriteMode::Smarth => {
+                // §III-A: wait only for the FNFA, then let the pipeline
+                // drain in the background.
+                loop {
+                    if self.current.as_ref().is_some_and(|c| c.fnfa) {
+                        break;
+                    }
+                    let ev = self.wait_event()?;
+                    self.process_event(ev)?;
+                }
+                let done = self.current.take().expect("current");
+                if done.fully_acked {
+                    // On a fast cluster the full-pipeline ack can arrive
+                    // while the block is still current (it may even beat
+                    // the FNFA frame, whose write races the final ack).
+                    // Its completion event is already consumed, so
+                    // commit here instead of parking it in `pending`
+                    // where no further event would ever release it.
+                    let block = ExtendedBlock::new(
+                        done.pipeline.block.id,
+                        done.pipeline.block.gen,
+                        done.offset,
+                    );
+                    self.ctx.rpc.commit_block(self.ctx.id, self.file_id, block)?;
+                    self.stats.blocks_committed += 1;
+                    done.pipeline.close();
+                } else {
+                    self.pending.push(PendingPipeline {
+                        len: done.offset,
+                        pipeline: done.pipeline,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn wait_all_pending_acked(&mut self) -> DfsResult<()> {
+        while !self.pending.is_empty() {
+            let ev = self.wait_event()?;
+            self.process_event(ev)?;
+        }
+        Ok(())
+    }
+
+    fn busy_and_dead(&self) -> Vec<DatanodeId> {
+        let mut v = self.dead.clone();
+        if let Some(c) = &self.current {
+            v.extend(c.pipeline.datanode_ids());
+        }
+        for p in &self.pending {
+            v.extend(p.pipeline.datanode_ids());
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Events
+    // ------------------------------------------------------------------
+
+    fn wait_event(&self) -> DfsResult<PipelineEvent> {
+        self.events_rx
+            .recv_timeout(EVENT_TIMEOUT)
+            .map_err(|_| DfsError::Timeout("waiting for pipeline events".into()))
+    }
+
+    fn process_event(&mut self, ev: PipelineEvent) -> DfsResult<()> {
+        trace!("[event] {ev:?}");
+        match ev.kind {
+            PipelineEventKind::FirstNodeFinish => {
+                if let Some(c) = &mut self.current {
+                    if c.pipeline.id == ev.pipeline {
+                        c.fnfa = true;
+                        // §III-B: record the block transfer speed to the
+                        // first datanode.
+                        let elapsed = c.pipeline.started.elapsed();
+                        let first = c.pipeline.first_datanode().id;
+                        self.ctx.tracker.lock().observe(
+                            first,
+                            ByteSize::bytes(c.offset),
+                            SimDuration::from_secs_f64(elapsed.as_secs_f64()),
+                        );
+                    }
+                }
+            }
+            PipelineEventKind::FullyAcked => {
+                if let Some(c) = &mut self.current {
+                    if c.pipeline.id == ev.pipeline {
+                        c.fully_acked = true;
+                        c.fnfa = true; // full ack implies first-node done
+                        return Ok(());
+                    }
+                }
+                if let Some(idx) = self
+                    .pending
+                    .iter()
+                    .position(|p| p.pipeline.id == ev.pipeline)
+                {
+                    let done = self.pending.swap_remove(idx);
+                    let block = ExtendedBlock::new(
+                        done.pipeline.block.id,
+                        done.pipeline.block.gen,
+                        done.len,
+                    );
+                    self.ctx.rpc.commit_block(self.ctx.id, self.file_id, block)?;
+                    self.stats.blocks_committed += 1;
+                    done.pipeline.close();
+                }
+            }
+            PipelineEventKind::Error { failed_index } => {
+                // Stale error events for already-recovered pipelines are
+                // ignored inside recover().
+                self.recover(ev.pipeline, failed_index)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Fault tolerance (Algorithms 3 & 4)
+    // ------------------------------------------------------------------
+
+    /// Recovers one pipeline. Implements Algorithm 3, invoked per failed
+    /// pipeline per Algorithm 4's loop (events arrive one at a time, so
+    /// the error-pipeline set is drained through repeated calls).
+    fn recover(
+        &mut self,
+        pipeline_id: PipelineId,
+        failed_index: Option<usize>,
+    ) -> DfsResult<()> {
+        enum Slot {
+            Current,
+            Pending(usize),
+        }
+        let slot = if self
+            .current
+            .as_ref()
+            .is_some_and(|c| c.pipeline.id == pipeline_id)
+        {
+            Slot::Current
+        } else if let Some(i) = self
+            .pending
+            .iter()
+            .position(|p| p.pipeline.id == pipeline_id)
+        {
+            Slot::Pending(i)
+        } else {
+            return Ok(()); // stale event for a replaced pipeline
+        };
+        self.stats.recoveries += 1;
+        trace!("[recover] pipeline={pipeline_id:?} failed_index={failed_index:?}");
+
+        // Step 1-3 of Algorithm 3: stop the transfer, close streams,
+        // move retained packets back to the resend queue.
+        let (old, block_len, was_current_state) = match slot {
+            Slot::Current => {
+                let c = self.current.take().expect("checked");
+                (c.pipeline, c.offset, Some((c.next_seq, c.fnfa)))
+            }
+            Slot::Pending(i) => {
+                let p = self.pending.remove(i);
+                (p.pipeline, p.len, None)
+            }
+        };
+        let retained = old.take_retained_packets();
+        trace!("[recover] retained={} acked={} finished={}", retained.len(), old.packets_acked(), old.finished_sending());
+        let packets_acked = old.packets_acked();
+        let old_targets = old.targets.clone();
+        let old_block = old.block;
+        let finished_sending = old.finished_sending();
+        old.close();
+
+        let mut attempt = 0u32;
+        let mut targets = old_targets;
+        let mut failed_hint = failed_index;
+        loop {
+            attempt += 1;
+            if attempt > MAX_RECOVERY_ATTEMPTS {
+                return Err(DfsError::PipelineUnrecoverable {
+                    pipeline: pipeline_id,
+                    reason: format!("gave up after {MAX_RECOVERY_ATTEMPTS} attempts"),
+                });
+            }
+            trace!("[recover] attempt {attempt} targets={:?}", targets.iter().map(|t| t.host_name.clone()).collect::<Vec<_>>());
+            match self.try_rebuild(
+                old_block,
+                &targets,
+                failed_hint,
+                &retained,
+                packets_acked,
+                finished_sending,
+            ) {
+                Ok((new_pipeline, resent_all)) => {
+                    trace!("[recover] rebuilt as {:?}", new_pipeline.id);
+                    debug_assert!(resent_all);
+                    // Step 7 of Algorithm 4: resume the interrupted
+                    // block / restore the pipeline to its former role.
+                    match was_current_state {
+                        Some((next_seq, _)) => {
+                            self.current = Some(ActiveBlock {
+                                pipeline: new_pipeline,
+                                next_seq,
+                                offset: block_len,
+                                fnfa: false,
+                                fully_acked: false,
+                            });
+                        }
+                        None => {
+                            debug_assert!(finished_sending);
+                            self.pending.push(PendingPipeline {
+                                pipeline: new_pipeline,
+                                len: block_len,
+                            });
+                        }
+                    }
+                    return Ok(());
+                }
+                Err((e, surviving)) => {
+                    if !e.is_recoverable() && !matches!(e, DfsError::PlacementFailed { .. }) {
+                        return Err(e);
+                    }
+                    // Narrow the target set and try again.
+                    targets = surviving;
+                    failed_hint = None;
+                    if targets.is_empty() && packets_acked > 0 {
+                        return Err(DfsError::PipelineUnrecoverable {
+                            pipeline: pipeline_id,
+                            reason: "no surviving replica holds acked data".into(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// One rebuild attempt. On failure returns the error plus the target
+    /// subset that still looked alive, for the retry loop.
+    #[allow(clippy::type_complexity)]
+    #[allow(clippy::too_many_arguments)]
+    fn try_rebuild(
+        &mut self,
+        old_block: ExtendedBlock,
+        targets: &[DatanodeInfo],
+        failed_index: Option<usize>,
+        retained: &[Packet],
+        packets_acked: u64,
+        finished_sending: bool,
+    ) -> Result<(Pipeline, bool), (DfsError, Vec<DatanodeInfo>)> {
+        // Probe every target: who is alive, and how much of the block
+        // does each hold? (Algorithm 3's parameter-validity check plus
+        // the agreement on a safe resume length.)
+        let mut survivors: Vec<(DatanodeInfo, u64)> = Vec::new();
+        for (idx, t) in targets.iter().enumerate() {
+            if Some(idx) == failed_index {
+                self.mark_dead(t.id);
+                continue;
+            }
+            match self.probe_replica(t, old_block) {
+                Some(len) => survivors.push((t.clone(), len)),
+                None => self.mark_dead(t.id),
+            }
+        }
+
+        if survivors.is_empty() {
+            // A scratch rebuild is only safe when the retained packets
+            // cover the block from offset 0 — after an earlier
+            // partial-prefix recovery they may be a suffix only, and
+            // replaying a suffix into a fresh block would corrupt data.
+            let covers_block = retained
+                .first()
+                .is_none_or(|p| p.offset_in_block == 0);
+            if packets_acked == 0 && covers_block {
+                // Nothing durable was lost: abandon the block and write a
+                // brand-new one elsewhere.
+                return self
+                    .rebuild_from_scratch(old_block, retained)
+                    .map_err(|e| (e, Vec::new()));
+            }
+            return Err((
+                DfsError::connection_lost("all replicas unreachable"),
+                Vec::new(),
+            ));
+        }
+
+        // Agree on the common durable prefix.
+        let min_len = survivors.iter().map(|(_, l)| *l).min().unwrap_or(0);
+        trace!("[rebuild] survivors={:?} min_len={min_len}", survivors.iter().map(|(t,l)| (t.host_name.clone(), *l)).collect::<Vec<_>>());
+
+        // Bump the generation stamp (namenode coordination).
+        let new_gen = self
+            .ctx
+            .rpc
+            .begin_block_recovery(self.ctx.id, old_block.id)
+            .map_err(|e| (e, infos(&survivors)))?;
+
+        // recoverBlock on every survivor: adopt new_gen, truncate.
+        let mut recovered: Vec<DatanodeInfo> = Vec::new();
+        for (t, _) in &survivors {
+            match self.recover_replica(t, old_block, new_gen, min_len) {
+                Ok(()) => recovered.push(t.clone()),
+                Err(_) => self.mark_dead(t.id),
+            }
+        }
+        if recovered.is_empty() {
+            return Err((
+                DfsError::connection_lost("all survivors failed recoverBlock"),
+                Vec::new(),
+            ));
+        }
+
+        // When the block restarts from zero we can splice fresh nodes in
+        // (they need no prefix); otherwise continue at reduced width and
+        // let the namenode re-replicate after completion.
+        let mut new_targets = recovered;
+        if min_len == 0 && new_targets.len() < self.replication {
+            let existing: Vec<DatanodeId> = new_targets
+                .iter()
+                .map(|t| t.id)
+                .chain(self.dead.iter().copied())
+                .chain(self.busy_and_dead())
+                .collect();
+            let wanted = (self.replication - new_targets.len()) as u32;
+            if let Ok(extra) =
+                self.ctx
+                    .rpc
+                    .additional_datanodes(self.ctx.id, old_block.id, &existing, wanted)
+            {
+                new_targets.extend(extra);
+            }
+        }
+
+        trace!("[rebuild] new targets={:?}", new_targets.iter().map(|t| t.host_name.clone()).collect::<Vec<_>>());
+        let new_block = ExtendedBlock::new(old_block.id, new_gen, 0);
+        let mut pipeline = self
+            .open_pipeline(new_block, new_targets.clone())
+            .map_err(|e| (e, new_targets.clone()))?;
+
+        // Resend everything past the agreed prefix (retained packets are
+        // the ACK-queue-to-data-queue requeue of Algorithm 3 line 3).
+        let mut sent_last = false;
+        for pkt in retained {
+            if pkt.offset_in_block >= min_len {
+                sent_last |= pkt.last_in_block;
+                if let Err(e) = pipeline.send_packet(pkt.clone()) {
+                    return Err((e, new_targets));
+                }
+            }
+        }
+        // If the whole block already survived on every remaining replica
+        // (min_len == block length) there is nothing to resend — send a
+        // synthetic empty `last` packet so the recovered (un-finalized)
+        // replicas re-finalize under the new generation and the acks /
+        // FNFA flow as usual.
+        if finished_sending && !sent_last {
+            let seq = retained.last().map(|p| p.seq + 1).unwrap_or(0);
+            let empty = Packet {
+                seq,
+                offset_in_block: min_len,
+                last_in_block: true,
+                checksums: Vec::new(),
+                payload: bytes::Bytes::new(),
+            };
+            if let Err(e) = pipeline.send_packet(empty) {
+                return Err((e, new_targets));
+            }
+        }
+        Ok((pipeline, true))
+    }
+
+    /// Total loss before any ack: abandon the block and allocate a fresh
+    /// one on undamaged nodes.
+    fn rebuild_from_scratch(
+        &mut self,
+        old_block: ExtendedBlock,
+        retained: &[Packet],
+    ) -> DfsResult<(Pipeline, bool)> {
+        self.ctx
+            .rpc
+            .abandon_block(self.ctx.id, self.file_id, old_block.id)?;
+        let excluded = self.busy_and_dead();
+        let located = self
+            .ctx
+            .rpc
+            .add_block(self.ctx.id, self.file_id, None, &excluded)?;
+        let mut pipeline = self.open_pipeline(located.block, located.targets)?;
+        for pkt in retained {
+            pipeline.send_packet(pkt.clone())?;
+        }
+        Ok((pipeline, true))
+    }
+
+    fn mark_dead(&mut self, dn: DatanodeId) {
+        if !self.dead.contains(&dn) {
+            self.dead.push(dn);
+        }
+    }
+
+    /// Returns the stored length of a replica, or `None` when the node
+    /// is unreachable / has no such replica.
+    fn probe_replica(&self, target: &DatanodeInfo, block: ExtendedBlock) -> Option<u64> {
+        let mut stream = self
+            .ctx
+            .fabric
+            .connect(&self.ctx.host, &target.addr)
+            .ok()?;
+        send_message(&mut stream, &DataOp::GetReplicaInfo { block: block.id }).ok()?;
+        match recv_message::<DataReply>(&mut stream).ok()? {
+            DataReply::ReplicaInfo {
+                block: Some(b), ..
+            } if b.gen >= block.gen => Some(b.len),
+            _ => None,
+        }
+    }
+
+    fn recover_replica(
+        &self,
+        target: &DatanodeInfo,
+        block: ExtendedBlock,
+        new_gen: smarth_core::ids::GenStamp,
+        new_len: u64,
+    ) -> DfsResult<()> {
+        let mut stream = self.ctx.fabric.connect(&self.ctx.host, &target.addr)?;
+        send_message(
+            &mut stream,
+            &DataOp::RecoverBlock {
+                block,
+                new_gen,
+                new_len,
+            },
+        )?;
+        match recv_message::<DataReply>(&mut stream)? {
+            DataReply::RecoverOk { .. } => Ok(()),
+            DataReply::Error(e) => Err(DfsError::connection_lost(format!(
+                "recoverBlock on {}: {e}",
+                target.host_name
+            ))),
+            other => Err(DfsError::internal(format!(
+                "unexpected recoverBlock reply {other:?}"
+            ))),
+        }
+    }
+}
+
+fn infos(survivors: &[(DatanodeInfo, u64)]) -> Vec<DatanodeInfo> {
+    survivors.iter().map(|(t, _)| t.clone()).collect()
+}

@@ -1,0 +1,267 @@
+//! Typed client-side wrapper over the namenode's ClientProtocol.
+//!
+//! One persistent fabric connection, serialized by a mutex (HDFS
+//! similarly multiplexes ClientProtocol calls over one IPC connection).
+//! Every helper unwraps the expected response variant and converts
+//! `ClientResponse::Error` into a [`DfsError`].
+
+use parking_lot::Mutex;
+use smarth_core::error::{DfsError, DfsResult};
+use smarth_core::ids::{BlockId, ClientId, DatanodeId, ExtendedBlock, FileId, GenStamp};
+use smarth_core::proto::{
+    ClientRequest, ClientResponse, DatanodeInfo, FileStatus, LocatedBlock, SpeedRecord,
+};
+use smarth_core::wire::{recv_message, send_message};
+use smarth_core::WriteMode;
+use smarth_fabric::{Fabric, FabricStream};
+
+/// RPC stub for the namenode, shared by the stream code and the
+/// heartbeat thread.
+pub struct NamenodeClient {
+    stream: Mutex<FabricStream>,
+}
+
+impl NamenodeClient {
+    pub fn connect(fabric: &Fabric, from_host: &str, nn_client_addr: &str) -> DfsResult<Self> {
+        Ok(Self {
+            stream: Mutex::new(fabric.connect(from_host, nn_client_addr)?),
+        })
+    }
+
+    fn call(&self, req: &ClientRequest) -> DfsResult<ClientResponse> {
+        let mut s = self.stream.lock();
+        send_message(&mut *s, req)?;
+        let resp: ClientResponse = recv_message(&mut *s)?;
+        match resp {
+            ClientResponse::Error(msg) => Err(remote_error(msg)),
+            other => Ok(other),
+        }
+    }
+
+    pub fn register(&self, host_name: &str, rack: &str) -> DfsResult<ClientId> {
+        match self.call(&ClientRequest::Register {
+            host_name: host_name.to_string(),
+            rack: rack.to_string(),
+        })? {
+            ClientResponse::Registered { client } => Ok(client),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn create(
+        &self,
+        client: ClientId,
+        path: &str,
+        replication: u32,
+        block_size: u64,
+        overwrite: bool,
+        mode: WriteMode,
+    ) -> DfsResult<FileId> {
+        match self.call(&ClientRequest::Create {
+            client,
+            path: path.to_string(),
+            replication,
+            block_size,
+            overwrite,
+            mode,
+        })? {
+            ClientResponse::Created { file_id } => Ok(file_id),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn add_block(
+        &self,
+        client: ClientId,
+        file_id: FileId,
+        previous: Option<ExtendedBlock>,
+        excluded: &[DatanodeId],
+    ) -> DfsResult<LocatedBlock> {
+        match self.call(&ClientRequest::AddBlock {
+            client,
+            file_id,
+            previous,
+            excluded: excluded.to_vec(),
+        })? {
+            ClientResponse::BlockAllocated(lb) => Ok(lb),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn commit_block(
+        &self,
+        client: ClientId,
+        file_id: FileId,
+        block: ExtendedBlock,
+    ) -> DfsResult<()> {
+        match self.call(&ClientRequest::CommitBlock {
+            client,
+            file_id,
+            block,
+        })? {
+            ClientResponse::Committed => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn complete(
+        &self,
+        client: ClientId,
+        file_id: FileId,
+        last: Option<ExtendedBlock>,
+    ) -> DfsResult<()> {
+        match self.call(&ClientRequest::Complete {
+            client,
+            file_id,
+            last,
+        })? {
+            ClientResponse::Completed => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn abandon_block(
+        &self,
+        client: ClientId,
+        file_id: FileId,
+        block: BlockId,
+    ) -> DfsResult<()> {
+        match self.call(&ClientRequest::AbandonBlock {
+            client,
+            file_id,
+            block,
+        })? {
+            ClientResponse::Abandoned => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn additional_datanodes(
+        &self,
+        client: ClientId,
+        block: BlockId,
+        existing: &[DatanodeId],
+        wanted: u32,
+    ) -> DfsResult<Vec<DatanodeInfo>> {
+        match self.call(&ClientRequest::GetAdditionalDatanodes {
+            client,
+            block,
+            existing: existing.to_vec(),
+            wanted,
+        })? {
+            ClientResponse::AdditionalDatanodes { targets } => Ok(targets),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn begin_block_recovery(&self, client: ClientId, block: BlockId) -> DfsResult<GenStamp> {
+        match self.call(&ClientRequest::BeginBlockRecovery { client, block })? {
+            ClientResponse::RecoveryStamp { new_gen } => Ok(new_gen),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn report_speeds(&self, client: ClientId, records: Vec<SpeedRecord>) -> DfsResult<()> {
+        match self.call(&ClientRequest::ReportSpeeds { client, records })? {
+            ClientResponse::SpeedsAck => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn file_info(&self, path: &str) -> DfsResult<Option<FileStatus>> {
+        match self.call(&ClientRequest::GetFileInfo {
+            path: path.to_string(),
+        })? {
+            ClientResponse::FileInfo(info) => Ok(info),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn block_locations(&self, path: &str) -> DfsResult<Vec<LocatedBlock>> {
+        match self.call(&ClientRequest::GetBlockLocations {
+            path: path.to_string(),
+        })? {
+            ClientResponse::BlockLocations { blocks } => Ok(blocks),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn list(&self, path: &str) -> DfsResult<Vec<FileStatus>> {
+        match self.call(&ClientRequest::List {
+            path: path.to_string(),
+        })? {
+            ClientResponse::Listing { entries } => Ok(entries),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub fn delete(&self, path: &str) -> DfsResult<bool> {
+        match self.call(&ClientRequest::Delete {
+            path: path.to_string(),
+        })? {
+            ClientResponse::Deleted { existed } => Ok(existed),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: ClientResponse) -> DfsError {
+    DfsError::internal(format!("unexpected namenode response: {resp:?}"))
+}
+
+/// Best-effort mapping of a remote error string back onto the local
+/// error taxonomy; unknown shapes become `Internal`.
+fn remote_error(msg: String) -> DfsError {
+    if msg.contains("safe mode") {
+        DfsError::SafeMode
+    } else if msg.contains("already exists") {
+        DfsError::AlreadyExists(msg)
+    } else if msg.contains("not found") {
+        DfsError::NotFound(msg)
+    } else if msg.contains("placement failed") {
+        // The counts are embedded in the message; callers only branch on
+        // the variant.
+        DfsError::PlacementFailed {
+            wanted: 0,
+            available: 0,
+        }
+    } else if msg.contains("lease expired") {
+        DfsError::LeaseExpired(msg)
+    } else {
+        DfsError::Internal(format!("namenode: {msg}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_error_mapping() {
+        assert!(matches!(
+            remote_error("namenode is in safe mode".into()),
+            DfsError::SafeMode
+        ));
+        assert!(matches!(
+            remote_error("path already exists: /x".into()),
+            DfsError::AlreadyExists(_)
+        ));
+        assert!(matches!(
+            remote_error("path not found: /x".into()),
+            DfsError::NotFound(_)
+        ));
+        assert!(matches!(
+            remote_error("placement failed: wanted 3 datanodes, 1 available".into()),
+            DfsError::PlacementFailed { .. }
+        ));
+        assert!(matches!(
+            remote_error("lease expired for /y".into()),
+            DfsError::LeaseExpired(_)
+        ));
+        assert!(matches!(
+            remote_error("boom".into()),
+            DfsError::Internal(_)
+        ));
+    }
+}

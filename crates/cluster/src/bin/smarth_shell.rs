@@ -1,0 +1,170 @@
+//! `smarth-shell` — an interactive DFS shell over an in-process emulated
+//! cluster, in the spirit of `hdfs dfs` + `dfsadmin`.
+//!
+//! ```text
+//! cargo run -p smarth-cluster --release --bin smarth_shell
+//! ```
+//!
+//! Commands:
+//!
+//! ```text
+//! put <path> <size>[k|m] [hdfs|smarth]   upload generated data
+//! get <path>                             read back and verify length
+//! ls <path>                              list a directory
+//! rm <path>                              delete a file
+//! report                                 dfsadmin-style cluster report
+//! kill <host>                            crash a datanode
+//! throttle <host> <mbps|off>             tc a host NIC
+//! seed <path> <size>[k|m]                put with both protocols, print timing
+//! help | quit
+//! ```
+
+use smarth_cluster::{random_data, MiniCluster};
+use smarth_core::units::Bandwidth;
+use smarth_core::{ClusterSpec, DfsConfig, InstanceType, WriteMode};
+use std::io::{BufRead, Write};
+
+fn parse_size(s: &str) -> Option<usize> {
+    let s = s.to_ascii_lowercase();
+    if let Some(n) = s.strip_suffix('k') {
+        n.parse::<usize>().ok().map(|v| v * 1024)
+    } else if let Some(n) = s.strip_suffix('m') {
+        n.parse::<usize>().ok().map(|v| v * 1024 * 1024)
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_mode(s: Option<&str>) -> WriteMode {
+    match s {
+        Some("hdfs") => WriteMode::Hdfs,
+        _ => WriteMode::Smarth,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = ClusterSpec::homogeneous(InstanceType::Large);
+    let cluster = MiniCluster::start(&spec, DfsConfig::test_scale(), 42)?;
+    let client = cluster.client()?;
+    println!(
+        "smarth-shell: emulated cluster with {} datanodes up. Type `help`.",
+        cluster.spec().datanode_count()
+    );
+
+    let stdin = std::io::stdin();
+    let mut seed = 0u64;
+    loop {
+        print!("smarth> ");
+        std::io::stdout().flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let result = match parts.as_slice() {
+            [] => Ok(()),
+            ["quit"] | ["exit"] => break,
+            ["help"] => {
+                println!("put <path> <size>[k|m] [hdfs|smarth] | get <path> | ls <path> | rm <path>");
+                println!("report | kill <host> | throttle <host> <mbps|off> | seed <path> <size> | quit");
+                Ok(())
+            }
+            ["put", path, size, rest @ ..] => (|| {
+                let bytes = parse_size(size).ok_or("bad size")?;
+                let mode = parse_mode(rest.first().copied());
+                seed += 1;
+                let data = random_data(seed, bytes);
+                let report = client.put(path, &data, mode)?;
+                println!(
+                    "{}: {} bytes in {:?} ({:.1} Mbps), {} blocks, {} pipelines max, {} recoveries",
+                    mode.name(),
+                    report.bytes,
+                    report.elapsed,
+                    report.throughput_mbps(),
+                    report.stats.blocks_committed,
+                    report.stats.max_concurrent_pipelines,
+                    report.stats.recoveries,
+                );
+                Ok::<(), Box<dyn std::error::Error>>(())
+            })(),
+            ["get", path] => (|| {
+                let data = client.get(path)?;
+                println!("read {} bytes (checksums verified)", data.len());
+                Ok::<(), Box<dyn std::error::Error>>(())
+            })(),
+            ["ls", path] => (|| {
+                for e in client.list(path)? {
+                    println!(
+                        "{:>12}  {}  {}",
+                        e.len,
+                        if e.is_dir { "dir " } else { "file" },
+                        e.path
+                    );
+                }
+                Ok::<(), Box<dyn std::error::Error>>(())
+            })(),
+            ["rm", path] => (|| {
+                let existed = client.delete(path)?;
+                println!("{}", if existed { "deleted" } else { "no such file" });
+                Ok::<(), Box<dyn std::error::Error>>(())
+            })(),
+            ["report"] => (|| {
+                let r = cluster.namenode_state().cluster_report();
+                println!(
+                    "live datanodes: {}  blocks: {}  inodes: {}  safe mode: {}",
+                    r.live_datanodes.len(),
+                    r.blocks,
+                    r.files,
+                    r.safe_mode
+                );
+                for d in &r.live_datanodes {
+                    println!(
+                        "  {} ({}) used {} bytes",
+                        d.host_name, d.rack, d.used_bytes
+                    );
+                }
+                Ok::<(), Box<dyn std::error::Error>>(())
+            })(),
+            ["kill", host] => (|| {
+                cluster.kill_datanode(host)?;
+                println!("{host} killed");
+                Ok::<(), Box<dyn std::error::Error>>(())
+            })(),
+            ["throttle", host, rate] => (|| {
+                let bw = if *rate == "off" {
+                    None
+                } else {
+                    Some(Bandwidth::mbps(rate.parse::<f64>().map_err(|_| "bad rate")?))
+                };
+                cluster.throttle_host(host, bw)?;
+                println!("{host} throttled to {rate}");
+                Ok::<(), Box<dyn std::error::Error>>(())
+            })(),
+            ["seed", path, size] => (|| {
+                let bytes = parse_size(size).ok_or("bad size")?;
+                seed += 1;
+                let data = random_data(seed, bytes);
+                for mode in [WriteMode::Hdfs, WriteMode::Smarth] {
+                    let p = format!("{path}-{}", mode.name().to_lowercase());
+                    let report = client.put(&p, &data, mode)?;
+                    println!(
+                        "  {:<6} {:?} ({:.1} Mbps)",
+                        mode.name(),
+                        report.elapsed,
+                        report.throughput_mbps()
+                    );
+                }
+                Ok::<(), Box<dyn std::error::Error>>(())
+            })(),
+            other => {
+                println!("unknown command {other:?}; try `help`");
+                Ok(())
+            }
+        };
+        if let Err(e) = result {
+            println!("error: {e}");
+        }
+    }
+    cluster.shutdown();
+    Ok(())
+}

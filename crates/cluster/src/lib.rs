@@ -1,0 +1,348 @@
+//! # smarth-cluster
+//!
+//! Orchestration for the emulated DFS: [`MiniCluster`] spins up a
+//! namenode plus datanodes over a bandwidth-shaped fabric built from a
+//! [`smarth_core::ClusterSpec`] (the paper's EC2 clusters and `tc`
+//! scenarios), and [`workload`] provides deterministic upload workloads
+//! and summaries. The end-to-end behaviour of the whole system — both
+//! write protocols, speed learning and fault tolerance — is tested here.
+
+pub mod mini;
+pub mod workload;
+
+pub use mini::MiniCluster;
+pub use workload::{random_data, summarize, UploadSummary, UploadWorkload};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarth_core::config::{ClusterSpec, DfsConfig, InstanceType, WriteMode};
+    use smarth_core::units::Bandwidth;
+
+    fn quick_spec(datanodes: usize) -> ClusterSpec {
+        let mut spec = ClusterSpec::homogeneous(InstanceType::Large);
+        spec.hosts.retain(|h| {
+            h.role != smarth_core::HostRole::DataNode
+                || h.name
+                    .strip_prefix("dn")
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .is_some_and(|i| i < datanodes)
+        });
+        // Zero latency for functional tests: fast and deterministic.
+        spec.link_latency = smarth_core::SimDuration::ZERO;
+        spec
+    }
+
+    fn fast_config() -> DfsConfig {
+        let mut c = DfsConfig::test_scale();
+        c.disk_bandwidth = Bandwidth::unlimited();
+        c
+    }
+
+    fn unthrottled_cluster(datanodes: usize) -> MiniCluster {
+        let mut spec = quick_spec(datanodes);
+        for h in &mut spec.hosts {
+            h.nic_throttle = Some(Bandwidth::unlimited());
+        }
+        MiniCluster::start(&spec, fast_config(), 11).unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip_hdfs_mode() {
+        let cluster = unthrottled_cluster(4);
+        let client = cluster.client().unwrap();
+        let data = random_data(7, 700_001); // several blocks, ragged tail
+        let report = client.put("/t/hdfs.bin", &data, WriteMode::Hdfs).unwrap();
+        assert_eq!(report.bytes, data.len() as u64);
+        assert_eq!(report.stats.blocks_committed, 3); // 256 KiB blocks
+        assert_eq!(report.stats.recoveries, 0);
+        assert_eq!(
+            report.stats.max_concurrent_pipelines, 1,
+            "HDFS mode is single-pipeline"
+        );
+        let back = client.get("/t/hdfs.bin").unwrap();
+        assert_eq!(back, data);
+        let info = client.file_info("/t/hdfs.bin").unwrap().unwrap();
+        assert!(info.complete);
+        assert_eq!(info.len, data.len() as u64);
+    }
+
+    #[test]
+    fn put_get_roundtrip_smarth_mode() {
+        let cluster = unthrottled_cluster(9);
+        let client = cluster.client().unwrap();
+        let data = random_data(8, 1_300_000); // ~5 blocks at 256 KiB
+        let report = client.put("/t/smarth.bin", &data, WriteMode::Smarth).unwrap();
+        assert_eq!(report.stats.blocks_committed, 5);
+        assert_eq!(report.stats.recoveries, 0);
+        let back = client.get("/t/smarth.bin").unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn empty_and_single_byte_files() {
+        let cluster = unthrottled_cluster(3);
+        let client = cluster.client().unwrap();
+        for (path, data) in [("/e/empty", vec![]), ("/e/one", vec![42u8])] {
+            for mode in [WriteMode::Hdfs, WriteMode::Smarth] {
+                let p = format!("{path}-{}", mode.name());
+                client.put(&p, &data, mode).unwrap();
+                assert_eq!(client.get(&p).unwrap(), data, "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn packet_aligned_mid_block_file() {
+        // File size an exact multiple of the packet size but not of the
+        // block size: the final block must seal via an empty last
+        // packet (regression: close() used to reject this shape).
+        let cluster = unthrottled_cluster(4);
+        let client = cluster.client().unwrap();
+        let packet = cluster.config().packet_size.as_u64() as usize;
+        let block = cluster.config().block_size.as_u64() as usize;
+        let data = random_data(33, block + 4 * packet);
+        for mode in [WriteMode::Hdfs, WriteMode::Smarth] {
+            let p = format!("/pa/{}", mode.name());
+            let report = client.put(&p, &data, mode).unwrap();
+            assert_eq!(report.stats.blocks_committed, 2);
+            assert_eq!(client.get(&p).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn exact_block_boundary_file() {
+        let cluster = unthrottled_cluster(5);
+        let client = cluster.client().unwrap();
+        let block = cluster.config().block_size.as_u64() as usize;
+        let data = random_data(9, block * 2); // exactly two blocks
+        for mode in [WriteMode::Hdfs, WriteMode::Smarth] {
+            let p = format!("/b/{}", mode.name());
+            let report = client.put(&p, &data, mode).unwrap();
+            assert_eq!(report.stats.blocks_committed, 2);
+            assert_eq!(client.get(&p).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn replicas_land_on_three_datanodes() {
+        let cluster = unthrottled_cluster(6);
+        let client = cluster.client().unwrap();
+        let data = random_data(10, 300_000);
+        client.put("/r/x.bin", &data, WriteMode::Smarth).unwrap();
+        // Direct check through datanode stores: each block replicated 3×.
+        let mut total_replicas = 0usize;
+        for host in cluster.datanode_hosts() {
+            total_replicas += cluster.datanode(&host).unwrap().store().replica_count();
+        }
+        // 300 KB / 256 KiB blocks = 2 blocks × 3 replicas.
+        assert_eq!(total_replicas, 6);
+    }
+
+    #[test]
+    fn smarth_overlaps_pipelines_on_a_wide_cluster() {
+        // 9 datanodes, repl 3 → up to 3 concurrent pipelines. With a
+        // slow cross-rack hop the drain lags the client, so overlap must
+        // actually happen.
+        let mut spec = quick_spec(9);
+        spec = spec.with_cross_rack_throttle(Bandwidth::mbps(60.0));
+        let cluster = MiniCluster::start(&spec, fast_config(), 13).unwrap();
+        let client = cluster.client().unwrap();
+        let data = random_data(11, 2 * 1024 * 1024); // 8 blocks
+        let report = client.put("/w/wide.bin", &data, WriteMode::Smarth).unwrap();
+        assert!(
+            report.stats.max_concurrent_pipelines >= 2,
+            "expected pipeline overlap, got {}",
+            report.stats.max_concurrent_pipelines
+        );
+        assert!(
+            report.stats.max_concurrent_pipelines <= 3,
+            "cap num/repl violated: {}",
+            report.stats.max_concurrent_pipelines
+        );
+        assert_eq!(client.get("/w/wide.bin").unwrap(), data);
+    }
+
+    #[test]
+    fn smarth_beats_hdfs_under_cross_rack_throttling() {
+        // The paper's core claim at emulator scale: throttle the
+        // cross-rack hop hard and SMARTH's upload time must beat HDFS's
+        // clearly (paper: 27-245 %; we assert a conservative >20 %).
+        let spec = ClusterSpec::homogeneous(InstanceType::Small)
+            .with_cross_rack_throttle(Bandwidth::mbps(40.0));
+        let mut config = fast_config();
+        config.heartbeat_interval = smarth_core::SimDuration::from_millis(30);
+        let cluster = MiniCluster::start(&spec, config, 17).unwrap();
+
+        let wl = UploadWorkload {
+            files: 1,
+            file_size: 3 * 1024 * 1024,
+            seed: 5,
+            warmup_files: 2,
+        };
+        let hdfs = summarize(&wl.run(&cluster, WriteMode::Hdfs).unwrap());
+        let smarth = summarize(&wl.run(&cluster, WriteMode::Smarth).unwrap());
+        let improvement = (hdfs.total_secs / smarth.total_secs - 1.0) * 100.0;
+        assert!(
+            improvement > 20.0,
+            "SMARTH should clearly win under throttling: HDFS {:.2}s vs SMARTH {:.2}s ({improvement:.0}%)",
+            hdfs.total_secs,
+            smarth.total_secs
+        );
+        assert_eq!(hdfs.recoveries + smarth.recoveries, 0);
+    }
+
+    #[test]
+    fn kill_datanode_mid_upload_smarth_recovers() {
+        let cluster = unthrottled_cluster(6);
+        let client = cluster.client().unwrap();
+        let data = random_data(12, 1_500_000);
+
+        let mut stream = client.create("/f/killed.bin", WriteMode::Smarth).unwrap();
+        stream.write(&data[..400_000]).unwrap();
+        // Kill a datanode that is most likely in some active pipeline:
+        // pick one that holds a replica right now.
+        // Pick a node with a replica-being-written: a member of an
+        // in-flight pipeline, so the kill is guaranteed to disturb it.
+        // Datanodes process the write header asynchronously, so poll.
+        let victim = {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            loop {
+                let found = cluster.datanode_hosts().into_iter().find(|h| {
+                    let store = cluster.datanode(h).unwrap().store();
+                    store.replica_count() > store.finalized_blocks().len()
+                });
+                if let Some(v) = found {
+                    break v;
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "no datanode ever saw an in-flight replica"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        };
+        cluster.kill_datanode(&victim).unwrap();
+        stream.write(&data[400_000..]).unwrap();
+        let stats = stream.close().unwrap();
+        assert!(
+            stats.recoveries >= 1,
+            "killing {victim} mid-write must trigger recovery"
+        );
+        let back = client.get("/f/killed.bin").unwrap();
+        assert_eq!(back, data, "file must survive the datanode loss intact");
+    }
+
+    #[test]
+    fn kill_datanode_mid_upload_hdfs_recovers() {
+        let cluster = unthrottled_cluster(6);
+        let client = cluster.client().unwrap();
+        let data = random_data(13, 900_000);
+        let mut stream = client.create("/f/killed2.bin", WriteMode::Hdfs).unwrap();
+        stream.write(&data[..300_000]).unwrap();
+        // Pick a node with a replica-being-written: a member of an
+        // in-flight pipeline, so the kill is guaranteed to disturb it.
+        // Datanodes process the write header asynchronously, so poll.
+        let victim = {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            loop {
+                let found = cluster.datanode_hosts().into_iter().find(|h| {
+                    let store = cluster.datanode(h).unwrap().store();
+                    store.replica_count() > store.finalized_blocks().len()
+                });
+                if let Some(v) = found {
+                    break v;
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "no datanode ever saw an in-flight replica"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        };
+        cluster.kill_datanode(&victim).unwrap();
+        stream.write(&data[300_000..]).unwrap();
+        let stats = stream.close().unwrap();
+        assert!(stats.recoveries >= 1);
+        assert_eq!(client.get("/f/killed2.bin").unwrap(), data);
+    }
+
+    #[test]
+    fn speed_records_reach_namenode() {
+        let cluster = unthrottled_cluster(9);
+        let client = cluster.client().unwrap();
+        let data = random_data(14, 600_000);
+        client.put("/s/seed.bin", &data, WriteMode::Smarth).unwrap();
+        client.flush_speed_report().unwrap();
+        assert!(client.known_speeds() > 0, "client must have observed speeds");
+        assert!(
+            cluster.namenode_state().has_speed_records(client.id()),
+            "namenode must have ingested the report"
+        );
+    }
+
+    #[test]
+    fn heartbeat_expiry_removes_dead_datanode() {
+        let mut config = fast_config();
+        config.heartbeat_interval = smarth_core::SimDuration::from_millis(20);
+        config.heartbeat_expiry_multiplier = 4; // 80 ms to death
+        let spec = quick_spec(4);
+        let cluster = MiniCluster::start(&spec, config, 19).unwrap();
+        assert_eq!(cluster.namenode_state().alive_datanodes().len(), 4);
+        cluster.kill_datanode_silently("dn0").unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            cluster.namenode_state().expire_dead_datanodes();
+            if cluster.namenode_state().alive_datanodes().len() == 3 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "dn0 never expired from the namenode"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn concurrent_clients_write_disjoint_files() {
+        let cluster = std::sync::Arc::new(unthrottled_cluster(9));
+        let mut handles = Vec::new();
+        for i in 0..4u64 {
+            let cluster = std::sync::Arc::clone(&cluster);
+            handles.push(std::thread::spawn(move || {
+                let client = cluster.client().unwrap();
+                let data = random_data(100 + i, 400_000);
+                let mode = if i % 2 == 0 {
+                    WriteMode::Smarth
+                } else {
+                    WriteMode::Hdfs
+                };
+                let path = format!("/c/file{i}");
+                client.put(&path, &data, mode).unwrap();
+                assert_eq!(client.get(&path).unwrap(), data);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn delete_and_listing_work_end_to_end() {
+        let cluster = unthrottled_cluster(3);
+        let client = cluster.client().unwrap();
+        client
+            .put("/d/a.bin", &random_data(1, 10_000), WriteMode::Hdfs)
+            .unwrap();
+        client
+            .put("/d/b.bin", &random_data(2, 10_000), WriteMode::Smarth)
+            .unwrap();
+        let listing = client.list("/d").unwrap();
+        assert_eq!(listing.len(), 2);
+        assert!(client.delete("/d/a.bin").unwrap());
+        assert!(!client.delete("/d/a.bin").unwrap());
+        assert!(client.get("/d/a.bin").is_err());
+        assert_eq!(client.list("/d").unwrap().len(), 1);
+    }
+}

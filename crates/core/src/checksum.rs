@@ -1,0 +1,238 @@
+//! CRC-32C (Castagnoli) implemented from scratch.
+//!
+//! HDFS checksums every 512-byte chunk of every packet; datanodes verify
+//! before storing and forwarding (§II step 3). We implement CRC-32C with
+//! a lazily-built slicing-by-8 table: ~8 bytes are processed per lookup
+//! round, giving multi-GB/s throughput in release builds without any
+//! architecture-specific intrinsics.
+
+use std::sync::OnceLock;
+
+/// The CRC-32C (Castagnoli) reversed polynomial.
+const POLY: u32 = 0x82F6_3B78;
+
+/// Number of slicing tables (slicing-by-8).
+const SLICES: usize = 8;
+
+fn tables() -> &'static [[u32; 256]; SLICES] {
+    static TABLES: OnceLock<Box<[[u32; 256]; SLICES]>> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = Box::new([[0u32; 256]; SLICES]);
+        for (i, entry) in t[0].iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        for slice in 1..SLICES {
+            for i in 0..256 {
+                let prev = t[slice - 1][i];
+                t[slice][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            }
+        }
+        t
+    })
+}
+
+/// Streaming CRC-32C hasher. Feed bytes with [`Crc32c::update`], read the
+/// digest with [`Crc32c::finalize`]. Incremental use produces exactly the
+/// same digest as a single [`crc32c`] call over the concatenated input
+/// (property-tested below).
+#[derive(Debug, Clone)]
+pub struct Crc32c {
+    state: u32,
+}
+
+impl Default for Crc32c {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32c {
+    pub fn new() -> Self {
+        Self { state: !0 }
+    }
+
+    pub fn update(&mut self, mut data: &[u8]) {
+        let t = tables();
+        let mut crc = self.state;
+        while data.len() >= 8 {
+            let chunk: [u8; 8] = data[..8].try_into().unwrap();
+            let low = u32::from_le_bytes(chunk[..4].try_into().unwrap()) ^ crc;
+            let high = u32::from_le_bytes(chunk[4..].try_into().unwrap());
+            crc = t[7][(low & 0xFF) as usize]
+                ^ t[6][((low >> 8) & 0xFF) as usize]
+                ^ t[5][((low >> 16) & 0xFF) as usize]
+                ^ t[4][((low >> 24) & 0xFF) as usize]
+                ^ t[3][(high & 0xFF) as usize]
+                ^ t[2][((high >> 8) & 0xFF) as usize]
+                ^ t[1][((high >> 16) & 0xFF) as usize]
+                ^ t[0][((high >> 24) & 0xFF) as usize];
+            data = &data[8..];
+        }
+        for &b in data {
+            crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32C of a byte slice.
+pub fn crc32c(data: &[u8]) -> u32 {
+    let mut h = Crc32c::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Per-chunk checksum layout used by data packets: one CRC-32C per
+/// `chunk_size` bytes of payload, mirroring HDFS's `bytes.per.checksum`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkedChecksum {
+    pub chunk_size: usize,
+}
+
+impl ChunkedChecksum {
+    pub const DEFAULT_CHUNK: usize = 512;
+
+    pub fn new(chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        Self { chunk_size }
+    }
+
+    /// Number of checksums covering `payload_len` bytes.
+    pub fn count_for(&self, payload_len: usize) -> usize {
+        payload_len.div_ceil(self.chunk_size)
+    }
+
+    /// Computes the checksum vector for a payload.
+    pub fn compute(&self, payload: &[u8]) -> Vec<u32> {
+        payload.chunks(self.chunk_size).map(crc32c).collect()
+    }
+
+    /// Verifies a payload against its checksum vector. Returns the index
+    /// of the first corrupt chunk, or `None` if everything matches.
+    pub fn first_corrupt_chunk(&self, payload: &[u8], sums: &[u32]) -> Option<usize> {
+        if sums.len() != self.count_for(payload.len()) {
+            // A length mismatch means the frame itself is inconsistent;
+            // report it as corruption of chunk 0.
+            return Some(0);
+        }
+        payload
+            .chunks(self.chunk_size)
+            .zip(sums)
+            .position(|(chunk, &sum)| crc32c(chunk) != sum)
+    }
+
+    pub fn verify(&self, payload: &[u8], sums: &[u32]) -> bool {
+        self.first_corrupt_chunk(payload, sums).is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Known-answer tests from RFC 3720 (iSCSI) appendix B.4.
+    #[test]
+    fn rfc3720_vectors() {
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46DD_794E);
+        let descending: Vec<u8> = (0u8..32).rev().collect();
+        assert_eq!(crc32c(&descending), 0x113F_DB5C);
+    }
+
+    #[test]
+    fn crc_of_empty_is_zero() {
+        assert_eq!(crc32c(&[]), 0);
+    }
+
+    #[test]
+    fn crc_detects_single_bit_flip() {
+        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let base = crc32c(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut copy = data.clone();
+                copy[byte] ^= 1 << bit;
+                assert_ne!(crc32c(&copy), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_checksum_counts() {
+        let c = ChunkedChecksum::new(512);
+        assert_eq!(c.count_for(0), 0);
+        assert_eq!(c.count_for(1), 1);
+        assert_eq!(c.count_for(512), 1);
+        assert_eq!(c.count_for(513), 2);
+        assert_eq!(c.count_for(64 * 1024), 128);
+    }
+
+    #[test]
+    fn chunked_verify_locates_corruption() {
+        let c = ChunkedChecksum::new(8);
+        let payload: Vec<u8> = (0..64).map(|i| i as u8).collect();
+        let sums = c.compute(&payload);
+        assert!(c.verify(&payload, &sums));
+
+        let mut corrupt = payload.clone();
+        corrupt[19] ^= 0xFF; // chunk index 2
+        assert_eq!(c.first_corrupt_chunk(&corrupt, &sums), Some(2));
+        assert!(!c.verify(&corrupt, &sums));
+    }
+
+    #[test]
+    fn chunked_verify_rejects_wrong_sum_count() {
+        let c = ChunkedChecksum::new(8);
+        let payload = vec![1u8; 16];
+        let sums = c.compute(&payload);
+        assert_eq!(c.first_corrupt_chunk(&payload, &sums[..1]), Some(0));
+    }
+
+    proptest! {
+        /// Incremental hashing over arbitrary split points equals one-shot.
+        #[test]
+        fn incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                      split in 0usize..2048) {
+            let split = split.min(data.len());
+            let mut h = Crc32c::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            prop_assert_eq!(h.finalize(), crc32c(&data));
+        }
+
+        /// Byte-at-a-time equals slicing path.
+        #[test]
+        fn bytewise_equals_sliced(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let mut h = Crc32c::new();
+            for b in &data {
+                h.update(std::slice::from_ref(b));
+            }
+            prop_assert_eq!(h.finalize(), crc32c(&data));
+        }
+
+        /// compute/verify round-trips for arbitrary payloads and chunk sizes.
+        #[test]
+        fn chunked_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..1024),
+                             chunk in 1usize..128) {
+            let c = ChunkedChecksum::new(chunk);
+            let sums = c.compute(&data);
+            prop_assert_eq!(sums.len(), c.count_for(data.len()));
+            prop_assert!(c.verify(&data, &sums));
+        }
+    }
+}

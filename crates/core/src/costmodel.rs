@@ -1,0 +1,203 @@
+//! Closed-form cost model of §III-D (Formulas 1–3).
+//!
+//! The paper derives the total upload time `T` for a file of size `D`
+//! split into `⌈D/B⌉` blocks and `⌈D/P⌉` packets:
+//!
+//! * production-bound (`T_c ≥ P/B_link`):
+//!   `T = T_n·⌈D/B⌉ + (T_c + T_w)·⌈D/P⌉`            (Formula 1)
+//! * HDFS, transmission-bound (`T_c < P/B_min`):
+//!   `T = T_n·⌈D/B⌉ + (P/B_min + T_w)·⌈D/P⌉`        (Formula 2)
+//! * SMARTH, transmission-bound (`T_c < P/B_max`):
+//!   `T = T_n·⌈D/B⌉ + (P/B_max + T_w)·⌈D/P⌉`        (Formula 3)
+//!
+//! where `B_min` is the minimum bandwidth along the whole pipeline and
+//! `B_max` the bandwidth from the client to its (fast) first datanode.
+//! The model intentionally ignores pipeline fill/drain transients and
+//! multi-pipeline contention — the discrete-event simulator captures
+//! those — but it provides an analytic envelope that the simulator is
+//! property-tested against.
+
+use crate::units::{Bandwidth, ByteSize, SimDuration};
+
+/// Inputs to the cost model, mirroring the paper's symbols.
+#[derive(Debug, Clone, Copy)]
+pub struct CostInputs {
+    /// File size `D`.
+    pub file_size: ByteSize,
+    /// Block size `B`.
+    pub block_size: ByteSize,
+    /// Packet size `P`.
+    pub packet_size: ByteSize,
+    /// Namenode RPC time per block, `T_n`.
+    pub t_namenode: SimDuration,
+    /// Per-packet production time at the client, `T_c`.
+    pub t_produce: SimDuration,
+    /// Per-packet verify+write time at a datanode, `T_w`.
+    pub t_write: SimDuration,
+}
+
+impl CostInputs {
+    pub fn blocks(&self) -> u64 {
+        self.file_size.div_ceil(self.block_size)
+    }
+    pub fn packets(&self) -> u64 {
+        self.file_size.div_ceil(self.packet_size)
+    }
+}
+
+/// Which regime of the model applied (useful in reports and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// Packet production dominates (Formula 1).
+    ProductionBound,
+    /// Network transmission dominates (Formula 2/3).
+    TransmissionBound,
+}
+
+/// Model prediction: total time and the regime that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    pub total: SimDuration,
+    pub regime: Regime,
+}
+
+fn per_packet_transfer(packet: ByteSize, bw: Bandwidth) -> SimDuration {
+    bw.transfer_time(packet)
+}
+
+fn predict(inputs: &CostInputs, effective_bw: Bandwidth) -> Prediction {
+    let per_block = inputs.t_namenode.mul_u64(inputs.blocks());
+    let transfer = per_packet_transfer(inputs.packet_size, effective_bw);
+    let (per_packet, regime) = if inputs.t_produce >= transfer {
+        // Formula 1: production hides transmission.
+        (inputs.t_produce + inputs.t_write, Regime::ProductionBound)
+    } else {
+        // Formula 2/3: the data queue backs up; the wire is the limit.
+        (transfer + inputs.t_write, Regime::TransmissionBound)
+    };
+    Prediction {
+        total: per_block + per_packet.mul_u64(inputs.packets()),
+        regime,
+    }
+}
+
+/// Formula (1)/(2): original HDFS, governed by the *minimum* bandwidth
+/// `b_min` along the pipeline (client→dn1 and every dn→dn hop).
+pub fn hdfs_upload_time(inputs: &CostInputs, b_min: Bandwidth) -> Prediction {
+    predict(inputs, b_min)
+}
+
+/// Formula (1)/(3): SMARTH, governed by the bandwidth `b_max` between the
+/// client and its first datanode.
+pub fn smarth_upload_time(inputs: &CostInputs, b_max: Bandwidth) -> Prediction {
+    predict(inputs, b_max)
+}
+
+/// The paper's improvement metric: `(t_hdfs / t_smarth - 1) · 100 %`.
+pub fn improvement_percent(t_hdfs: SimDuration, t_smarth: SimDuration) -> f64 {
+    assert!(t_smarth > SimDuration::ZERO, "smarth time must be positive");
+    (t_hdfs.as_secs_f64() / t_smarth.as_secs_f64() - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn paper_inputs(file_gib: u64) -> CostInputs {
+        CostInputs {
+            file_size: ByteSize::gib(file_gib),
+            block_size: ByteSize::mib(64),
+            packet_size: ByteSize::kib(64),
+            t_namenode: SimDuration::from_millis(2),
+            t_produce: SimDuration::from_micros(30),
+            t_write: SimDuration::from_micros(20),
+        }
+    }
+
+    #[test]
+    fn counts_match_formulas() {
+        let c = paper_inputs(8);
+        assert_eq!(c.blocks(), 128);
+        assert_eq!(c.packets(), 131_072);
+    }
+
+    #[test]
+    fn transmission_bound_regime_for_slow_network() {
+        // P/B = 64KiB / 50Mbps ≈ 10.5 ms >> Tc = 30 µs.
+        let c = paper_inputs(8);
+        let p = hdfs_upload_time(&c, Bandwidth::mbps(50.0));
+        assert_eq!(p.regime, Regime::TransmissionBound);
+        // Dominant term: 131072 × (0.01048576 + 0.00002) ≈ 1377 s.
+        let expected = 0.002 * 128.0 + 131_072.0 * (65_536.0 * 8.0 / 50e6 + 20e-6);
+        assert!(
+            (p.total.as_secs_f64() - expected).abs() < 0.5,
+            "got {} expected {expected}",
+            p.total
+        );
+    }
+
+    #[test]
+    fn production_bound_regime_for_fast_network() {
+        // Make production artificially slow: Tc = 1 ms > P/B at 10 Gbps.
+        let mut c = paper_inputs(1);
+        c.t_produce = SimDuration::from_millis(1);
+        let p = hdfs_upload_time(&c, Bandwidth::mbps(10_000.0));
+        assert_eq!(p.regime, Regime::ProductionBound);
+        let expected = 0.002 * 16.0 + 16_384.0 * (0.001 + 20e-6);
+        assert!((p.total.as_secs_f64() - expected).abs() < 0.1);
+    }
+
+    #[test]
+    fn smarth_never_slower_than_hdfs_in_model() {
+        let c = paper_inputs(8);
+        let b_min = Bandwidth::mbps(50.0);
+        let b_max = Bandwidth::mbps(216.0);
+        let h = hdfs_upload_time(&c, b_min);
+        let s = smarth_upload_time(&c, b_max);
+        assert!(s.total <= h.total);
+        let imp = improvement_percent(h.total, s.total);
+        // 216/50 ≈ 4.3× on the wire term; with T_w the model predicts a
+        // large triple-digit improvement.
+        assert!(imp > 200.0, "model improvement {imp}%");
+    }
+
+    #[test]
+    fn equal_bandwidths_give_equal_predictions() {
+        // Homogeneous unthrottled cluster: B_min == B_max → "no big gain"
+        // (§V-B.1's observation).
+        let c = paper_inputs(4);
+        let bw = Bandwidth::mbps(216.0);
+        assert_eq!(hdfs_upload_time(&c, bw), smarth_upload_time(&c, bw));
+    }
+
+    #[test]
+    fn improvement_percent_matches_definition() {
+        let h = SimDuration::from_secs(230);
+        let s = SimDuration::from_secs(100);
+        assert!((improvement_percent(h, s) - 130.0).abs() < 1e-9);
+        assert_eq!(improvement_percent(s, s), 0.0);
+    }
+
+    proptest! {
+        /// Upload time is monotone non-increasing in bandwidth.
+        #[test]
+        fn monotone_in_bandwidth(mbps1 in 10.0f64..1000.0, mbps2 in 10.0f64..1000.0) {
+            let c = paper_inputs(1);
+            let (lo, hi) = if mbps1 < mbps2 { (mbps1, mbps2) } else { (mbps2, mbps1) };
+            let slow = hdfs_upload_time(&c, Bandwidth::mbps(lo));
+            let fast = hdfs_upload_time(&c, Bandwidth::mbps(hi));
+            prop_assert!(fast.total <= slow.total);
+        }
+
+        /// Upload time is monotone in file size and roughly linear
+        /// (doubling the file at most slightly more than doubles time).
+        #[test]
+        fn linear_in_file_size(gib in 1u64..8) {
+            let small = hdfs_upload_time(&paper_inputs(gib), Bandwidth::mbps(100.0));
+            let big = hdfs_upload_time(&paper_inputs(gib * 2), Bandwidth::mbps(100.0));
+            let ratio = big.total.as_secs_f64() / small.total.as_secs_f64();
+            prop_assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Error taxonomy shared by every crate in the workspace.
+//!
+//! The variants deliberately mirror the failure classes that the paper's
+//! fault-tolerance section (§IV) distinguishes: namespace violations,
+//! placement failures, pipeline/transport errors and checksum corruption.
+
+use crate::ids::{BlockId, DatanodeId, PipelineId};
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type DfsResult<T> = Result<T, DfsError>;
+
+/// Every error the DFS can surface to callers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// A path already exists and overwrite was not requested
+    /// (namenode `create()` check, §II step 1).
+    AlreadyExists(String),
+    /// Path (or one of its parents) does not exist.
+    NotFound(String),
+    /// A path component that must be a directory is a file, or vice versa.
+    NotADirectory(String),
+    IsADirectory(String),
+    /// The namenode is in safe mode and rejects mutations (§II step 1).
+    SafeMode,
+    /// The caller does not hold the lease for the file it is writing.
+    LeaseExpired(String),
+    /// The namenode could not find enough viable datanodes for a block.
+    PlacementFailed {
+        wanted: usize,
+        available: usize,
+    },
+    /// A datanode referenced in a request is not registered / is dead.
+    UnknownDatanode(DatanodeId),
+    /// A block referenced in a request is unknown or has a stale
+    /// generation stamp.
+    UnknownBlock(BlockId),
+    StaleGeneration {
+        block: BlockId,
+        expected: u64,
+        got: u64,
+    },
+    /// Packet checksum mismatch detected by a datanode (triggers pipeline
+    /// recovery).
+    ChecksumMismatch {
+        block: BlockId,
+        seq: u64,
+    },
+    /// Transport-level failure: peer closed, host killed, link cut.
+    ConnectionLost(String),
+    /// A whole pipeline failed and recovery was not possible
+    /// (Algorithm 3 line 7: "return an exception").
+    PipelineUnrecoverable {
+        pipeline: PipelineId,
+        reason: String,
+    },
+    /// Too many concurrent pipelines requested (buffer-overflow guard of
+    /// §IV-C).
+    PipelineLimit {
+        limit: usize,
+    },
+    /// Malformed frame on the wire.
+    Codec(String),
+    /// The operation timed out.
+    Timeout(String),
+    /// Internal invariant violation; indicates a bug, not a runtime fault.
+    Internal(String),
+}
+
+impl DfsError {
+    /// True for errors that the client's pipeline-recovery machinery
+    /// (Algorithms 3/4) is designed to handle by rebuilding the pipeline;
+    /// false for errors that must bubble up to the application.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            DfsError::ChecksumMismatch { .. }
+                | DfsError::ConnectionLost(_)
+                | DfsError::Timeout(_)
+                | DfsError::StaleGeneration { .. }
+        )
+    }
+
+    pub fn internal(msg: impl Into<String>) -> Self {
+        DfsError::Internal(msg.into())
+    }
+
+    pub fn codec(msg: impl Into<String>) -> Self {
+        DfsError::Codec(msg.into())
+    }
+
+    pub fn connection_lost(msg: impl Into<String>) -> Self {
+        DfsError::ConnectionLost(msg.into())
+    }
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::AlreadyExists(p) => write!(f, "path already exists: {p}"),
+            DfsError::NotFound(p) => write!(f, "path not found: {p}"),
+            DfsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            DfsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            DfsError::SafeMode => write!(f, "namenode is in safe mode"),
+            DfsError::LeaseExpired(p) => write!(f, "lease expired for {p}"),
+            DfsError::PlacementFailed { wanted, available } => write!(
+                f,
+                "placement failed: wanted {wanted} datanodes, {available} available"
+            ),
+            DfsError::UnknownDatanode(d) => write!(f, "unknown datanode {d}"),
+            DfsError::UnknownBlock(b) => write!(f, "unknown block {b}"),
+            DfsError::StaleGeneration {
+                block,
+                expected,
+                got,
+            } => write!(
+                f,
+                "stale generation for {block}: expected gs_{expected}, got gs_{got}"
+            ),
+            DfsError::ChecksumMismatch { block, seq } => {
+                write!(f, "checksum mismatch in {block} packet {seq}")
+            }
+            DfsError::ConnectionLost(m) => write!(f, "connection lost: {m}"),
+            DfsError::PipelineUnrecoverable { pipeline, reason } => {
+                write!(f, "pipeline {pipeline} unrecoverable: {reason}")
+            }
+            DfsError::PipelineLimit { limit } => {
+                write!(f, "pipeline limit reached (max {limit})")
+            }
+            DfsError::Codec(m) => write!(f, "codec error: {m}"),
+            DfsError::Timeout(m) => write!(f, "timeout: {m}"),
+            DfsError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recoverability_classification() {
+        assert!(DfsError::ChecksumMismatch {
+            block: BlockId(1),
+            seq: 0
+        }
+        .is_recoverable());
+        assert!(DfsError::connection_lost("dn_2 died").is_recoverable());
+        assert!(DfsError::Timeout("ack".into()).is_recoverable());
+        assert!(!DfsError::SafeMode.is_recoverable());
+        assert!(!DfsError::AlreadyExists("/a".into()).is_recoverable());
+        assert!(!DfsError::PlacementFailed {
+            wanted: 3,
+            available: 1
+        }
+        .is_recoverable());
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = DfsError::StaleGeneration {
+            block: BlockId(9),
+            expected: 2,
+            got: 1,
+        };
+        assert_eq!(
+            e.to_string(),
+            "stale generation for blk_9: expected gs_2, got gs_1"
+        );
+        assert!(DfsError::SafeMode.to_string().contains("safe mode"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # smarth-core
+//!
+//! Shared substrate for the SMARTH reproduction: strongly-typed ids and
+//! units, protocol configuration and the EC2 cluster presets of Table I,
+//! CRC-32C checksumming, the hand-rolled wire codec and every protocol
+//! message, the rack-aware topology, both datanode placement policies
+//! (stock HDFS and SMARTH's Algorithm 1), the client-side local
+//! optimization (Algorithm 2), transfer-speed tracking (§III-B) and the
+//! closed-form cost model of §III-D.
+//!
+//! This crate is I/O-free: everything here is pure logic that both the
+//! real-time emulated cluster (`smarth-fabric` + node crates) and the
+//! deterministic simulator (`smarth-sim`) build on, so the two engines
+//! can never drift apart on policy decisions.
+
+pub mod checksum;
+pub mod config;
+pub mod costmodel;
+pub mod error;
+pub mod ids;
+pub mod localopt;
+pub mod placement;
+pub mod proto;
+pub mod speed;
+pub mod topology;
+pub mod units;
+pub mod wire;
+
+pub use config::{ClusterSpec, DfsConfig, HostRole, HostSpec, InstanceType, WriteMode};
+pub use error::{DfsError, DfsResult};
+pub use ids::{
+    BlockId, ClientId, DatanodeId, ExtendedBlock, FileId, GenStamp, PacketSeq, PipelineId,
+};
+pub use units::{Bandwidth, ByteSize, SimDuration, SimInstant};

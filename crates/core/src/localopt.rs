@@ -1,0 +1,189 @@
+//! Algorithm 2 — the client's *local optimization* (§III-C).
+//!
+//! Before opening a pipeline, the client re-sorts the namenode's targets
+//! descending by its own (fresher) speed records, then with probability
+//! `1 - threshold` swaps a random non-first target into the first slot.
+//! The swap is deliberate exploration: a datanode that once looked slow
+//! would otherwise never be chosen as first node again, so its record
+//! would never refresh.
+
+use crate::ids::DatanodeId;
+use crate::proto::DatanodeInfo;
+use crate::speed::ClientSpeedTracker;
+use rand::Rng;
+
+/// Outcome of the local optimization, reported for observability/tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalOptOutcome {
+    /// Targets were re-sorted; the fastest known node leads.
+    Sorted,
+    /// Targets were re-sorted and then an exploration swap promoted the
+    /// node at this (post-sort) index to the front.
+    Explored { swapped_index: usize },
+    /// Fewer than two targets — nothing to reorder.
+    TooShort,
+}
+
+/// Applies Algorithm 2 in place to a pipeline's targets.
+///
+/// * `threshold` — the paper's 0.8: a uniform draw `r` above it triggers
+///   the exploration swap (so exploration probability is `1 - threshold`).
+/// * The swap index is drawn uniformly from `1..replication` exactly as
+///   line 7 prescribes (`targets.len()` stands in for the replication
+///   factor, which equals the pipeline length).
+pub fn local_optimize(
+    targets: &mut [DatanodeInfo],
+    tracker: &ClientSpeedTracker,
+    threshold: f64,
+    rng: &mut impl Rng,
+) -> LocalOptOutcome {
+    if targets.len() < 2 {
+        return LocalOptOutcome::TooShort;
+    }
+
+    // Line 2–3: sort descending by locally recorded transmission speed.
+    let mut ids: Vec<DatanodeId> = targets.iter().map(|t| t.id).collect();
+    tracker.sort_descending(&mut ids);
+    sort_infos_by(&mut *targets, &ids);
+
+    // Lines 4–8: with probability (1 - threshold), swap targets[0] with a
+    // random targets[index], index ∈ [1, repli).
+    let r: f64 = rng.gen_range(0.0..1.0);
+    if r > threshold {
+        let index = rng.gen_range(1..targets.len());
+        targets.swap(0, index);
+        LocalOptOutcome::Explored {
+            swapped_index: index,
+        }
+    } else {
+        LocalOptOutcome::Sorted
+    }
+}
+
+fn sort_infos_by(targets: &mut [DatanodeInfo], order: &[DatanodeId]) {
+    debug_assert_eq!(targets.len(), order.len());
+    targets.sort_by_key(|t| {
+        order
+            .iter()
+            .position(|id| *id == t.id)
+            .expect("order must contain every target")
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn info(i: u32) -> DatanodeInfo {
+        DatanodeInfo {
+            id: DatanodeId(i),
+            host_name: format!("dn{i}"),
+            rack: "rack-a".into(),
+            addr: format!("dn{i}:50010"),
+        }
+    }
+
+    fn tracker_with(speeds: &[(u32, f64)]) -> ClientSpeedTracker {
+        let mut t = ClientSpeedTracker::new(1.0);
+        for &(i, s) in speeds {
+            t.observe_rate(DatanodeId(i), s);
+        }
+        t
+    }
+
+    #[test]
+    fn sorts_descending_by_local_speed() {
+        let tracker = tracker_with(&[(1, 10.0), (2, 30.0), (3, 20.0)]);
+        let mut targets = vec![info(1), info(2), info(3)];
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        // threshold 1.0 → never explore; pure sort.
+        let out = local_optimize(&mut targets, &tracker, 1.0, &mut rng);
+        assert_eq!(out, LocalOptOutcome::Sorted);
+        let ids: Vec<u32> = targets.iter().map(|t| t.id.raw()).collect();
+        assert_eq!(ids, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn threshold_zero_always_explores() {
+        let tracker = tracker_with(&[(1, 10.0), (2, 30.0), (3, 20.0)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            let mut targets = vec![info(1), info(2), info(3)];
+            let out = local_optimize(&mut targets, &tracker, 0.0, &mut rng);
+            match out {
+                LocalOptOutcome::Explored { swapped_index } => {
+                    assert!((1..3).contains(&swapped_index));
+                    // The front is no longer the fastest node.
+                    assert_ne!(targets[0].id, DatanodeId(2));
+                    // The fastest node landed where the swap came from.
+                    assert_eq!(targets[swapped_index].id, DatanodeId(2));
+                }
+                other => panic!("expected exploration, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn exploration_rate_matches_threshold() {
+        let tracker = tracker_with(&[(1, 10.0), (2, 30.0), (3, 20.0)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let trials = 10_000;
+        let mut explored = 0;
+        for _ in 0..trials {
+            let mut targets = vec![info(1), info(2), info(3)];
+            if matches!(
+                local_optimize(&mut targets, &tracker, 0.8, &mut rng),
+                LocalOptOutcome::Explored { .. }
+            ) {
+                explored += 1;
+            }
+        }
+        let rate = explored as f64 / trials as f64;
+        assert!(
+            (rate - 0.2).abs() < 0.02,
+            "exploration rate {rate} should be ≈ 1 - 0.8"
+        );
+    }
+
+    #[test]
+    fn preserves_target_set() {
+        let tracker = tracker_with(&[(5, 1.0)]);
+        let mut targets = vec![info(9), info(5), info(7)];
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        local_optimize(&mut targets, &tracker, 0.5, &mut rng);
+        let mut ids: Vec<u32> = targets.iter().map(|t| t.id.raw()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![5, 7, 9], "local opt must only permute");
+    }
+
+    #[test]
+    fn short_pipelines_untouched() {
+        let tracker = tracker_with(&[]);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut one = vec![info(1)];
+        assert_eq!(
+            local_optimize(&mut one, &tracker, 0.0, &mut rng),
+            LocalOptOutcome::TooShort
+        );
+        assert_eq!(one[0].id, DatanodeId(1));
+        let mut none: Vec<DatanodeInfo> = vec![];
+        assert_eq!(
+            local_optimize(&mut none, &tracker, 0.0, &mut rng),
+            LocalOptOutcome::TooShort
+        );
+    }
+
+    #[test]
+    fn unknown_speeds_keep_namenode_order_stable_last() {
+        // Only dn3 has a record; dn1/dn2 are unknown (speed 0, tie broken
+        // by id) → expected order 3,1,2.
+        let tracker = tracker_with(&[(3, 5.0)]);
+        let mut targets = vec![info(2), info(3), info(1)];
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        local_optimize(&mut targets, &tracker, 1.0, &mut rng);
+        let ids: Vec<u32> = targets.iter().map(|t| t.id.raw()).collect();
+        assert_eq!(ids, vec![3, 1, 2]);
+    }
+}

@@ -1,0 +1,1278 @@
+//! Protocol messages.
+//!
+//! Three protocol families, mirroring Hadoop's layering (§II):
+//!
+//! * **ClientProtocol** — client ↔ namenode RPCs (`create`, `addBlock`,
+//!   `complete`, speed reports, block locations, replacement datanodes).
+//! * **DatanodeProtocol** — datanode ↔ namenode RPCs (registration,
+//!   heartbeats, `blockReceived`).
+//! * **Data transfer** — the streaming protocol between a client and the
+//!   datanodes of a pipeline: a write header, then data packets downstream
+//!   and acks upstream. SMARTH adds the `FirstNodeFinish` ack kind (FNFA,
+//!   §III-A) and per-block `recoverBlock` used by Algorithms 3/4.
+//!
+//! All messages implement [`Wire`] and are exchanged as length-prefixed
+//! frames (see [`crate::wire`]).
+
+use crate::config::WriteMode;
+use crate::error::{DfsError, DfsResult};
+use crate::ids::{BlockId, ClientId, DatanodeId, ExtendedBlock, FileId, GenStamp, PipelineId};
+use crate::wire::{Wire, WireReader, WireWriter};
+use bytes::Bytes;
+
+// ---------------------------------------------------------------------------
+// Shared wire impls for id types
+// ---------------------------------------------------------------------------
+
+impl Wire for ExtendedBlock {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.id.raw());
+        w.put_u64(self.gen.raw());
+        w.put_u64(self.len);
+    }
+    fn decode(r: &mut WireReader) -> DfsResult<Self> {
+        Ok(ExtendedBlock {
+            id: BlockId(r.get_u64()?),
+            gen: GenStamp(r.get_u64()?),
+            len: r.get_u64()?,
+        })
+    }
+}
+
+impl Wire for WriteMode {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u8(match self {
+            WriteMode::Hdfs => 0,
+            WriteMode::Smarth => 1,
+        });
+    }
+    fn decode(r: &mut WireReader) -> DfsResult<Self> {
+        match r.get_u8()? {
+            0 => Ok(WriteMode::Hdfs),
+            1 => Ok(WriteMode::Smarth),
+            x => Err(DfsError::codec(format!("invalid write mode {x}"))),
+        }
+    }
+}
+
+/// Everything a client needs to reach a datanode: identity, rack (for
+/// local sorting) and fabric address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatanodeInfo {
+    pub id: DatanodeId,
+    pub host_name: String,
+    pub rack: String,
+    /// Address of the datanode's data-transfer listener on the fabric.
+    pub addr: String,
+}
+
+impl Wire for DatanodeInfo {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.id.raw());
+        w.put_str(&self.host_name);
+        w.put_str(&self.rack);
+        w.put_str(&self.addr);
+    }
+    fn decode(r: &mut WireReader) -> DfsResult<Self> {
+        Ok(DatanodeInfo {
+            id: DatanodeId(r.get_u32()?),
+            host_name: r.get_str()?,
+            rack: r.get_str()?,
+            addr: r.get_str()?,
+        })
+    }
+}
+
+fn encode_vec<T: Wire>(w: &mut WireWriter, v: &[T]) {
+    w.put_u32(v.len() as u32);
+    for item in v {
+        item.encode(w);
+    }
+}
+
+fn decode_vec<T: Wire>(r: &mut WireReader) -> DfsResult<Vec<T>> {
+    let n = r.get_u32()? as usize;
+    if n > 1 << 20 {
+        return Err(DfsError::codec(format!("vector length {n} unreasonable")));
+    }
+    (0..n).map(|_| T::decode(r)).collect()
+}
+
+/// A block plus the pipeline targets chosen by the namenode — the
+/// response to `addBlock` (§II step 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocatedBlock {
+    pub block: ExtendedBlock,
+    pub targets: Vec<DatanodeInfo>,
+}
+
+impl Wire for LocatedBlock {
+    fn encode(&self, w: &mut WireWriter) {
+        self.block.encode(w);
+        encode_vec(w, &self.targets);
+    }
+    fn decode(r: &mut WireReader) -> DfsResult<Self> {
+        Ok(LocatedBlock {
+            block: ExtendedBlock::decode(r)?,
+            targets: decode_vec(r)?,
+        })
+    }
+}
+
+/// One client→namenode speed observation: mean transfer bandwidth to a
+/// first-datanode, in bytes per second (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedRecord {
+    pub datanode: DatanodeId,
+    pub bytes_per_sec: f64,
+    /// How many block transfers this record aggregates since last report.
+    pub samples: u32,
+}
+
+impl Wire for SpeedRecord {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.datanode.raw());
+        w.put_f64(self.bytes_per_sec);
+        w.put_u32(self.samples);
+    }
+    fn decode(r: &mut WireReader) -> DfsResult<Self> {
+        Ok(SpeedRecord {
+            datanode: DatanodeId(r.get_u32()?),
+            bytes_per_sec: r.get_f64()?,
+            samples: r.get_u32()?,
+        })
+    }
+}
+
+/// File metadata as returned by `getFileInfo`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileStatus {
+    pub file_id: FileId,
+    pub path: String,
+    pub len: u64,
+    pub replication: u32,
+    pub block_size: u64,
+    pub is_dir: bool,
+    pub complete: bool,
+}
+
+impl Wire for FileStatus {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.file_id.raw());
+        w.put_str(&self.path);
+        w.put_u64(self.len);
+        w.put_u32(self.replication);
+        w.put_u64(self.block_size);
+        w.put_bool(self.is_dir);
+        w.put_bool(self.complete);
+    }
+    fn decode(r: &mut WireReader) -> DfsResult<Self> {
+        Ok(FileStatus {
+            file_id: FileId(r.get_u64()?),
+            path: r.get_str()?,
+            len: r.get_u64()?,
+            replication: r.get_u32()?,
+            block_size: r.get_u64()?,
+            is_dir: r.get_bool()?,
+            complete: r.get_bool()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ClientProtocol
+// ---------------------------------------------------------------------------
+
+/// Client → namenode requests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientRequest {
+    /// Registers a client session; the namenode answers with a fresh id.
+    Register { host_name: String, rack: String },
+    /// §II step 1: create a file in the namespace.
+    Create {
+        client: ClientId,
+        path: String,
+        replication: u32,
+        block_size: u64,
+        overwrite: bool,
+        mode: WriteMode,
+    },
+    /// §II step 2: allocate the next block and its pipeline targets.
+    /// `previous` is committed (with its final length) as a side effect.
+    AddBlock {
+        client: ClientId,
+        file_id: FileId,
+        previous: Option<ExtendedBlock>,
+        excluded: Vec<DatanodeId>,
+    },
+    /// Commits a block without allocating a new one (used when a block
+    /// finishes but the stream keeps other pipelines running — SMARTH).
+    CommitBlock {
+        client: ClientId,
+        file_id: FileId,
+        block: ExtendedBlock,
+    },
+    /// §II step 6: all blocks acked, seal the file.
+    Complete {
+        client: ClientId,
+        file_id: FileId,
+        last: Option<ExtendedBlock>,
+    },
+    /// Abandon an allocated-but-unwritten block (recovery path).
+    AbandonBlock {
+        client: ClientId,
+        file_id: FileId,
+        block: BlockId,
+    },
+    /// Replacement targets for a damaged pipeline (Algorithm 3 line 10).
+    GetAdditionalDatanodes {
+        client: ClientId,
+        block: BlockId,
+        existing: Vec<DatanodeId>,
+        wanted: u32,
+    },
+    /// Bumps the generation stamp for block recovery and returns the new
+    /// stamp (Algorithm 3 line 11 support).
+    BeginBlockRecovery { client: ClientId, block: BlockId },
+    /// §III-B: the 3-second heartbeat piggybacking observed speeds.
+    ReportSpeeds {
+        client: ClientId,
+        records: Vec<SpeedRecord>,
+    },
+    GetFileInfo { path: String },
+    GetBlockLocations { path: String },
+    /// Namespace listing (for examples/tools).
+    List { path: String },
+    Delete { path: String },
+}
+
+/// Namenode → client responses. `Error` carries the failed variant's
+/// error; every happy-path response has its own variant so callers can
+/// pattern-match exhaustively.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientResponse {
+    Registered { client: ClientId },
+    Created { file_id: FileId },
+    BlockAllocated(LocatedBlock),
+    Committed,
+    Completed,
+    Abandoned,
+    AdditionalDatanodes { targets: Vec<DatanodeInfo> },
+    RecoveryStamp { new_gen: GenStamp },
+    SpeedsAck,
+    FileInfo(Option<FileStatus>),
+    BlockLocations { blocks: Vec<LocatedBlock> },
+    Listing { entries: Vec<FileStatus> },
+    Deleted { existed: bool },
+    Error(String),
+}
+
+const CR_REGISTER: u8 = 0;
+const CR_CREATE: u8 = 1;
+const CR_ADD_BLOCK: u8 = 2;
+const CR_COMMIT: u8 = 3;
+const CR_COMPLETE: u8 = 4;
+const CR_ABANDON: u8 = 5;
+const CR_ADDITIONAL: u8 = 6;
+const CR_RECOVERY: u8 = 7;
+const CR_SPEEDS: u8 = 8;
+const CR_FILE_INFO: u8 = 9;
+const CR_LOCATIONS: u8 = 10;
+const CR_LIST: u8 = 11;
+const CR_DELETE: u8 = 12;
+
+impl Wire for ClientRequest {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            ClientRequest::Register { host_name, rack } => {
+                w.put_u8(CR_REGISTER);
+                w.put_str(host_name);
+                w.put_str(rack);
+            }
+            ClientRequest::Create {
+                client,
+                path,
+                replication,
+                block_size,
+                overwrite,
+                mode,
+            } => {
+                w.put_u8(CR_CREATE);
+                w.put_u64(client.raw());
+                w.put_str(path);
+                w.put_u32(*replication);
+                w.put_u64(*block_size);
+                w.put_bool(*overwrite);
+                mode.encode(w);
+            }
+            ClientRequest::AddBlock {
+                client,
+                file_id,
+                previous,
+                excluded,
+            } => {
+                w.put_u8(CR_ADD_BLOCK);
+                w.put_u64(client.raw());
+                w.put_u64(file_id.raw());
+                match previous {
+                    Some(b) => {
+                        w.put_bool(true);
+                        b.encode(w);
+                    }
+                    None => w.put_bool(false),
+                }
+                w.put_u32(excluded.len() as u32);
+                for d in excluded {
+                    w.put_u32(d.raw());
+                }
+            }
+            ClientRequest::CommitBlock {
+                client,
+                file_id,
+                block,
+            } => {
+                w.put_u8(CR_COMMIT);
+                w.put_u64(client.raw());
+                w.put_u64(file_id.raw());
+                block.encode(w);
+            }
+            ClientRequest::Complete {
+                client,
+                file_id,
+                last,
+            } => {
+                w.put_u8(CR_COMPLETE);
+                w.put_u64(client.raw());
+                w.put_u64(file_id.raw());
+                match last {
+                    Some(b) => {
+                        w.put_bool(true);
+                        b.encode(w);
+                    }
+                    None => w.put_bool(false),
+                }
+            }
+            ClientRequest::AbandonBlock {
+                client,
+                file_id,
+                block,
+            } => {
+                w.put_u8(CR_ABANDON);
+                w.put_u64(client.raw());
+                w.put_u64(file_id.raw());
+                w.put_u64(block.raw());
+            }
+            ClientRequest::GetAdditionalDatanodes {
+                client,
+                block,
+                existing,
+                wanted,
+            } => {
+                w.put_u8(CR_ADDITIONAL);
+                w.put_u64(client.raw());
+                w.put_u64(block.raw());
+                w.put_u32(existing.len() as u32);
+                for d in existing {
+                    w.put_u32(d.raw());
+                }
+                w.put_u32(*wanted);
+            }
+            ClientRequest::BeginBlockRecovery { client, block } => {
+                w.put_u8(CR_RECOVERY);
+                w.put_u64(client.raw());
+                w.put_u64(block.raw());
+            }
+            ClientRequest::ReportSpeeds { client, records } => {
+                w.put_u8(CR_SPEEDS);
+                w.put_u64(client.raw());
+                encode_vec(w, records);
+            }
+            ClientRequest::GetFileInfo { path } => {
+                w.put_u8(CR_FILE_INFO);
+                w.put_str(path);
+            }
+            ClientRequest::GetBlockLocations { path } => {
+                w.put_u8(CR_LOCATIONS);
+                w.put_str(path);
+            }
+            ClientRequest::List { path } => {
+                w.put_u8(CR_LIST);
+                w.put_str(path);
+            }
+            ClientRequest::Delete { path } => {
+                w.put_u8(CR_DELETE);
+                w.put_str(path);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> DfsResult<Self> {
+        let tag = r.get_u8()?;
+        Ok(match tag {
+            CR_REGISTER => ClientRequest::Register {
+                host_name: r.get_str()?,
+                rack: r.get_str()?,
+            },
+            CR_CREATE => ClientRequest::Create {
+                client: ClientId(r.get_u64()?),
+                path: r.get_str()?,
+                replication: r.get_u32()?,
+                block_size: r.get_u64()?,
+                overwrite: r.get_bool()?,
+                mode: WriteMode::decode(r)?,
+            },
+            CR_ADD_BLOCK => {
+                let client = ClientId(r.get_u64()?);
+                let file_id = FileId(r.get_u64()?);
+                let previous = if r.get_bool()? {
+                    Some(ExtendedBlock::decode(r)?)
+                } else {
+                    None
+                };
+                let n = r.get_u32()? as usize;
+                let excluded = (0..n)
+                    .map(|_| r.get_u32().map(DatanodeId))
+                    .collect::<DfsResult<Vec<_>>>()?;
+                ClientRequest::AddBlock {
+                    client,
+                    file_id,
+                    previous,
+                    excluded,
+                }
+            }
+            CR_COMMIT => ClientRequest::CommitBlock {
+                client: ClientId(r.get_u64()?),
+                file_id: FileId(r.get_u64()?),
+                block: ExtendedBlock::decode(r)?,
+            },
+            CR_COMPLETE => {
+                let client = ClientId(r.get_u64()?);
+                let file_id = FileId(r.get_u64()?);
+                let last = if r.get_bool()? {
+                    Some(ExtendedBlock::decode(r)?)
+                } else {
+                    None
+                };
+                ClientRequest::Complete {
+                    client,
+                    file_id,
+                    last,
+                }
+            }
+            CR_ABANDON => ClientRequest::AbandonBlock {
+                client: ClientId(r.get_u64()?),
+                file_id: FileId(r.get_u64()?),
+                block: BlockId(r.get_u64()?),
+            },
+            CR_ADDITIONAL => {
+                let client = ClientId(r.get_u64()?);
+                let block = BlockId(r.get_u64()?);
+                let n = r.get_u32()? as usize;
+                let existing = (0..n)
+                    .map(|_| r.get_u32().map(DatanodeId))
+                    .collect::<DfsResult<Vec<_>>>()?;
+                let wanted = r.get_u32()?;
+                ClientRequest::GetAdditionalDatanodes {
+                    client,
+                    block,
+                    existing,
+                    wanted,
+                }
+            }
+            CR_RECOVERY => ClientRequest::BeginBlockRecovery {
+                client: ClientId(r.get_u64()?),
+                block: BlockId(r.get_u64()?),
+            },
+            CR_SPEEDS => ClientRequest::ReportSpeeds {
+                client: ClientId(r.get_u64()?),
+                records: decode_vec(r)?,
+            },
+            CR_FILE_INFO => ClientRequest::GetFileInfo { path: r.get_str()? },
+            CR_LOCATIONS => ClientRequest::GetBlockLocations { path: r.get_str()? },
+            CR_LIST => ClientRequest::List { path: r.get_str()? },
+            CR_DELETE => ClientRequest::Delete { path: r.get_str()? },
+            x => return Err(DfsError::codec(format!("unknown ClientRequest tag {x}"))),
+        })
+    }
+}
+
+const CP_REGISTERED: u8 = 0;
+const CP_CREATED: u8 = 1;
+const CP_ALLOCATED: u8 = 2;
+const CP_COMMITTED: u8 = 3;
+const CP_COMPLETED: u8 = 4;
+const CP_ABANDONED: u8 = 5;
+const CP_ADDITIONAL: u8 = 6;
+const CP_RECOVERY: u8 = 7;
+const CP_SPEEDS_ACK: u8 = 8;
+const CP_FILE_INFO: u8 = 9;
+const CP_LOCATIONS: u8 = 10;
+const CP_LISTING: u8 = 11;
+const CP_DELETED: u8 = 12;
+const CP_ERROR: u8 = 255;
+
+impl Wire for ClientResponse {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            ClientResponse::Registered { client } => {
+                w.put_u8(CP_REGISTERED);
+                w.put_u64(client.raw());
+            }
+            ClientResponse::Created { file_id } => {
+                w.put_u8(CP_CREATED);
+                w.put_u64(file_id.raw());
+            }
+            ClientResponse::BlockAllocated(lb) => {
+                w.put_u8(CP_ALLOCATED);
+                lb.encode(w);
+            }
+            ClientResponse::Committed => w.put_u8(CP_COMMITTED),
+            ClientResponse::Completed => w.put_u8(CP_COMPLETED),
+            ClientResponse::Abandoned => w.put_u8(CP_ABANDONED),
+            ClientResponse::AdditionalDatanodes { targets } => {
+                w.put_u8(CP_ADDITIONAL);
+                encode_vec(w, targets);
+            }
+            ClientResponse::RecoveryStamp { new_gen } => {
+                w.put_u8(CP_RECOVERY);
+                w.put_u64(new_gen.raw());
+            }
+            ClientResponse::SpeedsAck => w.put_u8(CP_SPEEDS_ACK),
+            ClientResponse::FileInfo(info) => {
+                w.put_u8(CP_FILE_INFO);
+                match info {
+                    Some(fs) => {
+                        w.put_bool(true);
+                        fs.encode(w);
+                    }
+                    None => w.put_bool(false),
+                }
+            }
+            ClientResponse::BlockLocations { blocks } => {
+                w.put_u8(CP_LOCATIONS);
+                encode_vec(w, blocks);
+            }
+            ClientResponse::Listing { entries } => {
+                w.put_u8(CP_LISTING);
+                encode_vec(w, entries);
+            }
+            ClientResponse::Deleted { existed } => {
+                w.put_u8(CP_DELETED);
+                w.put_bool(*existed);
+            }
+            ClientResponse::Error(msg) => {
+                w.put_u8(CP_ERROR);
+                w.put_str(msg);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> DfsResult<Self> {
+        let tag = r.get_u8()?;
+        Ok(match tag {
+            CP_REGISTERED => ClientResponse::Registered {
+                client: ClientId(r.get_u64()?),
+            },
+            CP_CREATED => ClientResponse::Created {
+                file_id: FileId(r.get_u64()?),
+            },
+            CP_ALLOCATED => ClientResponse::BlockAllocated(LocatedBlock::decode(r)?),
+            CP_COMMITTED => ClientResponse::Committed,
+            CP_COMPLETED => ClientResponse::Completed,
+            CP_ABANDONED => ClientResponse::Abandoned,
+            CP_ADDITIONAL => ClientResponse::AdditionalDatanodes {
+                targets: decode_vec(r)?,
+            },
+            CP_RECOVERY => ClientResponse::RecoveryStamp {
+                new_gen: GenStamp(r.get_u64()?),
+            },
+            CP_SPEEDS_ACK => ClientResponse::SpeedsAck,
+            CP_FILE_INFO => {
+                let present = r.get_bool()?;
+                ClientResponse::FileInfo(if present {
+                    Some(FileStatus::decode(r)?)
+                } else {
+                    None
+                })
+            }
+            CP_LOCATIONS => ClientResponse::BlockLocations {
+                blocks: decode_vec(r)?,
+            },
+            CP_LISTING => ClientResponse::Listing {
+                entries: decode_vec(r)?,
+            },
+            CP_DELETED => ClientResponse::Deleted {
+                existed: r.get_bool()?,
+            },
+            CP_ERROR => ClientResponse::Error(r.get_str()?),
+            x => return Err(DfsError::codec(format!("unknown ClientResponse tag {x}"))),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DatanodeProtocol
+// ---------------------------------------------------------------------------
+
+/// Datanode → namenode requests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatanodeRequest {
+    Register {
+        host_name: String,
+        rack: String,
+        data_addr: String,
+        capacity: u64,
+    },
+    Heartbeat {
+        id: DatanodeId,
+        used: u64,
+        active_transfers: u32,
+    },
+    BlockReceived {
+        id: DatanodeId,
+        block: ExtendedBlock,
+    },
+}
+
+/// Namenode → datanode responses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatanodeResponse {
+    Registered { id: DatanodeId },
+    HeartbeatAck,
+    BlockReceivedAck,
+    Error(String),
+}
+
+impl Wire for DatanodeRequest {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            DatanodeRequest::Register {
+                host_name,
+                rack,
+                data_addr,
+                capacity,
+            } => {
+                w.put_u8(0);
+                w.put_str(host_name);
+                w.put_str(rack);
+                w.put_str(data_addr);
+                w.put_u64(*capacity);
+            }
+            DatanodeRequest::Heartbeat {
+                id,
+                used,
+                active_transfers,
+            } => {
+                w.put_u8(1);
+                w.put_u32(id.raw());
+                w.put_u64(*used);
+                w.put_u32(*active_transfers);
+            }
+            DatanodeRequest::BlockReceived { id, block } => {
+                w.put_u8(2);
+                w.put_u32(id.raw());
+                block.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> DfsResult<Self> {
+        Ok(match r.get_u8()? {
+            0 => DatanodeRequest::Register {
+                host_name: r.get_str()?,
+                rack: r.get_str()?,
+                data_addr: r.get_str()?,
+                capacity: r.get_u64()?,
+            },
+            1 => DatanodeRequest::Heartbeat {
+                id: DatanodeId(r.get_u32()?),
+                used: r.get_u64()?,
+                active_transfers: r.get_u32()?,
+            },
+            2 => DatanodeRequest::BlockReceived {
+                id: DatanodeId(r.get_u32()?),
+                block: ExtendedBlock::decode(r)?,
+            },
+            x => return Err(DfsError::codec(format!("unknown DatanodeRequest tag {x}"))),
+        })
+    }
+}
+
+impl Wire for DatanodeResponse {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            DatanodeResponse::Registered { id } => {
+                w.put_u8(0);
+                w.put_u32(id.raw());
+            }
+            DatanodeResponse::HeartbeatAck => w.put_u8(1),
+            DatanodeResponse::BlockReceivedAck => w.put_u8(2),
+            DatanodeResponse::Error(msg) => {
+                w.put_u8(255);
+                w.put_str(msg);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> DfsResult<Self> {
+        Ok(match r.get_u8()? {
+            0 => DatanodeResponse::Registered {
+                id: DatanodeId(r.get_u32()?),
+            },
+            1 => DatanodeResponse::HeartbeatAck,
+            2 => DatanodeResponse::BlockReceivedAck,
+            255 => DatanodeResponse::Error(r.get_str()?),
+            x => {
+                return Err(DfsError::codec(format!(
+                    "unknown DatanodeResponse tag {x}"
+                )))
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Data transfer protocol
+// ---------------------------------------------------------------------------
+
+/// First frame on a data connection: what the receiver should do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataOp {
+    /// Start receiving a block. `targets` is the *remaining* pipeline
+    /// downstream of the receiver (empty for the tail node).
+    WriteBlock(WriteBlockHeader),
+    /// Read a finalized block back (verification path).
+    ReadBlock {
+        block: ExtendedBlock,
+        offset: u64,
+        len: u64,
+    },
+    /// Recover a block: adopt the new generation stamp and truncate to
+    /// `new_len` (Algorithm 3's `recoverBlock` issued by the primary).
+    RecoverBlock {
+        block: ExtendedBlock,
+        new_gen: GenStamp,
+        new_len: u64,
+    },
+    /// Ask a datanode for the current state of a replica (used by the
+    /// recovery primary to agree on a safe length).
+    GetReplicaInfo { block: BlockId },
+}
+
+/// Header of a block write (§II step 3 / §III-A step 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WriteBlockHeader {
+    pub pipeline: PipelineId,
+    pub client: ClientId,
+    pub block: ExtendedBlock,
+    pub mode: WriteMode,
+    /// Downstream targets the receiver must forward to, nearest first.
+    pub targets: Vec<DatanodeInfo>,
+    /// Index of the receiver in the original pipeline (0 = first node).
+    /// The first node is the one that emits the FNFA in SMARTH mode.
+    pub position: u32,
+    /// Buffer budget granted to this client on the first node (§IV-C).
+    pub client_buffer: u64,
+}
+
+impl Wire for WriteBlockHeader {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.pipeline.raw());
+        w.put_u64(self.client.raw());
+        self.block.encode(w);
+        self.mode.encode(w);
+        encode_vec(w, &self.targets);
+        w.put_u32(self.position);
+        w.put_u64(self.client_buffer);
+    }
+    fn decode(r: &mut WireReader) -> DfsResult<Self> {
+        Ok(WriteBlockHeader {
+            pipeline: PipelineId(r.get_u64()?),
+            client: ClientId(r.get_u64()?),
+            block: ExtendedBlock::decode(r)?,
+            mode: WriteMode::decode(r)?,
+            targets: decode_vec(r)?,
+            position: r.get_u32()?,
+            client_buffer: r.get_u64()?,
+        })
+    }
+}
+
+impl Wire for DataOp {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            DataOp::WriteBlock(h) => {
+                w.put_u8(0);
+                h.encode(w);
+            }
+            DataOp::ReadBlock { block, offset, len } => {
+                w.put_u8(1);
+                block.encode(w);
+                w.put_u64(*offset);
+                w.put_u64(*len);
+            }
+            DataOp::RecoverBlock {
+                block,
+                new_gen,
+                new_len,
+            } => {
+                w.put_u8(2);
+                block.encode(w);
+                w.put_u64(new_gen.raw());
+                w.put_u64(*new_len);
+            }
+            DataOp::GetReplicaInfo { block } => {
+                w.put_u8(3);
+                w.put_u64(block.raw());
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> DfsResult<Self> {
+        Ok(match r.get_u8()? {
+            0 => DataOp::WriteBlock(WriteBlockHeader::decode(r)?),
+            1 => DataOp::ReadBlock {
+                block: ExtendedBlock::decode(r)?,
+                offset: r.get_u64()?,
+                len: r.get_u64()?,
+            },
+            2 => DataOp::RecoverBlock {
+                block: ExtendedBlock::decode(r)?,
+                new_gen: GenStamp(r.get_u64()?),
+                new_len: r.get_u64()?,
+            },
+            3 => DataOp::GetReplicaInfo {
+                block: BlockId(r.get_u64()?),
+            },
+            x => return Err(DfsError::codec(format!("unknown DataOp tag {x}"))),
+        })
+    }
+}
+
+/// A data packet travelling down a pipeline (§II step 3). The payload is
+/// a reference-counted `Bytes`: forwarding a packet to the mirror never
+/// copies the data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    pub seq: u64,
+    /// Byte offset of this payload within the block.
+    pub offset_in_block: u64,
+    pub last_in_block: bool,
+    pub checksums: Vec<u32>,
+    pub payload: Bytes,
+}
+
+impl Packet {
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+impl Wire for Packet {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.seq);
+        w.put_u64(self.offset_in_block);
+        w.put_bool(self.last_in_block);
+        w.put_u32_slice(&self.checksums);
+        w.put_bytes(&self.payload);
+    }
+    fn decode(r: &mut WireReader) -> DfsResult<Self> {
+        Ok(Packet {
+            seq: r.get_u64()?,
+            offset_in_block: r.get_u64()?,
+            last_in_block: r.get_bool()?,
+            checksums: r.get_u32_vec()?,
+            payload: r.get_bytes()?,
+        })
+    }
+}
+
+/// Per-datanode status inside an ack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckStatus {
+    Success,
+    Error,
+}
+
+/// Kind of acknowledgement travelling upstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckKind {
+    /// Normal per-packet ack aggregated across the downstream pipeline.
+    Packet,
+    /// SMARTH's FIRST_NODE_FINISH ack: the first datanode has stored the
+    /// entire block (§III-A step 3). Sent once per block, in addition to
+    /// the per-packet acks.
+    FirstNodeFinish,
+}
+
+/// Acknowledgement message (§II step 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineAck {
+    pub kind: AckKind,
+    pub seq: u64,
+    /// Status per pipeline member downstream of (and including) the
+    /// sender, ordered nearest-first. A client sees `replication` entries
+    /// on an intact pipeline.
+    pub statuses: Vec<AckStatus>,
+}
+
+impl PipelineAck {
+    pub fn all_success(&self) -> bool {
+        self.statuses.iter().all(|s| *s == AckStatus::Success)
+    }
+
+    /// Index of the first failed node, if any — the node Algorithm 3
+    /// removes from the pipeline.
+    pub fn first_error(&self) -> Option<usize> {
+        self.statuses.iter().position(|s| *s == AckStatus::Error)
+    }
+}
+
+impl Wire for PipelineAck {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u8(match self.kind {
+            AckKind::Packet => 0,
+            AckKind::FirstNodeFinish => 1,
+        });
+        w.put_u64(self.seq);
+        w.put_u32(self.statuses.len() as u32);
+        for s in &self.statuses {
+            w.put_u8(match s {
+                AckStatus::Success => 0,
+                AckStatus::Error => 1,
+            });
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> DfsResult<Self> {
+        let kind = match r.get_u8()? {
+            0 => AckKind::Packet,
+            1 => AckKind::FirstNodeFinish,
+            x => return Err(DfsError::codec(format!("unknown ack kind {x}"))),
+        };
+        let seq = r.get_u64()?;
+        let n = r.get_u32()? as usize;
+        if n > 1024 {
+            return Err(DfsError::codec(format!("ack status count {n} absurd")));
+        }
+        let statuses = (0..n)
+            .map(|_| {
+                Ok(match r.get_u8()? {
+                    0 => AckStatus::Success,
+                    1 => AckStatus::Error,
+                    x => return Err(DfsError::codec(format!("unknown ack status {x}"))),
+                })
+            })
+            .collect::<DfsResult<Vec<_>>>()?;
+        Ok(PipelineAck {
+            kind,
+            seq,
+            statuses,
+        })
+    }
+}
+
+/// Reply to `DataOp::ReadBlock` / `RecoverBlock` / `GetReplicaInfo`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataReply {
+    /// Block content follows as a stream of `Packet`s; this frame carries
+    /// the total length to expect.
+    ReadOk { len: u64 },
+    RecoverOk { block: ExtendedBlock },
+    ReplicaInfo {
+        block: Option<ExtendedBlock>,
+        finalized: bool,
+    },
+    Error(String),
+}
+
+impl Wire for DataReply {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            DataReply::ReadOk { len } => {
+                w.put_u8(0);
+                w.put_u64(*len);
+            }
+            DataReply::RecoverOk { block } => {
+                w.put_u8(1);
+                block.encode(w);
+            }
+            DataReply::ReplicaInfo { block, finalized } => {
+                w.put_u8(2);
+                match block {
+                    Some(b) => {
+                        w.put_bool(true);
+                        b.encode(w);
+                    }
+                    None => w.put_bool(false),
+                }
+                w.put_bool(*finalized);
+            }
+            DataReply::Error(m) => {
+                w.put_u8(255);
+                w.put_str(m);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> DfsResult<Self> {
+        Ok(match r.get_u8()? {
+            0 => DataReply::ReadOk { len: r.get_u64()? },
+            1 => DataReply::RecoverOk {
+                block: ExtendedBlock::decode(r)?,
+            },
+            2 => {
+                let block = if r.get_bool()? {
+                    Some(ExtendedBlock::decode(r)?)
+                } else {
+                    None
+                };
+                DataReply::ReplicaInfo {
+                    block,
+                    finalized: r.get_bool()?,
+                }
+            }
+            255 => DataReply::Error(r.get_str()?),
+            x => return Err(DfsError::codec(format!("unknown DataReply tag {x}"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn dn(i: u32) -> DatanodeInfo {
+        DatanodeInfo {
+            id: DatanodeId(i),
+            host_name: format!("dn{i}"),
+            rack: format!("rack-{}", i % 2),
+            addr: format!("dn{i}:50010"),
+        }
+    }
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let decoded = T::from_bytes(v.to_bytes()).unwrap();
+        assert_eq!(decoded, v);
+    }
+
+    #[test]
+    fn client_request_roundtrips() {
+        roundtrip(ClientRequest::Register {
+            host_name: "client".into(),
+            rack: "rack-a".into(),
+        });
+        roundtrip(ClientRequest::Create {
+            client: ClientId(4),
+            path: "/data/file.bin".into(),
+            replication: 3,
+            block_size: 64 << 20,
+            overwrite: false,
+            mode: WriteMode::Smarth,
+        });
+        roundtrip(ClientRequest::AddBlock {
+            client: ClientId(4),
+            file_id: FileId(8),
+            previous: Some(ExtendedBlock::new(BlockId(1), GenStamp(1), 64 << 20)),
+            excluded: vec![DatanodeId(1), DatanodeId(5)],
+        });
+        roundtrip(ClientRequest::AddBlock {
+            client: ClientId(4),
+            file_id: FileId(8),
+            previous: None,
+            excluded: vec![],
+        });
+        roundtrip(ClientRequest::Complete {
+            client: ClientId(4),
+            file_id: FileId(8),
+            last: None,
+        });
+        roundtrip(ClientRequest::GetAdditionalDatanodes {
+            client: ClientId(4),
+            block: BlockId(77),
+            existing: vec![DatanodeId(0), DatanodeId(2)],
+            wanted: 1,
+        });
+        roundtrip(ClientRequest::BeginBlockRecovery {
+            client: ClientId(4),
+            block: BlockId(77),
+        });
+        roundtrip(ClientRequest::ReportSpeeds {
+            client: ClientId(4),
+            records: vec![SpeedRecord {
+                datanode: DatanodeId(3),
+                bytes_per_sec: 27e6,
+                samples: 12,
+            }],
+        });
+        roundtrip(ClientRequest::Delete { path: "/x".into() });
+    }
+
+    #[test]
+    fn client_response_roundtrips() {
+        roundtrip(ClientResponse::Registered { client: ClientId(9) });
+        roundtrip(ClientResponse::BlockAllocated(LocatedBlock {
+            block: ExtendedBlock::new(BlockId(5), GenStamp(1), 0),
+            targets: vec![dn(0), dn(5), dn(6)],
+        }));
+        roundtrip(ClientResponse::AdditionalDatanodes {
+            targets: vec![dn(8)],
+        });
+        roundtrip(ClientResponse::RecoveryStamp {
+            new_gen: GenStamp(3),
+        });
+        roundtrip(ClientResponse::FileInfo(Some(FileStatus {
+            file_id: FileId(1),
+            path: "/a/b".into(),
+            len: 12345,
+            replication: 3,
+            block_size: 64 << 20,
+            is_dir: false,
+            complete: true,
+        })));
+        roundtrip(ClientResponse::FileInfo(None));
+        roundtrip(ClientResponse::Error("boom".into()));
+    }
+
+    #[test]
+    fn datanode_protocol_roundtrips() {
+        roundtrip(DatanodeRequest::Register {
+            host_name: "dn0".into(),
+            rack: "rack-a".into(),
+            data_addr: "dn0:50010".into(),
+            capacity: 1 << 40,
+        });
+        roundtrip(DatanodeRequest::Heartbeat {
+            id: DatanodeId(2),
+            used: 42,
+            active_transfers: 3,
+        });
+        roundtrip(DatanodeRequest::BlockReceived {
+            id: DatanodeId(2),
+            block: ExtendedBlock::new(BlockId(9), GenStamp(2), 100),
+        });
+        roundtrip(DatanodeResponse::Registered { id: DatanodeId(7) });
+        roundtrip(DatanodeResponse::HeartbeatAck);
+        roundtrip(DatanodeResponse::Error("nope".into()));
+    }
+
+    #[test]
+    fn data_transfer_roundtrips() {
+        roundtrip(DataOp::WriteBlock(WriteBlockHeader {
+            pipeline: PipelineId(3),
+            client: ClientId(1),
+            block: ExtendedBlock::new(BlockId(2), GenStamp(1), 0),
+            mode: WriteMode::Smarth,
+            targets: vec![dn(5), dn(6)],
+            position: 0,
+            client_buffer: 64 << 20,
+        }));
+        roundtrip(DataOp::ReadBlock {
+            block: ExtendedBlock::new(BlockId(2), GenStamp(1), 4096),
+            offset: 512,
+            len: 1024,
+        });
+        roundtrip(DataOp::RecoverBlock {
+            block: ExtendedBlock::new(BlockId(2), GenStamp(1), 4096),
+            new_gen: GenStamp(2),
+            new_len: 2048,
+        });
+        roundtrip(DataReply::ReadOk { len: 4096 });
+        roundtrip(DataReply::ReplicaInfo {
+            block: Some(ExtendedBlock::new(BlockId(2), GenStamp(1), 4096)),
+            finalized: false,
+        });
+    }
+
+    #[test]
+    fn packet_roundtrip_preserves_payload() {
+        let payload = Bytes::from(vec![0xAB; 1000]);
+        let p = Packet {
+            seq: 17,
+            offset_in_block: 64 * 1024,
+            last_in_block: true,
+            checksums: vec![1, 2],
+            payload: payload.clone(),
+        };
+        roundtrip(p);
+    }
+
+    #[test]
+    fn ack_helpers() {
+        let ok = PipelineAck {
+            kind: AckKind::Packet,
+            seq: 1,
+            statuses: vec![AckStatus::Success; 3],
+        };
+        assert!(ok.all_success());
+        assert_eq!(ok.first_error(), None);
+
+        let bad = PipelineAck {
+            kind: AckKind::Packet,
+            seq: 1,
+            statuses: vec![AckStatus::Success, AckStatus::Error, AckStatus::Success],
+        };
+        assert!(!bad.all_success());
+        assert_eq!(bad.first_error(), Some(1));
+
+        let fnfa = PipelineAck {
+            kind: AckKind::FirstNodeFinish,
+            seq: 99,
+            statuses: vec![AckStatus::Success],
+        };
+        roundtrip(fnfa);
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(ClientRequest::from_bytes(Bytes::from_static(&[200])).is_err());
+        assert!(ClientResponse::from_bytes(Bytes::from_static(&[200])).is_err());
+        assert!(DataOp::from_bytes(Bytes::from_static(&[9])).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn packet_roundtrip_prop(seq in any::<u64>(),
+                                 offset in any::<u64>(),
+                                 last in any::<bool>(),
+                                 sums in proptest::collection::vec(any::<u32>(), 0..64),
+                                 payload in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            let p = Packet {
+                seq,
+                offset_in_block: offset,
+                last_in_block: last,
+                checksums: sums,
+                payload: Bytes::from(payload),
+            };
+            let d = Packet::from_bytes(p.to_bytes()).unwrap();
+            prop_assert_eq!(d, p);
+        }
+
+        #[test]
+        fn speed_record_roundtrip_prop(dn_id in any::<u32>(), bps in 0f64..1e12, n in any::<u32>()) {
+            let rec = SpeedRecord { datanode: DatanodeId(dn_id), bytes_per_sec: bps, samples: n };
+            let mut w = WireWriter::new();
+            rec.encode(&mut w);
+            let mut r = WireReader::new(w.finish());
+            let d = SpeedRecord::decode(&mut r).unwrap();
+            prop_assert_eq!(d, rec);
+        }
+
+        #[test]
+        fn garbage_never_panics_decoders(raw in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let b = Bytes::from(raw);
+            let _ = ClientRequest::from_bytes(b.clone());
+            let _ = ClientResponse::from_bytes(b.clone());
+            let _ = DatanodeRequest::from_bytes(b.clone());
+            let _ = DatanodeResponse::from_bytes(b.clone());
+            let _ = DataOp::from_bytes(b.clone());
+            let _ = Packet::from_bytes(b.clone());
+            let _ = PipelineAck::from_bytes(b.clone());
+            let _ = DataReply::from_bytes(b);
+        }
+    }
+}

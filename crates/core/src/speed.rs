@@ -1,0 +1,318 @@
+//! Transfer-speed bookkeeping (§III-B).
+//!
+//! The client measures the throughput of every block it streams to a
+//! *first datanode* and reports the records to the namenode with its
+//! 3-second heartbeat. The namenode keeps a per-client view and answers
+//! "give me the top-n datanodes for this client" during Algorithm 1.
+//!
+//! Two record modes (ablation §5.4 of DESIGN.md): `alpha = 1.0` keeps the
+//! raw last observation (what the paper describes); `alpha < 1.0` applies
+//! an exponential moving average that damps transient dips.
+
+use crate::ids::{ClientId, DatanodeId};
+use crate::proto::SpeedRecord;
+use crate::units::{Bandwidth, ByteSize, SimDuration};
+use std::collections::{BTreeMap, HashMap};
+
+/// One smoothed speed entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedEntry {
+    pub bytes_per_sec: f64,
+    pub samples: u64,
+}
+
+/// Client-side tracker: observed throughput per first-datanode, plus a
+/// pending-report buffer drained by the heartbeat thread.
+#[derive(Debug, Clone)]
+pub struct ClientSpeedTracker {
+    alpha: f64,
+    entries: BTreeMap<DatanodeId, SpeedEntry>,
+    /// Datanodes with fresh observations since the last heartbeat drain.
+    dirty: Vec<DatanodeId>,
+}
+
+impl ClientSpeedTracker {
+    /// `alpha` in (0,1]: weight of the newest sample. 1.0 = keep raw last
+    /// sample (the paper's behaviour).
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        Self {
+            alpha,
+            entries: BTreeMap::new(),
+            dirty: Vec::new(),
+        }
+    }
+
+    /// Records one finished block transfer to `dn`.
+    pub fn observe(&mut self, dn: DatanodeId, moved: ByteSize, took: SimDuration) {
+        if took == SimDuration::ZERO {
+            return; // degenerate sample carries no rate information
+        }
+        let rate = moved.as_f64() / took.as_secs_f64();
+        self.observe_rate(dn, rate);
+    }
+
+    /// Records a raw rate sample in bytes/second.
+    pub fn observe_rate(&mut self, dn: DatanodeId, bytes_per_sec: f64) {
+        let e = self.entries.entry(dn).or_insert(SpeedEntry {
+            bytes_per_sec,
+            samples: 0,
+        });
+        if e.samples == 0 {
+            e.bytes_per_sec = bytes_per_sec;
+        } else {
+            e.bytes_per_sec = self.alpha * bytes_per_sec + (1.0 - self.alpha) * e.bytes_per_sec;
+        }
+        e.samples += 1;
+        if !self.dirty.contains(&dn) {
+            self.dirty.push(dn);
+        }
+    }
+
+    /// Current smoothed speed for a datanode, if known.
+    pub fn speed_of(&self, dn: DatanodeId) -> Option<Bandwidth> {
+        self.entries
+            .get(&dn)
+            .map(|e| Bandwidth::bytes_per_sec(e.bytes_per_sec))
+    }
+
+    pub fn known(&self) -> impl Iterator<Item = (DatanodeId, &SpeedEntry)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drains records updated since the previous drain — the payload of
+    /// the next heartbeat (§III-B: "sends these records to the namenode
+    /// every three seconds").
+    pub fn drain_report(&mut self) -> Vec<SpeedRecord> {
+        let mut out = Vec::with_capacity(self.dirty.len());
+        for dn in self.dirty.drain(..) {
+            if let Some(e) = self.entries.get(&dn) {
+                out.push(SpeedRecord {
+                    datanode: dn,
+                    bytes_per_sec: e.bytes_per_sec,
+                    samples: e.samples.min(u32::MAX as u64) as u32,
+                });
+            }
+        }
+        out
+    }
+
+    /// Sorts a candidate list descending by known speed; unknown nodes
+    /// rank last (treated as speed 0 so they are still usable). Used by
+    /// the local optimization (Algorithm 2 line 3).
+    pub fn sort_descending(&self, nodes: &mut [DatanodeId]) {
+        nodes.sort_by(|a, b| {
+            let sa = self.entries.get(a).map_or(0.0, |e| e.bytes_per_sec);
+            let sb = self.entries.get(b).map_or(0.0, |e| e.bytes_per_sec);
+            sb.partial_cmp(&sa)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(b))
+        });
+    }
+}
+
+/// Namenode-side registry: the per-client speed tables built from
+/// heartbeat reports, queried by Algorithm 1.
+#[derive(Debug, Default)]
+pub struct NamenodeSpeedRegistry {
+    per_client: HashMap<ClientId, BTreeMap<DatanodeId, SpeedEntry>>,
+}
+
+impl NamenodeSpeedRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one heartbeat's records from `client`.
+    pub fn ingest(&mut self, client: ClientId, records: &[SpeedRecord]) {
+        let table = self.per_client.entry(client).or_default();
+        for r in records {
+            table.insert(
+                r.datanode,
+                SpeedEntry {
+                    bytes_per_sec: r.bytes_per_sec,
+                    samples: r.samples as u64,
+                },
+            );
+        }
+    }
+
+    /// True when the namenode has any transmission records for `client`
+    /// (Algorithm 1 line 4's branch condition).
+    pub fn has_records_for(&self, client: ClientId) -> bool {
+        self.per_client
+            .get(&client)
+            .is_some_and(|t| !t.is_empty())
+    }
+
+    /// The top `n` datanodes by reported speed for `client`, fastest
+    /// first, restricted to `alive` and excluding `exclude`
+    /// (Algorithm 1 line 5). Returns fewer than `n` when fewer are known.
+    pub fn top_n(
+        &self,
+        client: ClientId,
+        n: usize,
+        alive: &[DatanodeId],
+        exclude: &[DatanodeId],
+    ) -> Vec<DatanodeId> {
+        let Some(table) = self.per_client.get(&client) else {
+            return Vec::new();
+        };
+        let mut scored: Vec<(DatanodeId, f64)> = table
+            .iter()
+            .filter(|(dn, _)| alive.contains(dn) && !exclude.contains(dn))
+            .map(|(dn, e)| (*dn, e.bytes_per_sec))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(n);
+        scored.into_iter().map(|(dn, _)| dn).collect()
+    }
+
+    /// Forgets a dead datanode everywhere so it can't be recommended.
+    pub fn forget_datanode(&mut self, dn: DatanodeId) {
+        for table in self.per_client.values_mut() {
+            table.remove(&dn);
+        }
+    }
+
+    /// Forgets a client session.
+    pub fn forget_client(&mut self, client: ClientId) {
+        self.per_client.remove(&client);
+    }
+
+    pub fn clients(&self) -> usize {
+        self.per_client.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(i: u32) -> DatanodeId {
+        DatanodeId(i)
+    }
+
+    #[test]
+    fn raw_mode_keeps_last_sample() {
+        let mut t = ClientSpeedTracker::new(1.0);
+        t.observe_rate(dn(1), 100.0);
+        t.observe_rate(dn(1), 50.0);
+        assert_eq!(t.speed_of(dn(1)).unwrap().as_bytes_per_sec(), 50.0);
+    }
+
+    #[test]
+    fn ewma_mode_smooths() {
+        let mut t = ClientSpeedTracker::new(0.5);
+        t.observe_rate(dn(1), 100.0);
+        t.observe_rate(dn(1), 50.0);
+        // 0.5*50 + 0.5*100 = 75
+        assert_eq!(t.speed_of(dn(1)).unwrap().as_bytes_per_sec(), 75.0);
+    }
+
+    #[test]
+    fn observe_ignores_zero_duration() {
+        let mut t = ClientSpeedTracker::new(1.0);
+        t.observe(dn(1), ByteSize::mib(1), SimDuration::ZERO);
+        assert!(t.is_empty());
+        t.observe(dn(1), ByteSize::mib(64), SimDuration::from_secs(2));
+        let bw = t.speed_of(dn(1)).unwrap();
+        assert!((bw.as_bytes_per_sec() - 64.0 * 1024.0 * 1024.0 / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn drain_report_only_returns_dirty_entries() {
+        let mut t = ClientSpeedTracker::new(1.0);
+        t.observe_rate(dn(1), 10.0);
+        t.observe_rate(dn(2), 20.0);
+        let first = t.drain_report();
+        assert_eq!(first.len(), 2);
+        assert!(t.drain_report().is_empty(), "nothing new since last drain");
+        t.observe_rate(dn(2), 25.0);
+        let second = t.drain_report();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].datanode, dn(2));
+        assert_eq!(second[0].bytes_per_sec, 25.0);
+        assert_eq!(second[0].samples, 2);
+    }
+
+    #[test]
+    fn sort_descending_ranks_unknown_last() {
+        let mut t = ClientSpeedTracker::new(1.0);
+        t.observe_rate(dn(1), 10.0);
+        t.observe_rate(dn(2), 30.0);
+        t.observe_rate(dn(3), 20.0);
+        let mut nodes = vec![dn(4), dn(1), dn(3), dn(2)];
+        t.sort_descending(&mut nodes);
+        assert_eq!(nodes, vec![dn(2), dn(3), dn(1), dn(4)]);
+    }
+
+    #[test]
+    fn registry_top_n_orders_and_filters() {
+        let c = ClientId(1);
+        let mut reg = NamenodeSpeedRegistry::new();
+        assert!(!reg.has_records_for(c));
+        reg.ingest(
+            c,
+            &[
+                SpeedRecord { datanode: dn(1), bytes_per_sec: 10.0, samples: 1 },
+                SpeedRecord { datanode: dn(2), bytes_per_sec: 40.0, samples: 1 },
+                SpeedRecord { datanode: dn(3), bytes_per_sec: 30.0, samples: 1 },
+                SpeedRecord { datanode: dn(4), bytes_per_sec: 20.0, samples: 1 },
+            ],
+        );
+        assert!(reg.has_records_for(c));
+        let alive = vec![dn(1), dn(2), dn(3), dn(4)];
+        assert_eq!(reg.top_n(c, 2, &alive, &[]), vec![dn(2), dn(3)]);
+        // Exclusion removes the fastest.
+        assert_eq!(reg.top_n(c, 2, &alive, &[dn(2)]), vec![dn(3), dn(4)]);
+        // Dead nodes are filtered by the alive list.
+        assert_eq!(reg.top_n(c, 3, &[dn(1), dn(4)], &[]), vec![dn(4), dn(1)]);
+        // Another client has no records.
+        assert!(reg.top_n(ClientId(2), 2, &alive, &[]).is_empty());
+    }
+
+    #[test]
+    fn registry_updates_overwrite_old_records() {
+        let c = ClientId(1);
+        let mut reg = NamenodeSpeedRegistry::new();
+        reg.ingest(c, &[SpeedRecord { datanode: dn(1), bytes_per_sec: 10.0, samples: 1 }]);
+        reg.ingest(c, &[SpeedRecord { datanode: dn(1), bytes_per_sec: 99.0, samples: 2 }]);
+        let top = reg.top_n(c, 1, &[dn(1)], &[]);
+        assert_eq!(top, vec![dn(1)]);
+        // internal value reflects the newest report
+        reg.ingest(c, &[SpeedRecord { datanode: dn(2), bytes_per_sec: 50.0, samples: 1 }]);
+        assert_eq!(reg.top_n(c, 1, &[dn(1), dn(2)], &[]), vec![dn(1)]);
+    }
+
+    #[test]
+    fn registry_forget_operations() {
+        let mut reg = NamenodeSpeedRegistry::new();
+        reg.ingest(ClientId(1), &[SpeedRecord { datanode: dn(1), bytes_per_sec: 1.0, samples: 1 }]);
+        reg.ingest(ClientId(2), &[SpeedRecord { datanode: dn(1), bytes_per_sec: 1.0, samples: 1 }]);
+        reg.forget_datanode(dn(1));
+        assert!(!reg.has_records_for(ClientId(1)));
+        assert!(!reg.has_records_for(ClientId(2)));
+        reg.ingest(ClientId(1), &[SpeedRecord { datanode: dn(2), bytes_per_sec: 1.0, samples: 1 }]);
+        reg.forget_client(ClientId(1));
+        assert!(!reg.has_records_for(ClientId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0,1]")]
+    fn zero_alpha_rejected() {
+        ClientSpeedTracker::new(0.0);
+    }
+}

@@ -1,0 +1,399 @@
+//! Physical units used throughout the system: byte volumes, bandwidths and
+//! simulated time.
+//!
+//! The paper quotes bandwidths in megabits per second (Mbps), sizes in
+//! MB/GB and times in seconds. Mixing those up silently is the classic
+//! source of off-by-8 errors, so each quantity gets a dedicated type with
+//! explicit conversion methods. Arithmetic that crosses units
+//! (`bytes / bandwidth -> duration`) is provided as named operations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+pub const KB: u64 = 1024;
+pub const MB: u64 = 1024 * KB;
+pub const GB: u64 = 1024 * MB;
+
+/// A byte volume. Wraps `u64`; construction helpers mirror the paper's
+/// units (`ByteSize::gib(8)` is the paper's 8 GB file).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ByteSize(pub u64);
+
+impl ByteSize {
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    pub const fn bytes(n: u64) -> Self {
+        Self(n)
+    }
+    pub const fn kib(n: u64) -> Self {
+        Self(n * KB)
+    }
+    pub const fn mib(n: u64) -> Self {
+        Self(n * MB)
+    }
+    pub const fn gib(n: u64) -> Self {
+        Self(n * GB)
+    }
+
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Number of whole chunks of `chunk` needed to cover this volume
+    /// (the paper's ⌈D/B⌉ and ⌈D/P⌉).
+    pub fn div_ceil(self, chunk: ByteSize) -> u64 {
+        assert!(chunk.0 > 0, "chunk size must be positive");
+        self.0.div_ceil(chunk.0)
+    }
+
+    pub fn min(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.min(other.0))
+    }
+
+    pub fn max(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.max(other.0))
+    }
+
+    pub fn saturating_sub(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 + rhs.0)
+    }
+}
+impl AddAssign for ByteSize {
+    fn add_assign(&mut self, rhs: ByteSize) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    fn sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0 - rhs.0)
+    }
+}
+impl SubAssign for ByteSize {
+    fn sub_assign(&mut self, rhs: ByteSize) {
+        self.0 -= rhs.0;
+    }
+}
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= GB && b.is_multiple_of(GB) {
+            write!(f, "{}GiB", b / GB)
+        } else if b >= MB && b.is_multiple_of(MB) {
+            write!(f, "{}MiB", b / MB)
+        } else if b >= KB && b.is_multiple_of(KB) {
+            write!(f, "{}KiB", b / KB)
+        } else {
+            write!(f, "{b}B")
+        }
+    }
+}
+
+/// Network (or disk) bandwidth. Stored internally as bytes per second in
+/// `f64` to make rate arithmetic exact enough for simulation; constructors
+/// accept the paper's Mbps figures.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Bandwidth {
+    bytes_per_sec: f64,
+}
+
+impl Bandwidth {
+    pub const fn zero() -> Self {
+        Self { bytes_per_sec: 0.0 }
+    }
+
+    /// Megabits per second — the unit used by Table I and all throttling
+    /// figures in the paper (1 Mbps = 10^6 / 8 bytes per second).
+    pub fn mbps(v: f64) -> Self {
+        Self {
+            bytes_per_sec: v * 1e6 / 8.0,
+        }
+    }
+
+    /// Mebibytes per second (handy for disks).
+    pub fn mib_per_sec(v: f64) -> Self {
+        Self {
+            bytes_per_sec: v * MB as f64,
+        }
+    }
+
+    pub fn bytes_per_sec(v: f64) -> Self {
+        Self { bytes_per_sec: v }
+    }
+
+    #[inline]
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    #[inline]
+    pub fn as_mbps(self) -> f64 {
+        self.bytes_per_sec * 8.0 / 1e6
+    }
+
+    pub fn is_unlimited(self) -> bool {
+        !self.bytes_per_sec.is_finite()
+    }
+
+    /// Effectively infinite bandwidth (used for unthrottled local links).
+    pub fn unlimited() -> Self {
+        Self {
+            bytes_per_sec: f64::INFINITY,
+        }
+    }
+
+    /// Time to move `size` bytes at this bandwidth.
+    pub fn transfer_time(self, size: ByteSize) -> SimDuration {
+        if self.is_unlimited() {
+            return SimDuration::ZERO;
+        }
+        assert!(
+            self.bytes_per_sec > 0.0,
+            "cannot transfer over a zero-bandwidth link"
+        );
+        SimDuration::from_secs_f64(size.as_f64() / self.bytes_per_sec)
+    }
+
+    pub fn min(self, other: Bandwidth) -> Bandwidth {
+        if self.bytes_per_sec <= other.bytes_per_sec {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Fraction of this bandwidth (used for fair-sharing across flows).
+    pub fn scaled(self, factor: f64) -> Bandwidth {
+        Bandwidth {
+            bytes_per_sec: self.bytes_per_sec * factor,
+        }
+    }
+}
+
+impl Mul<f64> for Bandwidth {
+    type Output = Bandwidth;
+    fn mul(self, rhs: f64) -> Bandwidth {
+        self.scaled(rhs)
+    }
+}
+
+impl Div<f64> for Bandwidth {
+    type Output = Bandwidth;
+    fn div(self, rhs: f64) -> Bandwidth {
+        self.scaled(1.0 / rhs)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unlimited() {
+            write!(f, "unlimited")
+        } else {
+            write!(f, "{:.1}Mbps", self.as_mbps())
+        }
+    }
+}
+
+/// A point in simulated time, in integer nanoseconds since simulation
+/// start. Integer representation keeps the discrete-event simulator's
+/// event ordering exact and platform-independent.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimInstant(pub u64);
+
+/// A span of simulated time in integer nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimInstant {
+    pub const ZERO: SimInstant = SimInstant(0);
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    #[must_use]
+    pub fn elapsed_since(self, earlier: SimInstant) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "invalid duration {s}");
+        Self((s * 1e9).round() as u64)
+    }
+
+    pub const fn from_nanos(n: u64) -> Self {
+        Self(n)
+    }
+
+    pub const fn from_micros(us: u64) -> Self {
+        Self(us * 1_000)
+    }
+
+    pub const fn from_millis(ms: u64) -> Self {
+        Self(ms * 1_000_000)
+    }
+
+    pub const fn from_secs(s: u64) -> Self {
+        Self(s * 1_000_000_000)
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    pub fn mul_u64(self, n: u64) -> SimDuration {
+        SimDuration(self.0 * n)
+    }
+}
+
+impl Add<SimDuration> for SimInstant {
+    type Output = SimInstant;
+    fn add(self, rhs: SimDuration) -> SimInstant {
+        SimInstant(self.0 + rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// Observed throughput of a transfer: bytes moved over a duration.
+/// This is the quantity clients record per first-datanode and report to
+/// the namenode in heartbeats (§III-B).
+pub fn throughput(moved: ByteSize, over: SimDuration) -> Bandwidth {
+    if over == SimDuration::ZERO {
+        return Bandwidth::unlimited();
+    }
+    Bandwidth::bytes_per_sec(moved.as_f64() / over.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_size_constructors_and_display() {
+        assert_eq!(ByteSize::kib(1).as_u64(), 1024);
+        assert_eq!(ByteSize::mib(64).as_u64(), 64 * 1024 * 1024);
+        assert_eq!(ByteSize::gib(8).to_string(), "8GiB");
+        assert_eq!(ByteSize::mib(64).to_string(), "64MiB");
+        assert_eq!(ByteSize::bytes(100).to_string(), "100B");
+    }
+
+    #[test]
+    fn div_ceil_matches_paper_formulas() {
+        // 8 GB file in 64 MB blocks -> 128 blocks; in 64 KB packets -> 131072.
+        let d = ByteSize::gib(8);
+        assert_eq!(d.div_ceil(ByteSize::mib(64)), 128);
+        assert_eq!(d.div_ceil(ByteSize::kib(64)), 131_072);
+        // Non-exact division rounds up.
+        assert_eq!(ByteSize::bytes(65).div_ceil(ByteSize::bytes(64)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn div_ceil_rejects_zero_chunk() {
+        ByteSize::bytes(1).div_ceil(ByteSize::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_mbps_roundtrip() {
+        let b = Bandwidth::mbps(216.0);
+        assert!((b.as_mbps() - 216.0).abs() < 1e-9);
+        assert!((b.as_bytes_per_sec() - 27e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn transfer_time_is_size_over_rate() {
+        // 64 KB packet at 50 Mbps -> 65536*8/50e6 s = 10.48576 ms.
+        let t = Bandwidth::mbps(50.0).transfer_time(ByteSize::kib(64));
+        assert!((t.as_secs_f64() - 0.010485_76).abs() < 1e-9);
+        assert_eq!(
+            Bandwidth::unlimited().transfer_time(ByteSize::gib(1)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn min_bandwidth_picks_bottleneck() {
+        let a = Bandwidth::mbps(216.0);
+        let b = Bandwidth::mbps(50.0);
+        assert_eq!(a.min(b), b);
+        assert_eq!(b.min(Bandwidth::unlimited()), b);
+    }
+
+    #[test]
+    fn sim_time_arithmetic() {
+        let t0 = SimInstant::ZERO;
+        let t1 = t0 + SimDuration::from_millis(1500);
+        assert!((t1.as_secs_f64() - 1.5).abs() < 1e-12);
+        assert_eq!(t1.elapsed_since(t0), SimDuration::from_millis(1500));
+        // saturating on reversed order
+        assert_eq!(t0.elapsed_since(t1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn throughput_computation() {
+        let bw = throughput(ByteSize::mib(64), SimDuration::from_secs(2));
+        assert!((bw.as_bytes_per_sec() - (64.0 * 1024.0 * 1024.0 / 2.0)).abs() < 1.0);
+        assert!(throughput(ByteSize::mib(1), SimDuration::ZERO).is_unlimited());
+    }
+
+    #[test]
+    fn bandwidth_scaling() {
+        let b = Bandwidth::mbps(300.0);
+        assert!(((b / 3.0).as_mbps() - 100.0).abs() < 1e-9);
+        assert!(((b * 0.5).as_mbps() - 150.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,507 @@
+//! The datanode: data-transfer server, pipeline forwarding and the
+//! namenode heartbeat loop.
+//!
+//! Every inbound `WriteBlock` connection runs three cooperating threads,
+//! mirroring HDFS's BlockReceiver/PacketResponder split (§II step 3-4):
+//!
+//! * the **receiver** (the connection's own thread) reads packets,
+//!   verifies CRC-32C, pays the disk token bucket, appends to the
+//!   [`BlockStore`] and hands the packet to the forwarder;
+//! * the **forwarder** streams packets to the next datanode through a
+//!   bounded queue whose capacity is the per-client buffer of §IV-C —
+//!   one whole block on the *first* node (so a SMARTH first node can
+//!   ingest at client speed while the cross-rack hop drains slowly),
+//!   a few packets elsewhere (store-and-forward like stock HDFS);
+//! * the **responder** merges the downstream ack stream with this node's
+//!   own status and sends the combined ack upstream.
+//!
+//! In SMARTH mode the *first* node additionally emits the
+//! FIRST_NODE_FINISH ack (FNFA) the moment the last packet of the block
+//! is durably stored (§III-A), unblocking the client's next pipeline.
+
+use crate::store::BlockStore;
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use smarth_core::checksum::ChunkedChecksum;
+use smarth_core::config::{DfsConfig, WriteMode};
+use smarth_core::error::{DfsError, DfsResult};
+use smarth_core::ids::DatanodeId;
+use smarth_core::proto::{
+    AckKind, AckStatus, DataOp, DataReply, DatanodeRequest, DatanodeResponse, Packet,
+    PipelineAck, WriteBlockHeader,
+};
+use smarth_core::wire::{recv_message, send_message};
+use smarth_fabric::{Fabric, FabricStream, ReadHalf, TokenBucket, WriteHalf};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Persistent RPC connection to the namenode's datanode port.
+pub struct NnClient {
+    stream: Mutex<FabricStream>,
+}
+
+impl NnClient {
+    pub fn connect(fabric: &Fabric, from_host: &str, nn_addr: &str) -> DfsResult<Self> {
+        Ok(Self {
+            stream: Mutex::new(fabric.connect(from_host, nn_addr)?),
+        })
+    }
+
+    pub fn call(&self, req: &DatanodeRequest) -> DfsResult<DatanodeResponse> {
+        let mut s = self.stream.lock();
+        send_message(&mut *s, req)?;
+        recv_message(&mut *s)
+    }
+}
+
+struct DnInner {
+    id: DatanodeId,
+    host: String,
+    config: DfsConfig,
+    fabric: Fabric,
+    store: BlockStore,
+    /// Disk write bandwidth model: every stored byte pays this bucket,
+    /// so concurrent pipelines on one datanode contend for the disk.
+    disk: TokenBucket,
+    nn: NnClient,
+    active_transfers: AtomicU32,
+    checksum: ChunkedChecksum,
+}
+
+impl DnInner {
+    fn notify_block_received(&self, block: smarth_core::ids::ExtendedBlock) {
+        // Best effort: if the namenode is unreachable the replica is
+        // still durable; the next block report would reconcile (and in
+        // tests the namenode outliving datanodes makes this reliable).
+        let _ = self.nn.call(&DatanodeRequest::BlockReceived {
+            id: self.id,
+            block,
+        });
+    }
+}
+
+/// A running datanode.
+pub struct DataNode {
+    inner: Arc<DnInner>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl DataNode {
+    pub const DATA_PORT: &'static str = "50010";
+
+    pub fn data_addr_of(host: &str) -> String {
+        format!("{host}:{}", Self::DATA_PORT)
+    }
+
+    /// Registers with the namenode and starts the data server plus the
+    /// heartbeat loop. `host` must already exist on the fabric.
+    pub fn start(
+        fabric: &Fabric,
+        host: &str,
+        rack: &str,
+        nn_datanode_addr: &str,
+        config: DfsConfig,
+    ) -> DfsResult<Self> {
+        let nn = NnClient::connect(fabric, host, nn_datanode_addr)?;
+        let data_addr = Self::data_addr_of(host);
+        let id = match nn.call(&DatanodeRequest::Register {
+            host_name: host.to_string(),
+            rack: rack.to_string(),
+            data_addr: data_addr.clone(),
+            capacity: 1 << 40,
+        })? {
+            DatanodeResponse::Registered { id } => id,
+            other => {
+                return Err(DfsError::internal(format!(
+                    "unexpected register response {other:?}"
+                )))
+            }
+        };
+
+        let listener = fabric.listen(&data_addr)?;
+        let inner = Arc::new(DnInner {
+            id,
+            host: host.to_string(),
+            checksum: ChunkedChecksum::new(config.bytes_per_checksum),
+            disk: TokenBucket::new(config.disk_bandwidth),
+            config,
+            fabric: fabric.clone(),
+            store: BlockStore::new(),
+            nn,
+            active_transfers: AtomicU32::new(0),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+
+        // Accept loop.
+        {
+            let inner = Arc::clone(&inner);
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("dn-{host}-accept"))
+                    .spawn(move || {
+                        while !stop.load(Ordering::SeqCst) {
+                            match listener.accept_timeout(Duration::from_millis(50)) {
+                                Ok(Some(stream)) => {
+                                    let inner = Arc::clone(&inner);
+                                    std::thread::Builder::new()
+                                        .name("dn-xceiver".into())
+                                        .spawn(move || handle_connection(inner, stream))
+                                        .expect("spawn xceiver");
+                                }
+                                Ok(None) => continue,
+                                Err(_) => break,
+                            }
+                        }
+                    })
+                    .expect("spawn dn accept"),
+            );
+        }
+
+        // Heartbeat loop.
+        {
+            let inner = Arc::clone(&inner);
+            let stop = Arc::clone(&stop);
+            let interval = Duration::from_secs_f64(
+                inner.config.heartbeat_interval.as_secs_f64(),
+            )
+            .max(Duration::from_millis(5));
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("dn-{host}-heartbeat"))
+                    .spawn(move || {
+                        while !stop.load(Ordering::SeqCst) {
+                            std::thread::sleep(interval);
+                            let req = DatanodeRequest::Heartbeat {
+                                id: inner.id,
+                                used: inner.store.used_bytes(),
+                                active_transfers: inner.active_transfers.load(Ordering::Relaxed),
+                            };
+                            if inner.nn.call(&req).is_err() {
+                                break; // namenode gone / fabric down
+                            }
+                        }
+                    })
+                    .expect("spawn dn heartbeat"),
+            );
+        }
+
+        Ok(Self {
+            inner,
+            stop,
+            threads,
+        })
+    }
+
+    pub fn id(&self) -> DatanodeId {
+        self.inner.id
+    }
+
+    pub fn host(&self) -> &str {
+        &self.inner.host
+    }
+
+    pub fn data_addr(&self) -> String {
+        Self::data_addr_of(&self.inner.host)
+    }
+
+    pub fn store(&self) -> &BlockStore {
+        &self.inner.store
+    }
+
+    pub fn active_transfers(&self) -> u32 {
+        self.inner.active_transfers.load(Ordering::Relaxed)
+    }
+
+    /// Stops server threads. Blocked I/O is released by killing the host
+    /// or shutting the fabric down (the cluster orchestrator does this).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn handle_connection(dn: Arc<DnInner>, mut stream: FabricStream) {
+    let op: DataOp = match recv_message(&mut stream) {
+        Ok(op) => op,
+        Err(_) => return,
+    };
+    match op {
+        DataOp::WriteBlock(header) => {
+            dn.active_transfers.fetch_add(1, Ordering::Relaxed);
+            let _ = handle_write(&dn, header, stream);
+            dn.active_transfers.fetch_sub(1, Ordering::Relaxed);
+        }
+        DataOp::ReadBlock { block, offset, len } => {
+            let _ = handle_read(&dn, block, offset, len, stream);
+        }
+        DataOp::RecoverBlock {
+            block,
+            new_gen,
+            new_len,
+        } => {
+            let reply = match dn.store.recover(block.id, new_gen, new_len) {
+                Ok(b) => DataReply::RecoverOk { block: b },
+                Err(e) => DataReply::Error(e.to_string()),
+            };
+            let _ = send_message(&mut stream, &reply);
+        }
+        DataOp::GetReplicaInfo { block } => {
+            let reply = match dn.store.replica_info(block) {
+                Some((b, finalized)) => DataReply::ReplicaInfo {
+                    block: Some(b),
+                    finalized,
+                },
+                None => DataReply::ReplicaInfo {
+                    block: None,
+                    finalized: false,
+                },
+            };
+            let _ = send_message(&mut stream, &reply);
+        }
+    }
+}
+
+/// `(seq, last_in_block)` handed from the receiver to the responder.
+type AckSignal = (u64, bool);
+
+/// Sends an ack upstream under the shared writer lock.
+fn send_ack(up: &Mutex<WriteHalf>, ack: &PipelineAck) -> DfsResult<()> {
+    let mut w = up.lock();
+    send_message(&mut *w, ack)
+}
+
+fn handle_write(
+    dn: &Arc<DnInner>,
+    header: WriteBlockHeader,
+    stream: FabricStream,
+) -> DfsResult<()> {
+    let (up_read, up_write) = stream.split();
+    let up_write = Arc::new(Mutex::new(up_write));
+
+    dn.store.create_rbw(header.block.id, header.block.gen)?;
+
+    // Build the mirror connection (the rest of the pipeline), if any.
+    let mirror = if let Some((next, rest)) = header.targets.split_first() {
+        let mut m = dn.fabric.connect(&dn.host, &next.addr)?;
+        let fwd_header = WriteBlockHeader {
+            pipeline: header.pipeline,
+            client: header.client,
+            block: header.block,
+            mode: header.mode,
+            targets: rest.to_vec(),
+            position: header.position + 1,
+            client_buffer: header.client_buffer,
+        };
+        send_message(&mut m, &DataOp::WriteBlock(fwd_header))?;
+        Some(m.split())
+    } else {
+        None
+    };
+
+    run_write_threads(dn, &header, up_read, up_write, mirror)
+}
+
+// Receiver/forwarder/responder orchestration for one block write.
+fn run_write_threads(
+    dn: &Arc<DnInner>,
+    header: &WriteBlockHeader,
+    mut up_read: ReadHalf,
+    up_write: Arc<Mutex<WriteHalf>>,
+    mirror: Option<(ReadHalf, WriteHalf)>,
+) -> DfsResult<()> {
+    let block = header.block;
+    let has_mirror = mirror.is_some();
+    let packet = dn.config.packet_size.as_u64().max(1);
+    let queue_packets = if header.position == 0 {
+        header.client_buffer.max(packet).div_ceil(packet) as usize
+    } else {
+        4
+    }
+    .max(1);
+
+    let (fwd_tx, fwd_rx): (Sender<Packet>, Receiver<Packet>) = bounded(queue_packets);
+    let (ack_tx, ack_rx): (Sender<AckSignal>, Receiver<AckSignal>) = unbounded();
+
+    let (mirror_read, mirror_write) = match mirror {
+        Some((r, w)) => (Some(r), Some(w)),
+        None => (None, None),
+    };
+
+    // Forwarder: pumps packets to the next datanode.
+    let forwarder = mirror_write.map(|mut m_write| {
+        std::thread::Builder::new()
+            .name("dn-forwarder".into())
+            .spawn(move || {
+                for pkt in fwd_rx.iter() {
+                    if send_message(&mut m_write, &pkt).is_err() {
+                        // Drain so the receiver never blocks on a dead
+                        // mirror; the responder reports the error.
+                        for _ in fwd_rx.iter() {}
+                        break;
+                    }
+                }
+            })
+            .expect("spawn forwarder")
+    });
+
+    // Responder: merges downstream acks with our own success and relays
+    // upstream (§II step 4).
+    let responder = {
+        let up_write = Arc::clone(&up_write);
+        let mut mirror_read = mirror_read;
+        std::thread::Builder::new()
+            .name("dn-responder".into())
+            .spawn(move || {
+                for (seq, last) in ack_rx {
+                    let downstream: Vec<AckStatus> = match &mut mirror_read {
+                        Some(mr) => match recv_message::<PipelineAck>(mr) {
+                            Ok(ack) if ack.seq == seq => ack.statuses,
+                            _ => vec![AckStatus::Error],
+                        },
+                        None => Vec::new(),
+                    };
+                    let mut statuses = Vec::with_capacity(1 + downstream.len());
+                    statuses.push(AckStatus::Success);
+                    statuses.extend(downstream);
+                    let ack = PipelineAck {
+                        kind: AckKind::Packet,
+                        seq,
+                        statuses,
+                    };
+                    if send_ack(&up_write, &ack).is_err() {
+                        break;
+                    }
+                    if last {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn responder")
+    };
+
+    // Receiver loop (this thread).
+    let result: DfsResult<()> = (|| {
+        loop {
+            let pkt: Packet = recv_message(&mut up_read)?;
+            // Verify before anything else (§II step 3: "verifies the
+            // packet's checksum").
+            if dn
+                .checksum
+                .first_corrupt_chunk(&pkt.payload, &pkt.checksums)
+                .is_some()
+            {
+                let _ = send_ack(
+                    &up_write,
+                    &PipelineAck {
+                        kind: AckKind::Packet,
+                        seq: pkt.seq,
+                        statuses: vec![AckStatus::Error],
+                    },
+                );
+                return Err(DfsError::ChecksumMismatch {
+                    block: block.id,
+                    seq: pkt.seq,
+                });
+            }
+            if has_mirror {
+                // A closed forwarder means the mirror died; the responder
+                // reports it via error acks, we just stop forwarding.
+                let _ = fwd_tx.send(pkt.clone());
+            }
+            // Disk time: modelled as bucket tokens (§III-D's T_w is the
+            // per-packet constant; sustained rate is the disk bandwidth).
+            dn.disk
+                .acquire(pkt.payload.len())
+                .map_err(|_| DfsError::connection_lost("datanode stopping"))?;
+            dn.store
+                .write_packet(block.id, block.gen, pkt.offset_in_block, &pkt.payload)?;
+
+            let last = pkt.last_in_block;
+            if last {
+                let final_len = pkt.offset_in_block + pkt.payload.len() as u64;
+                let finalized = dn.store.finalize(block.id, block.gen, final_len)?;
+                // SMARTH's key move: the first node announces completion
+                // immediately (§III-A step 3).
+                if header.position == 0 && header.mode == WriteMode::Smarth {
+                    let _ = send_ack(
+                        &up_write,
+                        &PipelineAck {
+                            kind: AckKind::FirstNodeFinish,
+                            seq: pkt.seq,
+                            statuses: vec![AckStatus::Success],
+                        },
+                    );
+                }
+                dn.notify_block_received(finalized);
+            }
+            ack_tx.send((pkt.seq, last)).ok();
+            if last {
+                break;
+            }
+        }
+        Ok(())
+    })();
+
+    // Wind down: closing the forward queue lets the forwarder finish
+    // streaming buffered packets to the mirror, then exit.
+    drop(fwd_tx);
+    drop(ack_tx);
+    if let Some(f) = forwarder {
+        let _ = f.join();
+    }
+    let _ = responder.join();
+    result
+}
+
+fn handle_read(
+    dn: &Arc<DnInner>,
+    block: smarth_core::ids::ExtendedBlock,
+    offset: u64,
+    len: u64,
+    mut stream: FabricStream,
+) -> DfsResult<()> {
+    let data = match dn.store.read(block.id, block.gen, offset, len) {
+        Ok(d) => d,
+        Err(e) => {
+            let _ = send_message(&mut stream, &DataReply::Error(e.to_string()));
+            return Err(e);
+        }
+    };
+    send_message(
+        &mut stream,
+        &DataReply::ReadOk {
+            len: data.len() as u64,
+        },
+    )?;
+    let chunk = dn.config.packet_size.as_u64().max(1) as usize;
+    let total = data.len();
+    let payload = bytes::Bytes::from(data);
+    let mut seq = 0u64;
+    let mut sent = 0usize;
+    loop {
+        let n = chunk.min(total - sent);
+        let part = payload.slice(sent..sent + n);
+        let last = sent + n >= total;
+        let pkt = Packet {
+            seq,
+            offset_in_block: offset + sent as u64,
+            last_in_block: last,
+            checksums: dn.checksum.compute(&part),
+            payload: part,
+        };
+        send_message(&mut stream, &pkt)?;
+        sent += n;
+        seq += 1;
+        if last {
+            break;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,404 @@
+//! Bounded, latency-aware byte channel — one direction of an emulated
+//! connection.
+//!
+//! The channel holds at most `capacity` buffered bytes (the socket
+//! buffer). Writers block when it is full, which is how backpressure
+//! propagates hop-by-hop through a pipeline exactly like TCP flow
+//! control: a slow cross-rack hop eventually stalls the client's writes
+//! into the first datanode once every buffer in between has filled.
+//!
+//! Each chunk carries a `ready_at` timestamp (`enqueue time + latency`);
+//! readers do not see bytes before that instant, modelling one-way
+//! propagation delay.
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use smarth_core::error::{DfsError, DfsResult};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct ChannelState {
+    queue: VecDeque<(Instant, Bytes)>,
+    /// Total bytes across `queue` plus the partially consumed `front`.
+    buffered: usize,
+    /// Partially consumed head chunk.
+    front: Option<Bytes>,
+    write_closed: bool,
+    read_closed: bool,
+    /// Set by host kill / link cut: all operations fail with this.
+    broken: Option<String>,
+}
+
+/// One direction of a fabric connection.
+#[derive(Debug)]
+pub struct ByteChannel {
+    state: Mutex<ChannelState>,
+    readable: Condvar,
+    writable: Condvar,
+    capacity: usize,
+    latency: Duration,
+}
+
+impl ByteChannel {
+    pub fn new(capacity: usize, latency: Duration) -> Self {
+        assert!(capacity > 0, "channel capacity must be positive");
+        Self {
+            state: Mutex::new(ChannelState {
+                queue: VecDeque::new(),
+                buffered: 0,
+                front: None,
+                write_closed: false,
+                read_closed: false,
+                broken: None,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+            capacity,
+            latency,
+        }
+    }
+
+    /// Enqueues a chunk, blocking while the buffer is full. The caller
+    /// has already paid the bandwidth cost via the token buckets.
+    pub fn push(&self, chunk: Bytes) -> DfsResult<()> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        let mut st = self.state.lock();
+        loop {
+            if let Some(reason) = &st.broken {
+                return Err(DfsError::connection_lost(reason.clone()));
+            }
+            if st.read_closed {
+                return Err(DfsError::connection_lost("peer closed read side"));
+            }
+            if st.write_closed {
+                return Err(DfsError::connection_lost("write side already closed"));
+            }
+            // Always admit at least one chunk so a chunk larger than the
+            // buffer cannot deadlock; otherwise respect the capacity.
+            if st.buffered == 0 || st.buffered + chunk.len() <= self.capacity {
+                let ready = Instant::now() + self.latency;
+                st.buffered += chunk.len();
+                st.queue.push_back((ready, chunk));
+                self.readable.notify_all();
+                return Ok(());
+            }
+            self.writable.wait(&mut st);
+        }
+    }
+
+    /// Fills `buf` completely, blocking for data and latency. Errors on
+    /// EOF-before-filled or a broken channel.
+    pub fn read_exact(&self, buf: &mut [u8]) -> DfsResult<()> {
+        let mut filled = 0;
+        let mut st = self.state.lock();
+        while filled < buf.len() {
+            if let Some(reason) = &st.broken {
+                return Err(DfsError::connection_lost(reason.clone()));
+            }
+            // Take from the partially consumed front chunk first.
+            if let Some(front) = st.front.take() {
+                let n = front.len().min(buf.len() - filled);
+                buf[filled..filled + n].copy_from_slice(&front[..n]);
+                filled += n;
+                st.buffered -= n;
+                if n < front.len() {
+                    st.front = Some(front.slice(n..));
+                }
+                self.writable.notify_all();
+                continue;
+            }
+            match st.queue.front() {
+                Some((ready, _)) => {
+                    let now = Instant::now();
+                    if *ready <= now {
+                        let (_, chunk) = st.queue.pop_front().expect("front checked");
+                        st.front = Some(chunk);
+                    } else {
+                        let wait = *ready - now;
+                        self.readable.wait_for(&mut st, wait);
+                    }
+                }
+                None => {
+                    if st.write_closed {
+                        return Err(DfsError::connection_lost(format!(
+                            "eof after {filled} of {} bytes",
+                            buf.len()
+                        )));
+                    }
+                    self.readable.wait(&mut st);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// True when a `read_exact` would find at least one byte without
+    /// blocking on data arrival (latency may still apply).
+    pub fn has_pending(&self) -> bool {
+        let st = self.state.lock();
+        st.front.is_some() || !st.queue.is_empty()
+    }
+
+    pub fn buffered_bytes(&self) -> usize {
+        self.state.lock().buffered
+    }
+
+    /// Graceful close of the writing side; readers drain what is queued
+    /// and then see EOF.
+    pub fn close_write(&self) {
+        let mut st = self.state.lock();
+        st.write_closed = true;
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    /// Close of the reading side; subsequent writes fail.
+    pub fn close_read(&self) {
+        let mut st = self.state.lock();
+        st.read_closed = true;
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    /// Hard break (host killed, link cut): every pending and future
+    /// operation on either side fails immediately.
+    pub fn break_with(&self, reason: &str) {
+        let mut st = self.state.lock();
+        st.broken = Some(reason.to_string());
+        st.queue.clear();
+        st.front = None;
+        st.buffered = 0;
+        self.readable.notify_all();
+        self.writable.notify_all();
+    }
+
+    pub fn is_broken(&self) -> bool {
+        self.state.lock().broken.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn chan(cap: usize) -> Arc<ByteChannel> {
+        Arc::new(ByteChannel::new(cap, Duration::ZERO))
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let c = chan(1024);
+        c.push(Bytes::from_static(b"hello ")).unwrap();
+        c.push(Bytes::from_static(b"world")).unwrap();
+        let mut buf = [0u8; 11];
+        c.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello world");
+    }
+
+    #[test]
+    fn partial_chunk_consumption() {
+        let c = chan(1024);
+        c.push(Bytes::from_static(b"abcdef")).unwrap();
+        let mut one = [0u8; 2];
+        c.read_exact(&mut one).unwrap();
+        assert_eq!(&one, b"ab");
+        let mut rest = [0u8; 4];
+        c.read_exact(&mut rest).unwrap();
+        assert_eq!(&rest, b"cdef");
+        assert_eq!(c.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn backpressure_blocks_writer_until_reader_drains() {
+        let c = chan(100);
+        c.push(Bytes::from(vec![0u8; 80])).unwrap();
+        // Next push would exceed capacity → writer must block.
+        let c2 = Arc::clone(&c);
+        let writer = std::thread::spawn(move || {
+            let start = Instant::now();
+            c2.push(Bytes::from(vec![1u8; 80])).unwrap();
+            start.elapsed()
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let mut buf = vec![0u8; 80];
+        c.read_exact(&mut buf).unwrap();
+        let blocked_for = writer.join().unwrap();
+        assert!(
+            blocked_for >= Duration::from_millis(40),
+            "writer should have blocked, blocked {blocked_for:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_single_chunk_is_admitted_when_empty() {
+        let c = chan(16);
+        // A chunk larger than capacity must not deadlock.
+        c.push(Bytes::from(vec![7u8; 64])).unwrap();
+        let mut buf = vec![0u8; 64];
+        c.read_exact(&mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let c = Arc::new(ByteChannel::new(1024, Duration::from_millis(60)));
+        let start = Instant::now();
+        c.push(Bytes::from_static(b"x")).unwrap();
+        let mut buf = [0u8; 1];
+        c.read_exact(&mut buf).unwrap();
+        assert!(
+            start.elapsed() >= Duration::from_millis(50),
+            "read returned before latency elapsed: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn eof_mid_read_is_an_error() {
+        let c = chan(1024);
+        c.push(Bytes::from_static(b"ab")).unwrap();
+        c.close_write();
+        let mut buf = [0u8; 4];
+        let err = c.read_exact(&mut buf).unwrap_err();
+        assert!(matches!(err, DfsError::ConnectionLost(_)));
+    }
+
+    #[test]
+    fn graceful_close_lets_reader_drain() {
+        let c = chan(1024);
+        c.push(Bytes::from_static(b"tail")).unwrap();
+        c.close_write();
+        let mut buf = [0u8; 4];
+        c.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"tail");
+    }
+
+    #[test]
+    fn write_after_reader_close_fails() {
+        let c = chan(1024);
+        c.close_read();
+        assert!(c.push(Bytes::from_static(b"x")).is_err());
+    }
+
+    #[test]
+    fn break_fails_blocked_writer() {
+        // Full channel, no reader: the second push must block, then fail
+        // once the channel breaks.
+        let c = chan(16);
+        c.push(Bytes::from(vec![0u8; 16])).unwrap();
+        let c2 = Arc::clone(&c);
+        let blocked_writer = std::thread::spawn(move || c2.push(Bytes::from(vec![0u8; 16])));
+        std::thread::sleep(Duration::from_millis(30));
+        c.break_with("host dn3 killed");
+        assert!(blocked_writer.join().unwrap().is_err());
+        assert!(c.is_broken());
+        // Future operations fail too.
+        assert!(c.push(Bytes::from_static(b"y")).is_err());
+    }
+
+    #[test]
+    fn break_fails_blocked_reader() {
+        // Empty channel: the read must block, then fail on break.
+        let c = chan(16);
+        let c2 = Arc::clone(&c);
+        let blocked_reader = std::thread::spawn(move || {
+            let mut buf = [0u8; 64];
+            c2.read_exact(&mut buf)
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        c.break_with("host dn3 killed");
+        assert!(blocked_reader.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_transfers_everything() {
+        let c = chan(4096);
+        let total = 1 << 20;
+        let producer = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                let mut sent = 0u64;
+                let mut i = 0u8;
+                while sent < total {
+                    let n = 1500.min((total - sent) as usize);
+                    c.push(Bytes::from(vec![i; n])).unwrap();
+                    sent += n as u64;
+                    i = i.wrapping_add(1);
+                }
+                c.close_write();
+            })
+        };
+        let mut received = 0u64;
+        let mut buf = vec![0u8; 977]; // deliberately unaligned
+        while received < total {
+            let n = buf.len().min((total - received) as usize);
+            c.read_exact(&mut buf[..n]).unwrap();
+            received += n as u64;
+        }
+        producer.join().unwrap();
+        assert_eq!(received, total);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any sequence of chunk writes is read back as the identical
+        /// byte stream, regardless of how reads are sized.
+        #[test]
+        fn stream_preserves_bytes(
+            chunks in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 1..257), 1..32),
+            read_size in 1usize..512,
+        ) {
+            let chan = Arc::new(ByteChannel::new(512, Duration::ZERO));
+            let expected: Vec<u8> = chunks.iter().flatten().copied().collect();
+            let writer = {
+                let chan = Arc::clone(&chan);
+                std::thread::spawn(move || {
+                    for c in chunks {
+                        chan.push(Bytes::from(c)).unwrap();
+                    }
+                    chan.close_write();
+                })
+            };
+            let mut got = Vec::with_capacity(expected.len());
+            let mut buf = vec![0u8; read_size];
+            while got.len() < expected.len() {
+                let n = read_size.min(expected.len() - got.len());
+                chan.read_exact(&mut buf[..n]).unwrap();
+                got.extend_from_slice(&buf[..n]);
+            }
+            writer.join().unwrap();
+            prop_assert_eq!(got, expected);
+        }
+
+        /// Buffered byte accounting never exceeds capacity by more than
+        /// one admitted oversized chunk.
+        #[test]
+        fn buffer_accounting_consistent(
+            sizes in proptest::collection::vec(1usize..64, 1..20),
+        ) {
+            let chan = ByteChannel::new(4096, Duration::ZERO);
+            let mut total = 0usize;
+            for s in &sizes {
+                chan.push(Bytes::from(vec![0u8; *s])).unwrap();
+                total += s;
+            }
+            prop_assert_eq!(chan.buffered_bytes(), total);
+            let mut buf = vec![0u8; total];
+            chan.read_exact(&mut buf).unwrap();
+            prop_assert_eq!(chan.buffered_bytes(), 0);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Block management: id/generation-stamp allocation, replica location
+//! tracking and recovery stamps.
+//!
+//! The namenode allocates `(BlockId, GenStamp)` pairs in `addBlock`,
+//! remembers which datanodes were asked to store each block, collects
+//! `blockReceived` confirmations, and — during pipeline recovery
+//! (Algorithm 3) — issues a bumped generation stamp so replicas written
+//! by the failed pipeline can be told apart from recovered ones.
+
+use smarth_core::error::{DfsError, DfsResult};
+use smarth_core::ids::{BlockId, DatanodeId, ExtendedBlock, FileId, GenStamp, IdGenerator};
+use std::collections::HashMap;
+
+#[derive(Debug)]
+struct BlockRecord {
+    file: FileId,
+    gen: GenStamp,
+    /// Datanodes chosen at allocation time (the original pipeline).
+    expected: Vec<DatanodeId>,
+    /// Replicas confirmed via `blockReceived`, with the length and
+    /// generation the datanode reported.
+    received: HashMap<DatanodeId, ExtendedBlock>,
+}
+
+/// Block registry owned by the namenode.
+#[derive(Debug)]
+pub struct BlockManager {
+    blocks: HashMap<BlockId, BlockRecord>,
+    ids: IdGenerator,
+}
+
+impl Default for BlockManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockManager {
+    pub fn new() -> Self {
+        Self {
+            blocks: HashMap::new(),
+            ids: IdGenerator::starting_at(1),
+        }
+    }
+
+    /// Allocates a fresh block for `file`, to be stored on `targets`.
+    pub fn allocate(&mut self, file: FileId, targets: &[DatanodeId]) -> ExtendedBlock {
+        let id = BlockId(self.ids.allocate());
+        let gen = GenStamp::INITIAL;
+        self.blocks.insert(
+            id,
+            BlockRecord {
+                file,
+                gen,
+                expected: targets.to_vec(),
+                received: HashMap::new(),
+            },
+        );
+        ExtendedBlock::new(id, gen, 0)
+    }
+
+    /// Handles a datanode's `blockReceived` notification. Stale
+    /// generations are rejected: a replica finished by a pre-recovery
+    /// pipeline must not count.
+    pub fn block_received(&mut self, dn: DatanodeId, block: ExtendedBlock) -> DfsResult<()> {
+        let rec = self
+            .blocks
+            .get_mut(&block.id)
+            .ok_or(DfsError::UnknownBlock(block.id))?;
+        if block.gen < rec.gen {
+            return Err(DfsError::StaleGeneration {
+                block: block.id,
+                expected: rec.gen.raw(),
+                got: block.gen.raw(),
+            });
+        }
+        rec.received.insert(dn, block);
+        Ok(())
+    }
+
+    /// Confirmed replica locations of a block (for reads), filtered to
+    /// the current generation.
+    pub fn locations(&self, block: BlockId) -> Vec<DatanodeId> {
+        match self.blocks.get(&block) {
+            Some(rec) => {
+                let mut v: Vec<DatanodeId> = rec
+                    .received
+                    .iter()
+                    .filter(|(_, b)| b.gen == rec.gen)
+                    .map(|(dn, _)| *dn)
+                    .collect();
+                v.sort_unstable();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of confirmed current-generation replicas.
+    pub fn replica_count(&self, block: BlockId) -> usize {
+        self.locations(block).len()
+    }
+
+    /// The pipeline chosen at allocation time.
+    pub fn expected_targets(&self, block: BlockId) -> DfsResult<Vec<DatanodeId>> {
+        self.blocks
+            .get(&block)
+            .map(|r| r.expected.clone())
+            .ok_or(DfsError::UnknownBlock(block))
+    }
+
+    /// Replaces the expected pipeline after recovery rebuilt it.
+    pub fn set_expected_targets(
+        &mut self,
+        block: BlockId,
+        targets: &[DatanodeId],
+    ) -> DfsResult<()> {
+        let rec = self
+            .blocks
+            .get_mut(&block)
+            .ok_or(DfsError::UnknownBlock(block))?;
+        rec.expected = targets.to_vec();
+        Ok(())
+    }
+
+    /// Algorithm 3 support: bumps the block's generation stamp and
+    /// returns the new one. Replicas reported under older stamps stop
+    /// counting as valid.
+    pub fn begin_recovery(&mut self, block: BlockId) -> DfsResult<GenStamp> {
+        let rec = self
+            .blocks
+            .get_mut(&block)
+            .ok_or(DfsError::UnknownBlock(block))?;
+        rec.gen = rec.gen.next();
+        Ok(rec.gen)
+    }
+
+    /// Current generation stamp of a block.
+    pub fn generation(&self, block: BlockId) -> DfsResult<GenStamp> {
+        self.blocks
+            .get(&block)
+            .map(|r| r.gen)
+            .ok_or(DfsError::UnknownBlock(block))
+    }
+
+    /// File owning a block.
+    pub fn file_of(&self, block: BlockId) -> DfsResult<FileId> {
+        self.blocks
+            .get(&block)
+            .map(|r| r.file)
+            .ok_or(DfsError::UnknownBlock(block))
+    }
+
+    /// Drops a block entirely (file deleted / block abandoned).
+    pub fn retire(&mut self, block: BlockId) {
+        self.blocks.remove(&block);
+    }
+
+    /// Forgets a dead datanode's replicas.
+    pub fn forget_datanode(&mut self, dn: DatanodeId) {
+        for rec in self.blocks.values_mut() {
+            rec.received.remove(&dn);
+        }
+    }
+
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dn(i: u32) -> DatanodeId {
+        DatanodeId(i)
+    }
+
+    #[test]
+    fn allocate_assigns_unique_ids_and_initial_gen() {
+        let mut bm = BlockManager::new();
+        let b1 = bm.allocate(FileId(1), &[dn(0), dn(1)]);
+        let b2 = bm.allocate(FileId(1), &[dn(2)]);
+        assert_ne!(b1.id, b2.id);
+        assert_eq!(b1.gen, GenStamp::INITIAL);
+        assert_eq!(b1.len, 0);
+        assert_eq!(bm.expected_targets(b1.id).unwrap(), vec![dn(0), dn(1)]);
+        assert_eq!(bm.file_of(b2.id).unwrap(), FileId(1));
+        assert_eq!(bm.block_count(), 2);
+    }
+
+    #[test]
+    fn block_received_tracks_replicas() {
+        let mut bm = BlockManager::new();
+        let b = bm.allocate(FileId(1), &[dn(0), dn(1), dn(2)]);
+        assert_eq!(bm.replica_count(b.id), 0);
+        let finished = ExtendedBlock::new(b.id, b.gen, 1024);
+        bm.block_received(dn(0), finished).unwrap();
+        bm.block_received(dn(2), finished).unwrap();
+        assert_eq!(bm.locations(b.id), vec![dn(0), dn(2)]);
+        // Duplicate report is idempotent.
+        bm.block_received(dn(0), finished).unwrap();
+        assert_eq!(bm.replica_count(b.id), 2);
+    }
+
+    #[test]
+    fn unknown_block_reports_fail() {
+        let mut bm = BlockManager::new();
+        let err = bm
+            .block_received(dn(0), ExtendedBlock::new(BlockId(7), GenStamp(1), 1))
+            .unwrap_err();
+        assert!(matches!(err, DfsError::UnknownBlock(BlockId(7))));
+        assert!(bm.expected_targets(BlockId(7)).is_err());
+        assert!(bm.generation(BlockId(7)).is_err());
+    }
+
+    #[test]
+    fn recovery_bumps_generation_and_invalidates_stale_replicas() {
+        let mut bm = BlockManager::new();
+        let b = bm.allocate(FileId(1), &[dn(0), dn(1), dn(2)]);
+        bm.block_received(dn(0), ExtendedBlock::new(b.id, b.gen, 512))
+            .unwrap();
+
+        let new_gen = bm.begin_recovery(b.id).unwrap();
+        assert_eq!(new_gen, b.gen.next());
+        assert_eq!(bm.generation(b.id).unwrap(), new_gen);
+        // The old replica no longer counts.
+        assert_eq!(bm.replica_count(b.id), 0);
+        // A report under the old stamp is now stale.
+        let stale = bm
+            .block_received(dn(1), ExtendedBlock::new(b.id, b.gen, 512))
+            .unwrap_err();
+        assert!(matches!(stale, DfsError::StaleGeneration { .. }));
+        // A report under the new stamp counts.
+        bm.block_received(dn(1), ExtendedBlock::new(b.id, new_gen, 512))
+            .unwrap();
+        assert_eq!(bm.locations(b.id), vec![dn(1)]);
+    }
+
+    #[test]
+    fn set_expected_targets_after_recovery() {
+        let mut bm = BlockManager::new();
+        let b = bm.allocate(FileId(1), &[dn(0), dn(1), dn(2)]);
+        bm.set_expected_targets(b.id, &[dn(0), dn(3), dn(2)]).unwrap();
+        assert_eq!(bm.expected_targets(b.id).unwrap(), vec![dn(0), dn(3), dn(2)]);
+    }
+
+    #[test]
+    fn forget_datanode_drops_its_replicas() {
+        let mut bm = BlockManager::new();
+        let b = bm.allocate(FileId(1), &[dn(0), dn(1)]);
+        let fin = ExtendedBlock::new(b.id, b.gen, 10);
+        bm.block_received(dn(0), fin).unwrap();
+        bm.block_received(dn(1), fin).unwrap();
+        bm.forget_datanode(dn(0));
+        assert_eq!(bm.locations(b.id), vec![dn(1)]);
+    }
+
+    #[test]
+    fn retire_removes_block() {
+        let mut bm = BlockManager::new();
+        let b = bm.allocate(FileId(1), &[dn(0)]);
+        bm.retire(b.id);
+        assert_eq!(bm.block_count(), 0);
+        assert!(bm.generation(b.id).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Datanode membership: registration, heartbeat liveness and the
+//! namenode's view of the network topology.
+//!
+//! A datanode registers once (getting its [`DatanodeId`]) and then
+//! heartbeats periodically. Nodes whose last heartbeat is older than
+//! `heartbeat_interval × expiry_multiplier` are considered dead: they
+//! drop out of placement and their speed records are purged — this is
+//! how a killed host eventually disappears from Algorithm 1's candidate
+//! pool.
+
+use smarth_core::ids::DatanodeId;
+use smarth_core::proto::DatanodeInfo;
+use smarth_core::topology::{NetworkTopology, TopologyNode};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+struct DatanodeEntry {
+    info: DatanodeInfo,
+    last_heartbeat: Instant,
+    used: u64,
+    capacity: u64,
+    active_transfers: u32,
+    /// Administratively removed (host declared dead by the cluster).
+    decommissioned: bool,
+}
+
+/// Registry of datanodes, owned by the namenode.
+#[derive(Debug)]
+pub struct DatanodeManager {
+    entries: HashMap<DatanodeId, DatanodeEntry>,
+    topology: NetworkTopology,
+    next_id: u32,
+    expiry: Duration,
+}
+
+impl DatanodeManager {
+    pub fn new(expiry: Duration) -> Self {
+        Self {
+            entries: HashMap::new(),
+            topology: NetworkTopology::new(),
+            next_id: 0,
+            expiry,
+        }
+    }
+
+    /// Registers a datanode and returns its id. Re-registration of the
+    /// same host name revives and reuses the old id (a restarted node).
+    pub fn register(
+        &mut self,
+        host_name: &str,
+        rack: &str,
+        data_addr: &str,
+        capacity: u64,
+    ) -> DatanodeId {
+        if let Some((id, entry)) = self
+            .entries
+            .iter_mut()
+            .find(|(_, e)| e.info.host_name == host_name)
+        {
+            entry.last_heartbeat = Instant::now();
+            entry.decommissioned = false;
+            entry.info.rack = rack.to_string();
+            entry.info.addr = data_addr.to_string();
+            let id = *id;
+            self.topology.add(TopologyNode {
+                id,
+                rack: rack.to_string(),
+                host_name: host_name.to_string(),
+            });
+            return id;
+        }
+        let id = DatanodeId(self.next_id);
+        self.next_id += 1;
+        self.entries.insert(
+            id,
+            DatanodeEntry {
+                info: DatanodeInfo {
+                    id,
+                    host_name: host_name.to_string(),
+                    rack: rack.to_string(),
+                    addr: data_addr.to_string(),
+                },
+                last_heartbeat: Instant::now(),
+                used: 0,
+                capacity,
+                active_transfers: 0,
+                decommissioned: false,
+            },
+        );
+        self.topology.add(TopologyNode {
+            id,
+            rack: rack.to_string(),
+            host_name: host_name.to_string(),
+        });
+        id
+    }
+
+    /// Records a heartbeat. Returns false for unknown nodes (they must
+    /// re-register).
+    pub fn heartbeat(&mut self, id: DatanodeId, used: u64, active_transfers: u32) -> bool {
+        match self.entries.get_mut(&id) {
+            Some(e) if !e.decommissioned => {
+                e.last_heartbeat = Instant::now();
+                e.used = used;
+                e.active_transfers = active_transfers;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn is_live(&self, e: &DatanodeEntry) -> bool {
+        !e.decommissioned && e.last_heartbeat.elapsed() < self.expiry
+    }
+
+    /// Marks a node dead immediately (operator action / cluster fault
+    /// injection). The topology drops it right away.
+    pub fn decommission(&mut self, id: DatanodeId) {
+        if let Some(e) = self.entries.get_mut(&id) {
+            e.decommissioned = true;
+        }
+        self.topology.remove(id);
+    }
+
+    /// Sweeps expired nodes out of the topology; returns the ids that
+    /// died since the last sweep. Call from the heartbeat monitor.
+    pub fn expire_dead(&mut self) -> Vec<DatanodeId> {
+        let mut dead = Vec::new();
+        let expiry = self.expiry;
+        for (id, e) in self.entries.iter_mut() {
+            if !e.decommissioned && e.last_heartbeat.elapsed() >= expiry {
+                e.decommissioned = true;
+                dead.push(*id);
+            }
+        }
+        for id in &dead {
+            self.topology.remove(*id);
+        }
+        dead
+    }
+
+    /// Currently live datanode ids.
+    pub fn alive(&self) -> Vec<DatanodeId> {
+        let mut v: Vec<DatanodeId> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| self.is_live(e))
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    pub fn alive_count(&self) -> usize {
+        self.entries.values().filter(|e| self.is_live(e)).count()
+    }
+
+    pub fn info(&self, id: DatanodeId) -> Option<DatanodeInfo> {
+        self.entries.get(&id).map(|e| e.info.clone())
+    }
+
+    pub fn infos(&self, ids: &[DatanodeId]) -> Vec<DatanodeInfo> {
+        ids.iter().filter_map(|id| self.info(*id)).collect()
+    }
+
+    /// The namenode's topology view (live nodes only).
+    pub fn topology(&self) -> &NetworkTopology {
+        &self.topology
+    }
+
+    pub fn is_alive(&self, id: DatanodeId) -> bool {
+        self.entries.get(&id).is_some_and(|e| self.is_live(e))
+    }
+
+    /// Reported capacity and usage of a datanode (cluster tooling).
+    pub fn usage(&self, id: DatanodeId) -> Option<(u64, u64)> {
+        self.entries.get(&id).map(|e| (e.used, e.capacity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> DatanodeManager {
+        DatanodeManager::new(Duration::from_millis(100))
+    }
+
+    #[test]
+    fn register_assigns_sequential_ids() {
+        let mut m = mgr();
+        let a = m.register("dn0", "rack-a", "dn0:50010", 1 << 30);
+        let b = m.register("dn1", "rack-b", "dn1:50010", 1 << 30);
+        assert_ne!(a, b);
+        assert_eq!(m.alive(), vec![a, b]);
+        assert_eq!(m.topology().len(), 2);
+        assert_eq!(m.info(a).unwrap().rack, "rack-a");
+    }
+
+    #[test]
+    fn reregistration_reuses_id() {
+        let mut m = mgr();
+        let a = m.register("dn0", "rack-a", "dn0:50010", 1);
+        m.decommission(a);
+        assert!(!m.is_alive(a));
+        let a2 = m.register("dn0", "rack-a", "dn0:50011", 1);
+        assert_eq!(a, a2, "restart must reuse the id");
+        assert!(m.is_alive(a));
+        assert_eq!(m.info(a).unwrap().addr, "dn0:50011");
+    }
+
+    #[test]
+    fn heartbeat_keeps_node_alive() {
+        let mut m = mgr();
+        let a = m.register("dn0", "r", "dn0:1", 1);
+        for _ in 0..5 {
+            std::thread::sleep(Duration::from_millis(40));
+            assert!(m.heartbeat(a, 10, 1));
+            assert!(m.is_alive(a), "heartbeating node must stay alive");
+        }
+    }
+
+    #[test]
+    fn missing_heartbeats_expire_node() {
+        let mut m = mgr();
+        let a = m.register("dn0", "r", "dn0:1", 1);
+        let b = m.register("dn1", "r", "dn1:1", 1);
+        std::thread::sleep(Duration::from_millis(60));
+        m.heartbeat(b, 0, 0);
+        std::thread::sleep(Duration::from_millis(60));
+        // a has been silent ~120ms (> 100ms expiry); b only ~60ms.
+        assert!(!m.is_alive(a));
+        assert!(m.is_alive(b));
+        let dead = m.expire_dead();
+        assert_eq!(dead, vec![a]);
+        assert_eq!(m.topology().len(), 1);
+        // Sweep is idempotent.
+        assert!(m.expire_dead().is_empty());
+        // Expired nodes reject heartbeats until re-registering.
+        assert!(!m.heartbeat(a, 0, 0));
+    }
+
+    #[test]
+    fn decommission_removes_from_topology_immediately() {
+        let mut m = mgr();
+        let a = m.register("dn0", "r", "dn0:1", 1);
+        m.decommission(a);
+        assert_eq!(m.alive_count(), 0);
+        assert_eq!(m.topology().len(), 0);
+        assert!(!m.heartbeat(a, 0, 0));
+    }
+
+    #[test]
+    fn infos_filters_unknown_ids() {
+        let mut m = mgr();
+        let a = m.register("dn0", "r", "dn0:1", 1);
+        let got = m.infos(&[a, DatanodeId(99)]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].id, a);
+    }
+
+    #[test]
+    fn unknown_heartbeat_rejected() {
+        let mut m = mgr();
+        assert!(!m.heartbeat(DatanodeId(5), 0, 0));
+    }
+}

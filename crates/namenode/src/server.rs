@@ -1,0 +1,864 @@
+//! The namenode: RPC handlers plus the fabric server loops.
+//!
+//! All protocol logic lives in [`NameNodeState::handle_client_request`] /
+//! [`NameNodeState::handle_datanode_request`], which are plain functions
+//! over the state — unit-testable without any networking. [`NameNode`]
+//! wraps the state with fabric listeners (one address for clients, one
+//! for datanodes) and a heartbeat-expiry sweeper thread.
+
+use crate::block_mgr::BlockManager;
+use crate::datanode_mgr::DatanodeManager;
+use crate::namespace::FsNamespace;
+use parking_lot::Mutex;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use smarth_core::config::{DfsConfig, WriteMode};
+use smarth_core::error::{DfsError, DfsResult};
+use smarth_core::ids::{ClientId, DatanodeId, IdGenerator};
+use smarth_core::placement::{
+    default_placement, replacement_targets, smarth_placement, ClientLocality,
+};
+use smarth_core::proto::{
+    ClientRequest, ClientResponse, DatanodeRequest, DatanodeResponse, LocatedBlock,
+};
+use smarth_core::speed::NamenodeSpeedRegistry;
+use smarth_core::wire::{recv_message, send_message};
+use smarth_fabric::{Fabric, Listener};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-datanode line of a [`ClusterReport`].
+#[derive(Debug, Clone)]
+pub struct DatanodeReport {
+    pub id: DatanodeId,
+    pub host_name: String,
+    pub rack: String,
+    pub used_bytes: u64,
+    pub capacity_bytes: u64,
+}
+
+/// Snapshot of cluster health — the `dfsadmin -report` equivalent.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    pub live_datanodes: Vec<DatanodeReport>,
+    pub blocks: usize,
+    pub files: usize,
+    pub safe_mode: bool,
+}
+
+impl ClusterReport {
+    pub fn total_used(&self) -> u64 {
+        self.live_datanodes.iter().map(|d| d.used_bytes).sum()
+    }
+}
+
+/// Session info the namenode keeps per registered client.
+#[derive(Debug, Clone)]
+struct ClientSession {
+    host_name: String,
+    rack: String,
+}
+
+/// All namenode state. Lock order (when multiple are held):
+/// `namespace` → `blocks` → `datanodes` → `speeds`.
+pub struct NameNodeState {
+    pub config: DfsConfig,
+    namespace: Mutex<FsNamespace>,
+    blocks: Mutex<BlockManager>,
+    datanodes: Mutex<DatanodeManager>,
+    speeds: Mutex<NamenodeSpeedRegistry>,
+    clients: Mutex<HashMap<ClientId, ClientSession>>,
+    client_ids: IdGenerator,
+    rng: Mutex<ChaCha8Rng>,
+}
+
+impl NameNodeState {
+    pub fn new(config: DfsConfig, seed: u64) -> Self {
+        let expiry = Duration::from_secs_f64(
+            config.heartbeat_interval.as_secs_f64() * config.heartbeat_expiry_multiplier as f64,
+        );
+        Self {
+            config,
+            namespace: Mutex::new(FsNamespace::new()),
+            blocks: Mutex::new(BlockManager::new()),
+            datanodes: Mutex::new(DatanodeManager::new(expiry)),
+            speeds: Mutex::new(NamenodeSpeedRegistry::new()),
+            clients: Mutex::new(HashMap::new()),
+            client_ids: IdGenerator::starting_at(1),
+            rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Sweeps heartbeat-expired datanodes, purging their replicas and
+    /// speed records. Returns the newly dead ids.
+    pub fn expire_dead_datanodes(&self) -> Vec<DatanodeId> {
+        let dead = self.datanodes.lock().expire_dead();
+        if !dead.is_empty() {
+            let mut blocks = self.blocks.lock();
+            let mut speeds = self.speeds.lock();
+            for dn in &dead {
+                blocks.forget_datanode(*dn);
+                speeds.forget_datanode(*dn);
+            }
+        }
+        dead
+    }
+
+    fn locality_of(&self, client: ClientId) -> ClientLocality {
+        let sessions = self.clients.lock();
+        let session = sessions.get(&client);
+        let (host_name, rack) = match session {
+            Some(s) => (s.host_name.clone(), s.rack.clone()),
+            None => (String::new(), String::new()),
+        };
+        // The client is "on" a datanode if host names match (HDFS's
+        // first-replica-local rule).
+        let local_datanode = {
+            let dns = self.datanodes.lock();
+            dns.alive()
+                .into_iter()
+                .find(|id| dns.info(*id).is_some_and(|i| i.host_name == host_name))
+        };
+        ClientLocality {
+            client,
+            rack,
+            local_datanode,
+        }
+    }
+
+    fn allocate_block(
+        &self,
+        client: ClientId,
+        file_id: smarth_core::ids::FileId,
+        excluded: &[DatanodeId],
+    ) -> DfsResult<LocatedBlock> {
+        let mode = self.namespace.lock().mode_of(file_id)?;
+        let replication = self.namespace.lock().replication_of(file_id)? as usize;
+        let locality = self.locality_of(client);
+
+        let dns = self.datanodes.lock();
+        let alive = dns.alive();
+        let topo = dns.topology();
+        let mut rng = self.rng.lock();
+        let target_ids = match mode {
+            WriteMode::Hdfs => {
+                default_placement(topo, &mut *rng, &locality, replication, excluded)?
+            }
+            WriteMode::Smarth => {
+                let speeds = self.speeds.lock();
+                smarth_placement(
+                    topo,
+                    &speeds,
+                    &mut *rng,
+                    &locality,
+                    replication,
+                    alive.len(),
+                    excluded,
+                )?
+            }
+        };
+        drop(rng);
+        let targets = dns.infos(&target_ids);
+        if targets.len() != target_ids.len() {
+            return Err(DfsError::internal("placement returned unknown datanode"));
+        }
+        drop(dns);
+
+        let block = self.blocks.lock().allocate(file_id, &target_ids);
+        self.namespace.lock().append_block(client, file_id, block)?;
+        Ok(LocatedBlock { block, targets })
+    }
+
+    /// Handles one client RPC. Never panics on malformed input — every
+    /// failure becomes `ClientResponse::Error`.
+    pub fn handle_client_request(&self, req: ClientRequest) -> ClientResponse {
+        match self.try_handle_client(req) {
+            Ok(resp) => resp,
+            Err(e) => ClientResponse::Error(e.to_string()),
+        }
+    }
+
+    fn try_handle_client(&self, req: ClientRequest) -> DfsResult<ClientResponse> {
+        match req {
+            ClientRequest::Register { host_name, rack } => {
+                let id = ClientId(self.client_ids.allocate());
+                self.clients
+                    .lock()
+                    .insert(id, ClientSession { host_name, rack });
+                Ok(ClientResponse::Registered { client: id })
+            }
+            ClientRequest::Create {
+                client,
+                path,
+                replication,
+                block_size,
+                overwrite,
+                mode,
+            } => {
+                let file_id = self.namespace.lock().create_file(
+                    client,
+                    &path,
+                    replication,
+                    block_size,
+                    mode,
+                    overwrite,
+                )?;
+                Ok(ClientResponse::Created { file_id })
+            }
+            ClientRequest::AddBlock {
+                client,
+                file_id,
+                previous,
+                excluded,
+            } => {
+                if let Some(prev) = previous {
+                    self.namespace.lock().update_block(client, file_id, prev)?;
+                }
+                let located = self.allocate_block(client, file_id, &excluded)?;
+                Ok(ClientResponse::BlockAllocated(located))
+            }
+            ClientRequest::CommitBlock {
+                client,
+                file_id,
+                block,
+            } => {
+                self.namespace.lock().update_block(client, file_id, block)?;
+                Ok(ClientResponse::Committed)
+            }
+            ClientRequest::Complete {
+                client,
+                file_id,
+                last,
+            } => {
+                self.namespace.lock().complete_file(client, file_id, last)?;
+                Ok(ClientResponse::Completed)
+            }
+            ClientRequest::AbandonBlock {
+                client,
+                file_id,
+                block,
+            } => {
+                self.namespace.lock().remove_block(client, file_id, block)?;
+                self.blocks.lock().retire(block);
+                Ok(ClientResponse::Abandoned)
+            }
+            ClientRequest::GetAdditionalDatanodes {
+                client: _,
+                block,
+                existing,
+                wanted,
+            } => {
+                let dns = self.datanodes.lock();
+                let mut rng = self.rng.lock();
+                let _ = self.blocks.lock().generation(block)?; // must exist
+                let replacements = replacement_targets(
+                    dns.topology(),
+                    &mut *rng,
+                    &existing,
+                    &[],
+                    wanted as usize,
+                )?;
+                Ok(ClientResponse::AdditionalDatanodes {
+                    targets: dns.infos(&replacements),
+                })
+            }
+            ClientRequest::BeginBlockRecovery { client: _, block } => {
+                let new_gen = self.blocks.lock().begin_recovery(block)?;
+                Ok(ClientResponse::RecoveryStamp { new_gen })
+            }
+            ClientRequest::ReportSpeeds { client, records } => {
+                self.speeds.lock().ingest(client, &records);
+                Ok(ClientResponse::SpeedsAck)
+            }
+            ClientRequest::GetFileInfo { path } => Ok(ClientResponse::FileInfo(
+                self.namespace.lock().get_file_info(&path),
+            )),
+            ClientRequest::GetBlockLocations { path } => {
+                let ns = self.namespace.lock();
+                let file = ns.resolve_file(&path)?;
+                let blocks = ns.blocks_of(file)?;
+                drop(ns);
+                let bm = self.blocks.lock();
+                let dns = self.datanodes.lock();
+                let located = blocks
+                    .into_iter()
+                    .map(|b| LocatedBlock {
+                        block: b,
+                        targets: dns.infos(&bm.locations(b.id)),
+                    })
+                    .collect();
+                Ok(ClientResponse::BlockLocations { blocks: located })
+            }
+            ClientRequest::List { path } => Ok(ClientResponse::Listing {
+                entries: self.namespace.lock().list(&path)?,
+            }),
+            ClientRequest::Delete { path } => {
+                let removed = self.namespace.lock().delete_file(&path)?;
+                match removed {
+                    Some(blocks) => {
+                        let mut bm = self.blocks.lock();
+                        for b in blocks {
+                            bm.retire(b.id);
+                        }
+                        Ok(ClientResponse::Deleted { existed: true })
+                    }
+                    None => Ok(ClientResponse::Deleted { existed: false }),
+                }
+            }
+        }
+    }
+
+    /// Handles one datanode RPC.
+    pub fn handle_datanode_request(&self, req: DatanodeRequest) -> DatanodeResponse {
+        match req {
+            DatanodeRequest::Register {
+                host_name,
+                rack,
+                data_addr,
+                capacity,
+            } => {
+                let id =
+                    self.datanodes
+                        .lock()
+                        .register(&host_name, &rack, &data_addr, capacity);
+                DatanodeResponse::Registered { id }
+            }
+            DatanodeRequest::Heartbeat {
+                id,
+                used,
+                active_transfers,
+            } => {
+                if self.datanodes.lock().heartbeat(id, used, active_transfers) {
+                    DatanodeResponse::HeartbeatAck
+                } else {
+                    DatanodeResponse::Error(format!("unknown or dead datanode {id}"))
+                }
+            }
+            DatanodeRequest::BlockReceived { id, block } => {
+                match self.blocks.lock().block_received(id, block) {
+                    Ok(()) => DatanodeResponse::BlockReceivedAck,
+                    Err(e) => DatanodeResponse::Error(e.to_string()),
+                }
+            }
+        }
+    }
+
+    /// `dfsadmin -report` equivalent: a snapshot of cluster health.
+    pub fn cluster_report(&self) -> ClusterReport {
+        let dns = self.datanodes.lock();
+        let nodes = dns
+            .alive()
+            .into_iter()
+            .map(|id| {
+                let info = dns.info(id).expect("alive node has info");
+                let (used, capacity) = dns.usage(id).unwrap_or((0, 0));
+                DatanodeReport {
+                    id,
+                    host_name: info.host_name,
+                    rack: info.rack,
+                    used_bytes: used,
+                    capacity_bytes: capacity,
+                }
+            })
+            .collect::<Vec<_>>();
+        drop(dns);
+        let blocks = self.blocks.lock().block_count();
+        // Take the namespace lock once: lock guards created inside a
+        // struct literal live to the end of the statement, so two
+        // `.lock()` temporaries there would self-deadlock.
+        let ns = self.namespace.lock();
+        let files = ns.inode_count();
+        let safe_mode = ns.safe_mode();
+        drop(ns);
+        ClusterReport {
+            blocks,
+            files,
+            safe_mode,
+            live_datanodes: nodes,
+        }
+    }
+
+    // --- inspection helpers used by cluster tooling and tests ---
+
+    pub fn alive_datanodes(&self) -> Vec<DatanodeId> {
+        self.datanodes.lock().alive()
+    }
+
+    pub fn replica_count(&self, block: smarth_core::ids::BlockId) -> usize {
+        self.blocks.lock().replica_count(block)
+    }
+
+    pub fn has_speed_records(&self, client: ClientId) -> bool {
+        self.speeds.lock().has_records_for(client)
+    }
+
+    pub fn decommission(&self, dn: DatanodeId) {
+        self.datanodes.lock().decommission(dn);
+        self.blocks.lock().forget_datanode(dn);
+        self.speeds.lock().forget_datanode(dn);
+    }
+
+    pub fn set_safe_mode(&self, on: bool) {
+        self.namespace.lock().set_safe_mode(on);
+    }
+}
+
+/// A running namenode: state + server threads on the fabric.
+pub struct NameNode {
+    state: Arc<NameNodeState>,
+    host: String,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl NameNode {
+    pub const CLIENT_PORT: &'static str = "8020";
+    pub const DATANODE_PORT: &'static str = "8021";
+
+    /// Starts the namenode's listeners on `host` (which must already be a
+    /// fabric host) and the expiry sweeper.
+    pub fn start(fabric: &Fabric, host: &str, config: DfsConfig, seed: u64) -> DfsResult<Self> {
+        let state = Arc::new(NameNodeState::new(config, seed));
+        let stop = Arc::new(AtomicBool::new(false));
+        let client_listener = fabric.listen(&format!("{host}:{}", Self::CLIENT_PORT))?;
+        let dn_listener = fabric.listen(&format!("{host}:{}", Self::DATANODE_PORT))?;
+
+        let mut threads = Vec::new();
+        threads.push(spawn_accept_loop(
+            "nn-client-accept",
+            client_listener,
+            Arc::clone(&state),
+            Arc::clone(&stop),
+            |state, req| state.handle_client_request(req),
+        ));
+        threads.push(spawn_accept_loop(
+            "nn-datanode-accept",
+            dn_listener,
+            Arc::clone(&state),
+            Arc::clone(&stop),
+            |state, req| state.handle_datanode_request(req),
+        ));
+
+        // Heartbeat expiry sweeper.
+        {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let interval =
+                Duration::from_secs_f64(state.config.heartbeat_interval.as_secs_f64()).max(
+                    Duration::from_millis(10),
+                );
+            threads.push(
+                std::thread::Builder::new()
+                    .name("nn-expiry".into())
+                    .spawn(move || {
+                        while !stop.load(Ordering::SeqCst) {
+                            std::thread::sleep(interval);
+                            state.expire_dead_datanodes();
+                        }
+                    })
+                    .expect("spawn sweeper"),
+            );
+        }
+
+        Ok(Self {
+            state,
+            host: host.to_string(),
+            stop,
+            threads,
+        })
+    }
+
+    pub fn state(&self) -> &Arc<NameNodeState> {
+        &self.state
+    }
+
+    pub fn client_addr(&self) -> String {
+        format!("{}:{}", self.host, Self::CLIENT_PORT)
+    }
+
+    pub fn datanode_addr(&self) -> String {
+        format!("{}:{}", self.host, Self::DATANODE_PORT)
+    }
+
+    /// Signals all server threads to stop and joins them. The fabric
+    /// must be shut down (or the listeners' host killed) first/likewise
+    /// for accept loops blocked on idle listeners — the cluster
+    /// orchestrator does both.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn spawn_accept_loop<Req, Resp, F>(
+    name: &str,
+    listener: Listener,
+    state: Arc<NameNodeState>,
+    stop: Arc<AtomicBool>,
+    handler: F,
+) -> JoinHandle<()>
+where
+    Req: smarth_core::wire::Wire + Send + 'static,
+    Resp: smarth_core::wire::Wire + Send + 'static,
+    F: Fn(&NameNodeState, Req) -> Resp + Send + Sync + Copy + 'static,
+{
+    let accept_stop = Arc::clone(&stop);
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(move || {
+            while !accept_stop.load(Ordering::SeqCst) {
+                match listener.accept_timeout(Duration::from_millis(50)) {
+                    Ok(Some(mut stream)) => {
+                        let state = Arc::clone(&state);
+                        let conn_stop = Arc::clone(&accept_stop);
+                        std::thread::Builder::new()
+                            .name("nn-conn".into())
+                            .spawn(move || {
+                                while !conn_stop.load(Ordering::SeqCst) {
+                                    let req: Req = match recv_message(&mut stream) {
+                                        Ok(r) => r,
+                                        Err(_) => break, // peer closed
+                                    };
+                                    let resp = handler(&state, req);
+                                    if send_message(&mut stream, &resp).is_err() {
+                                        break;
+                                    }
+                                }
+                            })
+                            .expect("spawn conn handler");
+                    }
+                    Ok(None) => continue,
+                    Err(_) => break, // fabric shut down
+                }
+            }
+        })
+        .expect("spawn accept loop")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarth_core::ids::ExtendedBlock;
+    use smarth_core::proto::SpeedRecord;
+
+    fn state_with_datanodes(n: u32) -> (NameNodeState, Vec<DatanodeId>) {
+        let st = NameNodeState::new(DfsConfig::test_scale(), 7);
+        let ids = (0..n)
+            .map(|i| {
+                let rack = if i < n.div_ceil(2) { "rack-a" } else { "rack-b" };
+                match st.handle_datanode_request(DatanodeRequest::Register {
+                    host_name: format!("dn{i}"),
+                    rack: rack.into(),
+                    data_addr: format!("dn{i}:50010"),
+                    capacity: 1 << 30,
+                }) {
+                    DatanodeResponse::Registered { id } => id,
+                    other => panic!("unexpected {other:?}"),
+                }
+            })
+            .collect();
+        (st, ids)
+    }
+
+    fn register_client(st: &NameNodeState) -> ClientId {
+        match st.handle_client_request(ClientRequest::Register {
+            host_name: "client".into(),
+            rack: "rack-a".into(),
+        }) {
+            ClientResponse::Registered { client } => client,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    fn create(st: &NameNodeState, client: ClientId, path: &str, mode: WriteMode) -> smarth_core::ids::FileId {
+        match st.handle_client_request(ClientRequest::Create {
+            client,
+            path: path.into(),
+            replication: 3,
+            block_size: 1 << 20,
+            overwrite: false,
+            mode,
+        }) {
+            ClientResponse::Created { file_id } => file_id,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_write_rpc_sequence() {
+        let (st, _dns) = state_with_datanodes(9);
+        let client = register_client(&st);
+        let file = create(&st, client, "/a/b.bin", WriteMode::Hdfs);
+
+        let lb = match st.handle_client_request(ClientRequest::AddBlock {
+            client,
+            file_id: file,
+            previous: None,
+            excluded: vec![],
+        }) {
+            ClientResponse::BlockAllocated(lb) => lb,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(lb.targets.len(), 3);
+        let done = ExtendedBlock::new(lb.block.id, lb.block.gen, 999);
+
+        // blockReceived from each target.
+        for t in &lb.targets {
+            assert_eq!(
+                st.handle_datanode_request(DatanodeRequest::BlockReceived {
+                    id: t.id,
+                    block: done,
+                }),
+                DatanodeResponse::BlockReceivedAck
+            );
+        }
+        assert_eq!(st.replica_count(lb.block.id), 3);
+
+        // Second block commits the first.
+        let lb2 = match st.handle_client_request(ClientRequest::AddBlock {
+            client,
+            file_id: file,
+            previous: Some(done),
+            excluded: vec![],
+        }) {
+            ClientResponse::BlockAllocated(lb) => lb,
+            other => panic!("unexpected {other:?}"),
+        };
+        let done2 = ExtendedBlock::new(lb2.block.id, lb2.block.gen, 500);
+        assert_eq!(
+            st.handle_client_request(ClientRequest::Complete {
+                client,
+                file_id: file,
+                last: Some(done2),
+            }),
+            ClientResponse::Completed
+        );
+        match st.handle_client_request(ClientRequest::GetFileInfo { path: "/a/b.bin".into() }) {
+            ClientResponse::FileInfo(Some(info)) => {
+                assert!(info.complete);
+                assert_eq!(info.len, 1499);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Locations include the confirmed replicas of block 1.
+        match st.handle_client_request(ClientRequest::GetBlockLocations { path: "/a/b.bin".into() }) {
+            ClientResponse::BlockLocations { blocks } => {
+                assert_eq!(blocks.len(), 2);
+                assert_eq!(blocks[0].targets.len(), 3);
+                assert!(blocks[1].targets.is_empty(), "no blockReceived for block 2");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn smarth_placement_uses_reported_speeds() {
+        let (st, dns) = state_with_datanodes(9);
+        let client = register_client(&st);
+        let file = create(&st, client, "/s.bin", WriteMode::Smarth);
+
+        // Report dn8 as blazing fast, everyone else slow.
+        let records: Vec<SpeedRecord> = dns
+            .iter()
+            .enumerate()
+            .map(|(i, id)| SpeedRecord {
+                datanode: *id,
+                bytes_per_sec: if i == 8 { 1e9 } else { 1e3 + i as f64 },
+                samples: 1,
+            })
+            .collect();
+        assert_eq!(
+            st.handle_client_request(ClientRequest::ReportSpeeds { client, records }),
+            ClientResponse::SpeedsAck
+        );
+        assert!(st.has_speed_records(client));
+
+        // n = 9/3 = 3 → top-3 = {dn8, dn7?, ...}: dn8 has 1e9, others
+        // 1e3.. so top-3 = dn8, dn7(1010), dn6(1009)... wait speeds are
+        // 1e3+i → top besides dn8 are dn7, dn6. First target must be one
+        // of those three; over many draws dn8 must appear.
+        let mut firsts = std::collections::BTreeSet::new();
+        for _ in 0..60 {
+            match st.handle_client_request(ClientRequest::AddBlock {
+                client,
+                file_id: file,
+                previous: None,
+                excluded: vec![],
+            }) {
+                ClientResponse::BlockAllocated(lb) => {
+                    firsts.insert(lb.targets[0].id);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        for f in &firsts {
+            assert!(
+                [dns[8], dns[7], dns[6]].contains(f),
+                "first target {f} outside top-3"
+            );
+        }
+        assert!(firsts.contains(&dns[8]));
+    }
+
+    #[test]
+    fn add_block_fails_when_all_nodes_excluded() {
+        let (st, dns) = state_with_datanodes(6);
+        let client = register_client(&st);
+        let file = create(&st, client, "/x.bin", WriteMode::Hdfs);
+        let resp = st.handle_client_request(ClientRequest::AddBlock {
+            client,
+            file_id: file,
+            previous: None,
+            excluded: dns.clone(),
+        });
+        assert!(matches!(resp, ClientResponse::Error(_)), "got {resp:?}");
+    }
+
+    #[test]
+    fn additional_datanodes_for_recovery() {
+        let (st, dns) = state_with_datanodes(5);
+        let client = register_client(&st);
+        let file = create(&st, client, "/r.bin", WriteMode::Hdfs);
+        let lb = match st.handle_client_request(ClientRequest::AddBlock {
+            client,
+            file_id: file,
+            previous: None,
+            excluded: vec![],
+        }) {
+            ClientResponse::BlockAllocated(lb) => lb,
+            other => panic!("unexpected {other:?}"),
+        };
+        let existing: Vec<DatanodeId> = lb.targets.iter().map(|t| t.id).collect();
+        match st.handle_client_request(ClientRequest::GetAdditionalDatanodes {
+            client,
+            block: lb.block.id,
+            existing: existing.clone(),
+            wanted: 1,
+        }) {
+            ClientResponse::AdditionalDatanodes { targets } => {
+                assert_eq!(targets.len(), 1);
+                assert!(!existing.contains(&targets[0].id));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Recovery stamp bump.
+        match st.handle_client_request(ClientRequest::BeginBlockRecovery {
+            client,
+            block: lb.block.id,
+        }) {
+            ClientResponse::RecoveryStamp { new_gen } => {
+                assert_eq!(new_gen, lb.block.gen.next());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let _ = dns;
+    }
+
+    #[test]
+    fn decommission_excludes_node_from_placement() {
+        let (st, dns) = state_with_datanodes(4);
+        let client = register_client(&st);
+        let file = create(&st, client, "/d.bin", WriteMode::Hdfs);
+        st.decommission(dns[0]);
+        assert_eq!(st.alive_datanodes().len(), 3);
+        for _ in 0..30 {
+            match st.handle_client_request(ClientRequest::AddBlock {
+                client,
+                file_id: file,
+                previous: None,
+                excluded: vec![],
+            }) {
+                ClientResponse::BlockAllocated(lb) => {
+                    assert!(lb.targets.iter().all(|t| t.id != dns[0]));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn delete_retires_blocks() {
+        let (st, _) = state_with_datanodes(3);
+        let client = register_client(&st);
+        let file = create(&st, client, "/del.bin", WriteMode::Hdfs);
+        let lb = match st.handle_client_request(ClientRequest::AddBlock {
+            client,
+            file_id: file,
+            previous: None,
+            excluded: vec![],
+        }) {
+            ClientResponse::BlockAllocated(lb) => lb,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(
+            st.handle_client_request(ClientRequest::Delete { path: "/del.bin".into() }),
+            ClientResponse::Deleted { existed: true }
+        );
+        assert_eq!(
+            st.handle_client_request(ClientRequest::Delete { path: "/del.bin".into() }),
+            ClientResponse::Deleted { existed: false }
+        );
+        // blockReceived for a retired block errors.
+        let resp = st.handle_datanode_request(DatanodeRequest::BlockReceived {
+            id: DatanodeId(0),
+            block: lb.block,
+        });
+        assert!(matches!(resp, DatanodeResponse::Error(_)));
+    }
+
+    #[test]
+    fn cluster_report_snapshot() {
+        let (st, dns) = state_with_datanodes(4);
+        let client = register_client(&st);
+        let file = create(&st, client, "/rep.bin", WriteMode::Hdfs);
+        let lb = match st.handle_client_request(ClientRequest::AddBlock {
+            client,
+            file_id: file,
+            previous: None,
+            excluded: vec![],
+        }) {
+            ClientResponse::BlockAllocated(lb) => lb,
+            other => panic!("unexpected {other:?}"),
+        };
+        // A heartbeat reports usage for the first target.
+        st.handle_datanode_request(DatanodeRequest::Heartbeat {
+            id: lb.targets[0].id,
+            used: 12345,
+            active_transfers: 1,
+        });
+        let report = st.cluster_report();
+        assert_eq!(report.live_datanodes.len(), 4);
+        assert_eq!(report.blocks, 1);
+        assert!(!report.safe_mode);
+        assert_eq!(report.total_used(), 12345);
+        // Decommission drops a node from the report.
+        st.decommission(dns[0]);
+        assert_eq!(st.cluster_report().live_datanodes.len(), 3);
+        // Safe mode is reflected.
+        st.set_safe_mode(true);
+        assert!(st.cluster_report().safe_mode);
+    }
+
+    #[test]
+    fn errors_are_responses_not_panics() {
+        let (st, _) = state_with_datanodes(3);
+        // Unregistered client id in create: file creation still works
+        // (lease is per-id), but AddBlock on a bogus file errors.
+        let resp = st.handle_client_request(ClientRequest::AddBlock {
+            client: ClientId(999),
+            file_id: smarth_core::ids::FileId(424242),
+            previous: None,
+            excluded: vec![],
+        });
+        assert!(matches!(resp, ClientResponse::Error(_)));
+        let resp = st.handle_client_request(ClientRequest::GetBlockLocations {
+            path: "/nope".into(),
+        });
+        assert!(matches!(resp, ClientResponse::Error(_)));
+    }
+}

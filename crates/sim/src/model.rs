@@ -1,0 +1,859 @@
+//! The discrete-event model of one file upload, at full paper scale.
+//!
+//! The simulator replays the exact protocol state machines of the real
+//! implementation — packet-granular store-and-forward pipelines, per-hop
+//! forward buffers with credit backpressure (§IV-C), in-order ack
+//! aggregation, FNFA-triggered pipelining (§III-A), speed tracking with
+//! 3-second heartbeat flushes (§III-B) and the placement algorithms of
+//! §III-B/C (shared *code* with the real namenode/client via
+//! `smarth-core`) — over [`RateServer`]s standing in for NICs, `tc` pair
+//! shapers and disks. Virtual time makes an 8 GB upload over a
+//! 50 Mbps-throttled cluster take milliseconds of wall time and produce
+//! bit-identical results for a given seed.
+
+use crate::server::RateServer;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use smarth_core::config::{ClusterSpec, DfsConfig, HostRole, WriteMode};
+use smarth_core::ids::{ClientId, DatanodeId};
+use smarth_core::localopt::{local_optimize, LocalOptOutcome};
+use smarth_core::placement::{default_placement, smarth_placement, ClientLocality};
+use smarth_core::proto::DatanodeInfo;
+use smarth_core::speed::{ClientSpeedTracker, NamenodeSpeedRegistry};
+use smarth_core::topology::{NetworkTopology, TopologyNode};
+use smarth_core::units::{Bandwidth, ByteSize, SimDuration, SimInstant};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+
+/// Which protocol features are active — [`WriteMode`] decomposed into
+/// its mechanisms so ablations can toggle them independently.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtocolFlags {
+    /// §III-A: allocate the next block on FNFA instead of waiting for
+    /// the full pipeline ack (the asynchronous multi-pipeline transfer).
+    pub fnfa_pipelining: bool,
+    /// Algorithm 1: speed-aware first-datanode selection at the namenode.
+    pub smart_placement: bool,
+    /// Algorithm 2: client-side re-sort + ε-exploration.
+    pub local_opt: bool,
+    /// §IV-C: first-datanode forward buffer. `None` uses the config's
+    /// `datanode_client_buffer` in SMARTH-style modes and the small
+    /// store-and-forward window in HDFS mode.
+    pub first_node_buffer: Option<ByteSize>,
+}
+
+impl ProtocolFlags {
+    pub fn for_mode(mode: WriteMode) -> Self {
+        match mode {
+            WriteMode::Hdfs => Self {
+                fnfa_pipelining: false,
+                smart_placement: false,
+                local_opt: false,
+                first_node_buffer: None,
+            },
+            WriteMode::Smarth => Self {
+                fnfa_pipelining: true,
+                smart_placement: true,
+                local_opt: true,
+                first_node_buffer: None,
+            },
+        }
+    }
+}
+
+/// One upload experiment.
+#[derive(Debug, Clone)]
+pub struct SimScenario {
+    pub spec: ClusterSpec,
+    pub config: DfsConfig,
+    pub flags: ProtocolFlags,
+    pub file_size: ByteSize,
+    pub seed: u64,
+    /// Uploads run back to back before the measured one, to warm the
+    /// speed records like a long-running cluster (0 = cold client).
+    pub warmup_uploads: u32,
+}
+
+impl SimScenario {
+    pub fn new(spec: ClusterSpec, config: DfsConfig, mode: WriteMode, file_size: ByteSize) -> Self {
+        Self {
+            spec,
+            config,
+            flags: ProtocolFlags::for_mode(mode),
+            file_size,
+            seed: 42,
+            warmup_uploads: 1,
+        }
+    }
+}
+
+/// Measured outcome of one simulated upload.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimResult {
+    pub upload_secs: f64,
+    pub file_bytes: u64,
+    pub blocks: u64,
+    pub throughput_mbps: f64,
+    pub max_concurrent_pipelines: usize,
+    /// Blocks whose first datanode was each node (placement shape).
+    pub first_node_histogram: BTreeMap<u32, u64>,
+    pub explored_swaps: u64,
+    /// Per-pipeline lifecycle, in block order — the raw material behind
+    /// Figure 4's timeline view of overlapped transfers.
+    pub timeline: Vec<PipelineTrace>,
+}
+
+/// Lifecycle of one block's pipeline in the simulation.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineTrace {
+    /// First datanode of the pipeline (raw id).
+    pub first_node: u32,
+    /// Pipeline creation (after the namenode RPC), seconds.
+    pub open_secs: f64,
+    /// FIRST_NODE_FINISH arrival at the client (SMARTH modes only).
+    pub fnfa_secs: Option<f64>,
+    /// Fully acked by every replica.
+    pub done_secs: f64,
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// Client attempts to transmit the next packet of its sending pipe.
+    ClientSend { pipe: usize },
+    /// A packet fully arrived at pipeline position `hop`.
+    Arrive { pipe: usize, hop: usize, pkt: u64 },
+    /// Node at `hop` attempts to forward its next queued packet.
+    Forward { pipe: usize, hop: usize },
+    /// The node's egress NIC finished serializing a forwarded packet —
+    /// the next forward may start (cut-through across devices).
+    EgressFree { pipe: usize, hop: usize },
+    /// A forwarded packet fully cleared the path (ack-clocked drain):
+    /// it stops occupying the node's forward buffer.
+    ForwardDone { pipe: usize, hop: usize, pkt: u64 },
+    /// Disk write finished at `hop`.
+    Stored { pipe: usize, hop: usize, pkt: u64 },
+    /// Ack from downstream arrived at `hop`.
+    AckDown { pipe: usize, hop: usize, pkt: u64 },
+    /// Ack arrived at the client.
+    AckClient { pipe: usize, pkt: u64 },
+    /// FIRST_NODE_FINISH arrived at the client.
+    Fnfa { pipe: usize },
+    /// Client tries to open the next block.
+    TryOpen,
+}
+
+// ---------------------------------------------------------------------------
+// State
+// ---------------------------------------------------------------------------
+
+struct Host {
+    egress: RateServer,
+    ingress: RateServer,
+    disk: RateServer,
+    rack: String,
+}
+
+struct Hop {
+    host: usize,
+    arrived: Vec<Option<SimInstant>>,
+    stored: Vec<Option<SimInstant>>,
+    down_ack: Vec<Option<SimInstant>>,
+    fwd_next: u64,
+    fwd_busy: bool,
+    /// Bytes received but not yet fully forwarded (forward buffer).
+    queue_bytes: u64,
+    waiting_credit: bool,
+}
+
+struct Pipe {
+    targets: Vec<usize>,
+    target_ids: Vec<DatanodeId>,
+    packets: u64,
+    packet_size: u64,
+    last_packet_size: u64,
+    block_bytes: u64,
+    first_global_pkt: u64,
+    next_send: u64,
+    waiting_credit: bool,
+    acked: u64,
+    hops: Vec<Hop>,
+    started: SimInstant,
+    fnfa_at: Option<SimInstant>,
+    done_at: Option<SimInstant>,
+    active: bool,
+}
+
+impl Pipe {
+    fn pkt_size(&self, k: u64) -> u64 {
+        if k + 1 == self.packets {
+            self.last_packet_size
+        } else {
+            self.packet_size
+        }
+    }
+}
+
+struct Sim {
+    now: SimInstant,
+    heap: BinaryHeap<Reverse<(SimInstant, u64, Ev)>>,
+    seq: u64,
+    hosts: Vec<Host>,
+    client_host: usize,
+    /// `tc` pair shapers, one per ordered cross-rack host pair.
+    pairs: HashMap<(usize, usize), RateServer>,
+    cross_rack: Option<Bandwidth>,
+    latency: SimDuration,
+    config: DfsConfig,
+    flags: ProtocolFlags,
+    pipes: Vec<Pipe>,
+    // client protocol state
+    sending: Option<usize>,
+    active_count: usize,
+    next_block: u64,
+    total_blocks: u64,
+    blocks_done: u64,
+    produced_packets_before: u64,
+    upload_start: SimInstant,
+    finished_at: Option<SimInstant>,
+    // policy machinery (shared code with the real system)
+    topo: NetworkTopology,
+    registry: NamenodeSpeedRegistry,
+    tracker: ClientSpeedTracker,
+    infos: Vec<DatanodeInfo>,
+    dn_hosts: Vec<usize>,
+    client_rack: String,
+    rng: ChaCha8Rng,
+    last_speed_flush: SimInstant,
+    // measurement
+    file_size: ByteSize,
+    max_concurrent: usize,
+    first_node_histogram: BTreeMap<u32, u64>,
+    explored_swaps: u64,
+}
+
+const CLIENT: ClientId = ClientId(1);
+
+impl Sim {
+    fn schedule(&mut self, at: SimInstant, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, ev)));
+    }
+
+    fn schedule_now(&mut self, ev: Ev) {
+        let now = self.now;
+        self.schedule(now, ev);
+    }
+
+    fn buffer_of(&self, hop: usize) -> u64 {
+        if hop == 0 {
+            match self.flags.first_node_buffer {
+                Some(b) => b.as_u64(),
+                None => {
+                    if self.flags.fnfa_pipelining {
+                        self.config.datanode_client_buffer.as_u64()
+                    } else {
+                        // Stock HDFS: shallow store-and-forward window.
+                        4 * self.config.packet_size.as_u64()
+                    }
+                }
+            }
+        } else {
+            4 * self.config.packet_size.as_u64()
+        }
+    }
+
+    /// Reserves the server chain from `src` to `dst` (egress → optional
+    /// pair shaper → ingress) and returns
+    /// `(egress_free, chain_done, arrival)`:
+    /// * `egress_free` — when the sender's NIC can start the next packet
+    ///   (cut-through across devices);
+    /// * `chain_done` — when the packet has fully left the path, i.e.
+    ///   when it stops occupying the sender-side forward buffer (this is
+    ///   the ack-clocked drain point TCP send buffers observe);
+    /// * `arrival` — `chain_done` plus propagation latency.
+    fn transmit(
+        &mut self,
+        src: usize,
+        dst: usize,
+        earliest: SimInstant,
+        size: u64,
+    ) -> (SimInstant, SimInstant, SimInstant) {
+        let size = ByteSize::bytes(size);
+        let t_egress = self.hosts[src].egress.reserve(earliest, size);
+        let t_pair = if self.hosts[src].rack != self.hosts[dst].rack {
+            if let Some(bw) = self.cross_rack {
+                self.pairs
+                    .entry((src, dst))
+                    .or_insert_with(|| RateServer::new(bw))
+                    .reserve(t_egress, size)
+            } else {
+                t_egress
+            }
+        } else {
+            t_egress
+        };
+        let t_ingress = self.hosts[dst].ingress.reserve(t_pair, size);
+        (t_egress, t_ingress, t_ingress + self.latency)
+    }
+
+    // -- event handlers ----------------------------------------------------
+
+    fn on_client_send(&mut self, pipe: usize) {
+        if self.sending != Some(pipe) {
+            return;
+        }
+        let (k, size, prod_done, target0, sent_all_after) = {
+            let p = &self.pipes[pipe];
+            if p.next_send >= p.packets {
+                return;
+            }
+            let k = p.next_send;
+            let size = p.pkt_size(k);
+            // Packet production (T_c per packet, continuous since
+            // upload start — §III-D's production model).
+            let global = p.first_global_pkt + k;
+            let prod_done = self.upload_start
+                + SimDuration::from_nanos(
+                    self.config.packet_production_cost.0 * (global - self.produced_packets_before + 1),
+                );
+            (k, size, prod_done, p.targets[0], k + 1 == p.packets)
+        };
+        if prod_done > self.now {
+            self.schedule(prod_done, Ev::ClientSend { pipe });
+            return;
+        }
+        // Credit on the first node's forward buffer (only relevant when
+        // the pipeline actually forwards, i.e. replication > 1).
+        if self.pipes[pipe].hops.len() > 1 {
+            let occ = self.pipes[pipe].hops[0].queue_bytes;
+            if occ + size > self.buffer_of(0) {
+                self.pipes[pipe].waiting_credit = true;
+                return;
+            }
+        }
+        let (egress_free, _chain_done, arrival) =
+            self.transmit(self.client_host, target0, self.now, size);
+        self.pipes[pipe].next_send += 1;
+        self.schedule(arrival, Ev::Arrive { pipe, hop: 0, pkt: k });
+        if !sent_all_after {
+            self.schedule(egress_free, Ev::ClientSend { pipe });
+        }
+        // In SMARTH mode the client stays "sending" until the FNFA; in
+        // HDFS mode until the full ack. Both handled by those events.
+    }
+
+    fn on_arrive(&mut self, pipe: usize, hop: usize, pkt: u64) {
+        let size = self.pipes[pipe].pkt_size(pkt);
+        let host = self.pipes[pipe].hops[hop].host;
+        let n_hops = self.pipes[pipe].hops.len();
+        {
+            let h = &mut self.pipes[pipe].hops[hop];
+            h.arrived[pkt as usize] = Some(self.now);
+            if hop + 1 < n_hops {
+                h.queue_bytes += size;
+            }
+        }
+        // Disk: rate-limited write plus the fixed per-packet T_w.
+        let disk_done = self.hosts[host]
+            .disk
+            .reserve(self.now, ByteSize::bytes(size))
+            + self.config.packet_write_cost;
+        self.schedule(disk_done, Ev::Stored { pipe, hop, pkt });
+        if hop + 1 < n_hops {
+            self.schedule_now(Ev::Forward { pipe, hop });
+        }
+    }
+
+    fn on_forward(&mut self, pipe: usize, hop: usize) {
+        let n_hops = self.pipes[pipe].hops.len();
+        debug_assert!(hop + 1 < n_hops);
+        let (k, size, arrived_at, src, dst) = {
+            let p = &self.pipes[pipe];
+            let h = &p.hops[hop];
+            if h.fwd_busy || h.fwd_next >= p.packets {
+                return;
+            }
+            let k = h.fwd_next;
+            match h.arrived[k as usize] {
+                Some(t) => (
+                    k,
+                    p.pkt_size(k),
+                    t,
+                    h.host,
+                    p.hops[hop + 1].host,
+                ),
+                None => return, // not yet received
+            }
+        };
+        // Credit at the next hop's forward buffer (tail stores only).
+        if hop + 2 < n_hops {
+            let occ = self.pipes[pipe].hops[hop + 1].queue_bytes;
+            if occ + size > self.buffer_of(hop + 1) {
+                self.pipes[pipe].hops[hop].waiting_credit = true;
+                return;
+            }
+        }
+        let earliest = if arrived_at > self.now { arrived_at } else { self.now };
+        let (_egress_free, chain_done, arrival) = self.transmit(src, dst, earliest, size);
+        {
+            let h = &mut self.pipes[pipe].hops[hop];
+            h.fwd_busy = true;
+            h.fwd_next += 1;
+        }
+        // Cut-through: the next forward may start as soon as this
+        // node's egress NIC frees up...
+        self.schedule(_egress_free, Ev::EgressFree { pipe, hop });
+        // ...but the packet occupies the forward buffer until it fully
+        // cleared the path (ack-clocked drain) — this is what makes
+        // small §IV-C buffers push back on the upstream sender.
+        self.schedule(chain_done, Ev::ForwardDone { pipe, hop, pkt: k });
+        self.schedule(arrival, Ev::Arrive { pipe, hop: hop + 1, pkt: k });
+    }
+
+    fn on_egress_free(&mut self, pipe: usize, hop: usize) {
+        self.pipes[pipe].hops[hop].fwd_busy = false;
+        self.schedule_now(Ev::Forward { pipe, hop });
+    }
+
+    fn on_forward_done(&mut self, pipe: usize, hop: usize, pkt: u64) {
+        let size = self.pipes[pipe].pkt_size(pkt);
+        {
+            let h = &mut self.pipes[pipe].hops[hop];
+            h.queue_bytes = h.queue_bytes.saturating_sub(size);
+        }
+        // Wake the upstream credit waiter now that buffer space freed.
+        if hop == 0 {
+            if self.pipes[pipe].waiting_credit {
+                self.pipes[pipe].waiting_credit = false;
+                self.schedule_now(Ev::ClientSend { pipe });
+            }
+        } else if self.pipes[pipe].hops[hop - 1].waiting_credit {
+            self.pipes[pipe].hops[hop - 1].waiting_credit = false;
+            self.schedule_now(Ev::Forward { pipe, hop: hop - 1 });
+        }
+    }
+
+    fn on_stored(&mut self, pipe: usize, hop: usize, pkt: u64) {
+        let n_hops = self.pipes[pipe].hops.len();
+        let is_last_pkt = pkt + 1 == self.pipes[pipe].packets;
+        {
+            let h = &mut self.pipes[pipe].hops[hop];
+            h.stored[pkt as usize] = Some(self.now);
+        }
+        if hop == 0 && is_last_pkt && self.flags.fnfa_pipelining {
+            let at = self.now + self.latency;
+            self.schedule(at, Ev::Fnfa { pipe });
+        }
+        let down_ready =
+            hop + 1 == n_hops || self.pipes[pipe].hops[hop].down_ack[pkt as usize].is_some();
+        if down_ready {
+            self.emit_ack_up(pipe, hop, pkt);
+        }
+    }
+
+    fn on_ack_down(&mut self, pipe: usize, hop: usize, pkt: u64) {
+        self.pipes[pipe].hops[hop].down_ack[pkt as usize] = Some(self.now);
+        if self.pipes[pipe].hops[hop].stored[pkt as usize].is_some() {
+            self.emit_ack_up(pipe, hop, pkt);
+        }
+    }
+
+    fn emit_ack_up(&mut self, pipe: usize, hop: usize, pkt: u64) {
+        let at = self.now + self.latency;
+        if hop == 0 {
+            self.schedule(at, Ev::AckClient { pipe, pkt });
+        } else {
+            self.schedule(at, Ev::AckDown { pipe, hop: hop - 1, pkt });
+        }
+    }
+
+    fn on_ack_client(&mut self, pipe: usize, _pkt: u64) {
+        let p = &mut self.pipes[pipe];
+        p.acked += 1;
+        if p.acked == p.packets && p.active {
+            p.active = false;
+            p.done_at = Some(self.now);
+            self.active_count -= 1;
+            self.blocks_done += 1;
+            if self.sending == Some(pipe) {
+                // HDFS mode: the block completes while still "current".
+                self.sending = None;
+            }
+            if std::env::var_os("SMARTH_SIM_TRACE").is_some() {
+                eprintln!(
+                    "[sim] pipe {pipe} done at {:.3}s targets={:?}",
+                    self.now.as_secs_f64(),
+                    self.pipes[pipe].target_ids
+                );
+            }
+            if self.blocks_done == self.total_blocks {
+                // complete() RPC.
+                self.finished_at = Some(self.now + self.config.namenode_rpc_cost);
+            } else {
+                self.schedule_now(Ev::TryOpen);
+            }
+        }
+    }
+
+    fn on_fnfa(&mut self, pipe: usize) {
+        // §III-B: record the observed client→first-datanode speed.
+        let (first, bytes, elapsed) = {
+            let p = &self.pipes[pipe];
+            (
+                p.target_ids[0],
+                p.block_bytes,
+                self.now.elapsed_since(p.started),
+            )
+        };
+        self.tracker
+            .observe(first, ByteSize::bytes(bytes), elapsed);
+        if self.pipes[pipe].fnfa_at.is_none() {
+            self.pipes[pipe].fnfa_at = Some(self.now);
+        }
+        if self.sending == Some(pipe) {
+            self.sending = None;
+            self.schedule_now(Ev::TryOpen);
+        }
+    }
+
+    fn flush_speeds_if_due(&mut self) {
+        let elapsed = self.now.elapsed_since(self.last_speed_flush);
+        if elapsed >= self.config.heartbeat_interval {
+            let records = self.tracker.drain_report();
+            if !records.is_empty() {
+                self.registry.ingest(CLIENT, &records);
+            }
+            self.last_speed_flush = self.now;
+        }
+    }
+
+    fn on_try_open(&mut self) {
+        if self.sending.is_some() || self.next_block >= self.total_blocks {
+            return;
+        }
+        if self.flags.fnfa_pipelining {
+            let max = self.config.max_pipelines(self.dn_hosts.len());
+            if self.active_count >= max {
+                return; // a completion event will retry
+            }
+        } else if self.active_count > 0 {
+            return; // stop-and-wait
+        }
+        self.flush_speeds_if_due();
+
+        // Busy set: §IV-C — one pipeline per datanode per client.
+        let busy: Vec<DatanodeId> = self
+            .pipes
+            .iter()
+            .filter(|p| p.active)
+            .flat_map(|p| p.target_ids.iter().copied())
+            .collect();
+        let locality = ClientLocality {
+            client: CLIENT,
+            rack: self.client_rack.clone(),
+            local_datanode: None,
+        };
+        let replication = self.config.replication;
+        let placement = if self.flags.smart_placement {
+            smarth_placement(
+                &self.topo,
+                &self.registry,
+                &mut self.rng,
+                &locality,
+                replication,
+                self.dn_hosts.len(),
+                &busy,
+            )
+        } else {
+            default_placement(&self.topo, &mut self.rng, &locality, replication, &busy)
+        };
+        let Ok(target_ids) = placement else {
+            return; // all nodes busy; retry on next completion
+        };
+        if target_ids.len() < replication && self.active_count > 0 {
+            // Short pipeline caused by our own busy set (§IV-C): wait
+            // for a pipeline to drain instead of under-replicating.
+            return;
+        }
+        let mut target_infos: Vec<DatanodeInfo> = target_ids
+            .iter()
+            .map(|id| self.infos[id.raw() as usize].clone())
+            .collect();
+        if self.flags.local_opt {
+            if let LocalOptOutcome::Explored { .. } = local_optimize(
+                &mut target_infos,
+                &self.tracker,
+                self.config.local_opt_threshold,
+                &mut self.rng,
+            ) {
+                self.explored_swaps += 1;
+            }
+        }
+        let final_ids: Vec<DatanodeId> = target_infos.iter().map(|t| t.id).collect();
+        let hosts: Vec<usize> = final_ids
+            .iter()
+            .map(|id| self.dn_hosts[id.raw() as usize])
+            .collect();
+
+        // Block geometry.
+        let block_size = self.config.block_size.as_u64();
+        let packet_size = self.config.packet_size.as_u64();
+        let block_index = self.next_block;
+        self.next_block += 1;
+        let file = self.file_size.as_u64();
+        let offset = block_index * block_size;
+        let block_bytes = block_size.min(file - offset);
+        let packets = block_bytes.div_ceil(packet_size).max(1);
+        let last_packet_size = block_bytes - packet_size * (packets - 1);
+        let ppb = self.config.packets_per_block();
+
+        let n_hops = hosts.len();
+        let hops = hosts
+            .iter()
+            .map(|&host| Hop {
+                host,
+                arrived: vec![None; packets as usize],
+                stored: vec![None; packets as usize],
+                down_ack: vec![None; packets as usize],
+                fwd_next: 0,
+                fwd_busy: false,
+                queue_bytes: 0,
+                waiting_credit: false,
+            })
+            .collect();
+        let _ = n_hops;
+
+        // Namenode RPC (T_n) before the first packet can leave.
+        let start = self.now + self.config.namenode_rpc_cost;
+        let pipe_idx = self.pipes.len();
+        *self
+            .first_node_histogram
+            .entry(final_ids[0].raw())
+            .or_insert(0) += 1;
+        self.pipes.push(Pipe {
+            targets: hosts,
+            target_ids: final_ids,
+            packets,
+            packet_size,
+            last_packet_size,
+            block_bytes,
+            first_global_pkt: block_index * ppb,
+            next_send: 0,
+            waiting_credit: false,
+            acked: 0,
+            hops,
+            started: start,
+            fnfa_at: None,
+            done_at: None,
+            active: true,
+        });
+        if std::env::var_os("SMARTH_SIM_TRACE").is_some() {
+            eprintln!(
+                "[sim] pipe {pipe_idx} open at {:.3}s targets={:?} hosts={:?}",
+                self.now.as_secs_f64(),
+                self.pipes[pipe_idx].target_ids,
+                self.pipes[pipe_idx].targets
+            );
+        }
+        self.sending = Some(pipe_idx);
+        self.active_count += 1;
+        self.max_concurrent = self.max_concurrent.max(self.active_count);
+        self.schedule(start, Ev::ClientSend { pipe: pipe_idx });
+    }
+
+    fn run(&mut self) {
+        self.schedule_now(Ev::TryOpen);
+        let mut guard: u64 = 0;
+        while let Some(Reverse((at, _, ev))) = self.heap.pop() {
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            match ev {
+                Ev::ClientSend { pipe } => self.on_client_send(pipe),
+                Ev::Arrive { pipe, hop, pkt } => self.on_arrive(pipe, hop, pkt),
+                Ev::Forward { pipe, hop } => self.on_forward(pipe, hop),
+                Ev::EgressFree { pipe, hop } => self.on_egress_free(pipe, hop),
+                Ev::ForwardDone { pipe, hop, pkt } => self.on_forward_done(pipe, hop, pkt),
+                Ev::Stored { pipe, hop, pkt } => self.on_stored(pipe, hop, pkt),
+                Ev::AckDown { pipe, hop, pkt } => self.on_ack_down(pipe, hop, pkt),
+                Ev::AckClient { pipe, pkt } => self.on_ack_client(pipe, pkt),
+                Ev::Fnfa { pipe } => self.on_fnfa(pipe),
+                Ev::TryOpen => self.on_try_open(),
+            }
+            guard += 1;
+            assert!(
+                guard < 500_000_000,
+                "runaway simulation: {} events without completing",
+                guard
+            );
+            if self.finished_at.is_some() && self.heap.is_empty() {
+                break;
+            }
+        }
+        assert!(
+            self.finished_at.is_some(),
+            "simulation deadlocked: {} of {} blocks done, {} events processed",
+            self.blocks_done,
+            self.total_blocks,
+            guard
+        );
+    }
+}
+
+/// Runs one upload (plus warm-ups) and returns the measured result.
+pub fn simulate_upload(scenario: &SimScenario) -> SimResult {
+    scenario.config.validate().expect("invalid config");
+    assert!(
+        scenario.file_size.as_u64() > 0,
+        "file size must be positive"
+    );
+
+    // Build the static cluster view once; speed state persists across
+    // warm-up uploads like a long-lived client session.
+    let mut topo = NetworkTopology::new();
+    let mut infos = Vec::new();
+    let datanode_specs: Vec<_> = scenario.spec.datanodes().cloned().collect();
+    for (i, h) in datanode_specs.iter().enumerate() {
+        let id = DatanodeId(i as u32);
+        topo.add(TopologyNode {
+            id,
+            rack: h.rack.clone(),
+            host_name: h.name.clone(),
+        });
+        infos.push(DatanodeInfo {
+            id,
+            host_name: h.name.clone(),
+            rack: h.rack.clone(),
+            addr: format!("{}:50010", h.name),
+        });
+    }
+
+    let mut registry = NamenodeSpeedRegistry::new();
+    let mut tracker = ClientSpeedTracker::new(scenario.config.speed_ewma_alpha);
+    let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed);
+    let mut result = None;
+
+    for round in 0..=scenario.warmup_uploads {
+        // Host servers are rebuilt per upload (links idle between runs);
+        // registry/tracker persist (that is the warm-up's purpose).
+        let mut hosts = Vec::new();
+        let mut client_host = usize::MAX;
+        let mut dn_hosts = vec![usize::MAX; datanode_specs.len()];
+        let mut client_rack = String::new();
+        for h in &scenario.spec.hosts {
+            let nic = match h.nic_throttle {
+                Some(t) => h.instance.network_bandwidth().min(t),
+                None => h.instance.network_bandwidth(),
+            };
+            let idx = hosts.len();
+            hosts.push(Host {
+                egress: RateServer::new(nic),
+                ingress: RateServer::new(nic),
+                disk: RateServer::new(scenario.config.disk_bandwidth),
+                rack: h.rack.clone(),
+            });
+            match h.role {
+                HostRole::Client => {
+                    client_host = idx;
+                    client_rack = h.rack.clone();
+                }
+                HostRole::DataNode => {
+                    let dn_index = datanode_specs
+                        .iter()
+                        .position(|d| d.name == h.name)
+                        .expect("datanode spec");
+                    dn_hosts[dn_index] = idx;
+                }
+                HostRole::NameNode => {}
+            }
+        }
+        assert!(client_host != usize::MAX, "spec has no client host");
+
+        let total_blocks = scenario
+            .file_size
+            .div_ceil(scenario.config.block_size)
+            .max(1);
+        let mut sim = Sim {
+            now: SimInstant::ZERO,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            hosts,
+            client_host,
+            pairs: HashMap::new(),
+            cross_rack: scenario.spec.cross_rack_throttle,
+            latency: scenario.spec.link_latency,
+            config: scenario.config.clone(),
+            flags: scenario.flags,
+            pipes: Vec::new(),
+            sending: None,
+            active_count: 0,
+            next_block: 0,
+            total_blocks,
+            blocks_done: 0,
+            produced_packets_before: 0,
+            upload_start: SimInstant::ZERO,
+            finished_at: None,
+            topo: topo.clone(),
+            registry: std::mem::take(&mut registry),
+            tracker: tracker.clone(),
+            infos: infos.clone(),
+            dn_hosts: dn_hosts.clone(),
+            client_rack,
+            rng: ChaCha8Rng::seed_from_u64(rng_next(&mut rng)),
+            last_speed_flush: SimInstant::ZERO,
+            file_size: scenario.file_size,
+            max_concurrent: 0,
+            first_node_histogram: BTreeMap::new(),
+            explored_swaps: 0,
+        };
+        sim.run();
+
+        // Final heartbeat so warm-up knowledge reaches the registry.
+        let records = sim.tracker.drain_report();
+        if !records.is_empty() {
+            sim.registry.ingest(CLIENT, &records);
+        }
+        registry = sim.registry;
+        tracker = sim.tracker;
+
+        if round == scenario.warmup_uploads {
+            let secs = sim
+                .finished_at
+                .expect("run() asserts completion")
+                .as_secs_f64();
+            let timeline = sim
+                .pipes
+                .iter()
+                .map(|p| PipelineTrace {
+                    first_node: p.target_ids[0].raw(),
+                    open_secs: p.started.as_secs_f64(),
+                    fnfa_secs: p.fnfa_at.map(|t| t.as_secs_f64()),
+                    done_secs: p
+                        .done_at
+                        .expect("completed run has all pipelines done")
+                        .as_secs_f64(),
+                })
+                .collect();
+            result = Some(SimResult {
+                upload_secs: secs,
+                file_bytes: scenario.file_size.as_u64(),
+                blocks: sim.total_blocks,
+                throughput_mbps: scenario.file_size.as_f64() * 8.0 / 1e6 / secs,
+                max_concurrent_pipelines: sim.max_concurrent,
+                first_node_histogram: sim.first_node_histogram,
+                explored_swaps: sim.explored_swaps,
+                timeline,
+            });
+        }
+    }
+    result.expect("loop runs at least once")
+}
+
+fn rng_next(rng: &mut ChaCha8Rng) -> u64 {
+    use rand::RngCore;
+    rng.next_u64()
+}

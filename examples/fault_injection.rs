@@ -1,0 +1,56 @@
+//! Fault tolerance demo (paper §IV): kill a datanode in the middle of a
+//! multi-pipeline upload and watch Algorithms 3/4 recover — the upload
+//! completes and the file reads back bit-exact.
+//!
+//! ```text
+//! cargo run --release --example fault_injection
+//! ```
+
+use smarth::cluster::{random_data, MiniCluster};
+use smarth::core::units::Bandwidth;
+use smarth::core::{ClusterSpec, DfsConfig, InstanceType, WriteMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = ClusterSpec::homogeneous(InstanceType::Large);
+    let mut config = DfsConfig::test_scale();
+    config.disk_bandwidth = Bandwidth::unlimited();
+    let cluster = MiniCluster::start(&spec, config, 21)?;
+    let client = cluster.client()?;
+
+    let data = random_data(5, 3 * 1024 * 1024);
+    println!("uploading {} bytes with SMARTH...", data.len());
+    let mut stream = client.create("/critical/data.bin", WriteMode::Smarth)?;
+
+    // Send the first third, then pull the plug on a datanode that holds
+    // an in-flight (not yet finalized) replica.
+    stream.write(&data[..1024 * 1024])?;
+    let victim = cluster
+        .datanode_hosts()
+        .into_iter()
+        .find(|h| {
+            let store = cluster.datanode(h).unwrap().store();
+            store.replica_count() > store.finalized_blocks().len()
+        })
+        .expect("a datanode must be mid-pipeline");
+    println!("killing {victim} mid-upload (it holds an in-flight replica)");
+    cluster.kill_datanode(&victim)?;
+
+    // Keep writing: the stream detects the broken pipeline, probes the
+    // survivors, bumps the generation stamp, truncates to the common
+    // prefix, rebuilds the pipeline and resends (Algorithm 3), then
+    // resumes the interrupted block (Algorithm 4).
+    stream.write(&data[1024 * 1024..])?;
+    let stats = stream.close()?;
+    println!(
+        "upload finished: {} blocks, {} pipeline recoveries, {} bytes",
+        stats.blocks_committed, stats.recoveries, stats.bytes_written
+    );
+    assert!(stats.recoveries >= 1, "the kill must have triggered recovery");
+
+    let back = client.get("/critical/data.bin")?;
+    assert_eq!(back, data, "data must survive the datanode loss bit-exact");
+    println!("read-back verified: {} bytes intact despite losing {victim}", back.len());
+
+    cluster.shutdown();
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! Multi-writer workloads — a step toward the paper's other future-work
+//! item ("investigate SMARTH's impact on MapReduce jobs"): many
+//! concurrent writers, like reducers materializing output partitions,
+//! hammering the same cluster in both protocols.
+
+use smarth::cluster::{random_data, MiniCluster};
+use smarth::core::units::Bandwidth;
+use smarth::core::{ClusterSpec, DfsConfig, InstanceType, SimDuration, WriteMode};
+use std::sync::Arc;
+
+fn fast_config() -> DfsConfig {
+    let mut c = DfsConfig::test_scale();
+    c.disk_bandwidth = Bandwidth::unlimited();
+    c.heartbeat_interval = SimDuration::from_millis(25);
+    c
+}
+
+#[test]
+fn eight_concurrent_smarth_writers_all_verify() {
+    let spec = ClusterSpec::homogeneous(InstanceType::Large);
+    let cluster = Arc::new(MiniCluster::start(&spec, fast_config(), 61).unwrap());
+    let handles: Vec<_> = (0..8u64)
+        .map(|i| {
+            let cluster = Arc::clone(&cluster);
+            std::thread::spawn(move || {
+                let client = cluster.client().unwrap();
+                let data = random_data(500 + i, 600_000);
+                let path = format!("/mr/part-{i:05}");
+                let report = client.put(&path, &data, WriteMode::Smarth).unwrap();
+                assert_eq!(report.stats.recoveries, 0);
+                assert_eq!(client.get(&path).unwrap(), data);
+                report.bytes
+            })
+        })
+        .collect();
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, 8 * 600_000);
+}
+
+#[test]
+fn concurrent_writers_with_contention_and_failure() {
+    // Reducer-style output with two slow nodes AND a mid-run datanode
+    // crash: every surviving writer must finish with intact data.
+    let spec = ClusterSpec::homogeneous(InstanceType::Large)
+        .with_throttled_datanodes(2, Bandwidth::mbps(60.0));
+    let cluster = Arc::new(MiniCluster::start(&spec, fast_config(), 67).unwrap());
+
+    let writers: Vec<_> = (0..4u64)
+        .map(|i| {
+            let cluster = Arc::clone(&cluster);
+            std::thread::spawn(move || {
+                let client = cluster.client().unwrap();
+                let data = random_data(900 + i, 1_200_000);
+                let path = format!("/mrf/part-{i:05}");
+                let mode = if i % 2 == 0 {
+                    WriteMode::Smarth
+                } else {
+                    WriteMode::Hdfs
+                };
+                client.put(&path, &data, mode).unwrap();
+                (path, data)
+            })
+        })
+        .collect();
+
+    // Kill one datanode while writers are in flight. Pick one that is
+    // mid-pipeline if possible; otherwise any replica holder.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let victim = cluster
+        .datanode_hosts()
+        .into_iter()
+        .find(|h| {
+            let store = cluster.datanode(h).unwrap().store();
+            store.replica_count() > store.finalized_blocks().len()
+        })
+        .or_else(|| {
+            cluster
+                .datanode_hosts()
+                .into_iter()
+                .find(|h| cluster.datanode(h).unwrap().store().replica_count() > 0)
+        });
+    if let Some(v) = victim {
+        cluster.kill_datanode(&v).unwrap();
+    }
+
+    let reader = cluster.client().unwrap();
+    for w in writers {
+        let (path, data) = w.join().expect("writer must not panic");
+        assert_eq!(
+            reader.get(&path).unwrap(),
+            data,
+            "{path} corrupted by concurrent failure"
+        );
+    }
+}
+
+#[test]
+fn writers_isolated_by_lease() {
+    // Two clients racing to create the same path: exactly one wins; the
+    // loser gets AlreadyExists and can pick another name.
+    let spec = ClusterSpec::homogeneous(InstanceType::Large);
+    let cluster = Arc::new(MiniCluster::start(&spec, fast_config(), 71).unwrap());
+    let a = cluster.client().unwrap();
+    let b = cluster.client().unwrap();
+    let sa = a.create("/race/target", WriteMode::Smarth);
+    let sb = b.create("/race/target", WriteMode::Smarth);
+    assert!(
+        sa.is_ok() ^ sb.is_ok(),
+        "exactly one create must win the race deterministically"
+    );
+    // Whichever stream won can complete normally.
+    let mut winner = sa.or(sb).unwrap();
+    winner.write(&random_data(1, 10_000)).unwrap();
+    winner.close().unwrap();
+    assert!(a.exists("/race/target").unwrap());
+}

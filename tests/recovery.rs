@@ -1,0 +1,177 @@
+//! Harsh fault-tolerance integration tests for Algorithms 3 and 4:
+//! sequential double failures, first-datanode loss, failure during the
+//! final ack drain, and recovery bookkeeping at the namenode.
+
+use smarth::cluster::{random_data, MiniCluster};
+use smarth::core::units::Bandwidth;
+use smarth::core::{ClusterSpec, DfsConfig, InstanceType, SimDuration, WriteMode};
+
+fn fast_config() -> DfsConfig {
+    let mut c = DfsConfig::test_scale();
+    c.disk_bandwidth = Bandwidth::unlimited();
+    c.heartbeat_interval = SimDuration::from_millis(25);
+    c
+}
+
+fn cluster(datanodes_to_keep: usize, seed: u64) -> MiniCluster {
+    let mut spec = ClusterSpec::homogeneous(InstanceType::Large);
+    spec.hosts.retain(|h| {
+        h.role != smarth::core::HostRole::DataNode
+            || h.name
+                .strip_prefix("dn")
+                .and_then(|s| s.parse::<usize>().ok())
+                .is_some_and(|i| i < datanodes_to_keep)
+    });
+    spec.link_latency = SimDuration::ZERO;
+    MiniCluster::start(&spec, fast_config(), seed).unwrap()
+}
+
+/// Kills the datanode hosting an in-flight (RBW) replica, polling until
+/// one exists.
+fn kill_inflight_victim(cluster: &MiniCluster, exclude: &[String]) -> String {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let found = cluster.datanode_hosts().into_iter().find(|h| {
+            if exclude.contains(h) {
+                return false;
+            }
+            let store = cluster.datanode(h).unwrap().store();
+            store.replica_count() > store.finalized_blocks().len()
+        });
+        if let Some(v) = found {
+            cluster.kill_datanode(&v).unwrap();
+            return v;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no in-flight replica appeared"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn sequential_double_failure_smarth() {
+    // Two datanodes die at different points of the upload; the stream
+    // recovers twice and the file survives.
+    let cluster = cluster(8, 31);
+    let client = cluster.client().unwrap();
+    let data = random_data(42, 2_500_000);
+
+    let mut stream = client.create("/dbl/a.bin", WriteMode::Smarth).unwrap();
+    stream.write(&data[..600_000]).unwrap();
+    let first = kill_inflight_victim(&cluster, &[]);
+    stream.write(&data[600_000..1_400_000]).unwrap();
+    let second = kill_inflight_victim(&cluster, std::slice::from_ref(&first));
+    assert_ne!(first, second);
+    stream.write(&data[1_400_000..]).unwrap();
+    let stats = stream.close().unwrap();
+    assert!(
+        stats.recoveries >= 2,
+        "two kills must trigger at least two recoveries, got {}",
+        stats.recoveries
+    );
+    assert_eq!(client.get("/dbl/a.bin").unwrap(), data);
+    cluster.shutdown();
+}
+
+#[test]
+fn failure_during_final_drain_smarth() {
+    // Kill a node after the last byte is written but (likely) before all
+    // pipelines drained: close() must still succeed via Algorithm 4.
+    let cluster = cluster(6, 37);
+    let client = cluster.client().unwrap();
+    // Slow the cross-rack hop so pending pipelines exist at close time.
+    cluster.fabric().set_cross_rack_throttle(Some(Bandwidth::mbps(40.0)));
+    let data = random_data(17, 1_800_000);
+    let mut stream = client.create("/drain/x.bin", WriteMode::Smarth).unwrap();
+    stream.write(&data).unwrap();
+    // At this point the last block has FNFA'd but cross-rack replication
+    // is still draining. Kill an in-flight replica holder if any exists;
+    // if everything already finalized the close simply succeeds.
+    let victim = cluster.datanode_hosts().into_iter().find(|h| {
+        let store = cluster.datanode(h).unwrap().store();
+        store.replica_count() > store.finalized_blocks().len()
+    });
+    if let Some(v) = &victim {
+        cluster.kill_datanode(v).unwrap();
+    }
+    let stats = stream.close().unwrap();
+    if victim.is_some() {
+        // Either recovery ran, or the pipeline finished racing the kill.
+        // In both cases the data must verify below.
+        let _ = stats;
+    }
+    assert_eq!(client.get("/drain/x.bin").unwrap(), data);
+    cluster.shutdown();
+}
+
+#[test]
+fn hdfs_mode_first_datanode_failure() {
+    // The stream's pipeline connection target itself dies.
+    let cluster = cluster(6, 41);
+    let client = cluster.client().unwrap();
+    let data = random_data(23, 1_200_000);
+    let mut stream = client.create("/first/fail.bin", WriteMode::Hdfs).unwrap();
+    stream.write(&data[..300_000]).unwrap();
+    let _victim = kill_inflight_victim(&cluster, &[]);
+    stream.write(&data[300_000..]).unwrap();
+    let stats = stream.close().unwrap();
+    assert!(stats.recoveries >= 1);
+    assert_eq!(client.get("/first/fail.bin").unwrap(), data);
+    cluster.shutdown();
+}
+
+#[test]
+fn reads_fail_over_to_surviving_replicas() {
+    let cluster = cluster(5, 43);
+    let client = cluster.client().unwrap();
+    let data = random_data(29, 700_000);
+    client.put("/ro/f.bin", &data, WriteMode::Smarth).unwrap();
+    // Kill one replica holder; reads must fail over to the others.
+    let victim = cluster
+        .datanode_hosts()
+        .into_iter()
+        .find(|h| cluster.datanode(h).unwrap().store().replica_count() > 0)
+        .unwrap();
+    cluster.kill_datanode(&victim).unwrap();
+    assert_eq!(client.get("/ro/f.bin").unwrap(), data);
+    cluster.shutdown();
+}
+
+#[test]
+fn upload_survives_minimum_viable_cluster() {
+    // Exactly replication-many datanodes: any loss leaves fewer nodes
+    // than replicas. Recovery must continue at reduced width.
+    let cluster = cluster(3, 47);
+    let client = cluster.client().unwrap();
+    let data = random_data(31, 1_000_000);
+    let mut stream = client.create("/minimal/f.bin", WriteMode::Smarth).unwrap();
+    stream.write(&data[..400_000]).unwrap();
+    let _ = kill_inflight_victim(&cluster, &[]);
+    stream.write(&data[400_000..]).unwrap();
+    let stats = stream.close().unwrap();
+    assert!(stats.recoveries >= 1);
+    assert_eq!(client.get("/minimal/f.bin").unwrap(), data);
+    cluster.shutdown();
+}
+
+#[test]
+fn namenode_replica_accounting_after_recovery() {
+    let cluster = cluster(6, 53);
+    let client = cluster.client().unwrap();
+    let data = random_data(61, 900_000);
+    let mut stream = client.create("/acct/f.bin", WriteMode::Smarth).unwrap();
+    stream.write(&data[..300_000]).unwrap();
+    let _ = kill_inflight_victim(&cluster, &[]);
+    stream.write(&data[300_000..]).unwrap();
+    stream.close().unwrap();
+
+    // Every block of the file must report at least one current-
+    // generation replica at the namenode, and the file reads back.
+    let info = client.file_info("/acct/f.bin").unwrap().unwrap();
+    assert!(info.complete);
+    assert_eq!(info.len, data.len() as u64);
+    assert_eq!(client.get("/acct/f.bin").unwrap(), data);
+    cluster.shutdown();
+}
