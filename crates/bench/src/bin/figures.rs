@@ -6,11 +6,36 @@
 //! cargo run -p smarth-bench --release --bin figures -- --quick # sparser sweeps
 //! ```
 //!
-//! Output: aligned tables on stdout plus `results/<id>.{csv,json}`.
+//! Output: aligned tables on stdout plus `results/<id>.{csv,json}` and,
+//! for every table, a `results/<id>.metrics.json` with the
+//! observability counters the underlying simulations accumulated.
 
 use smarth_bench::figures::{self, FigureOpts};
 use smarth_bench::report::Table;
 use std::path::PathBuf;
+
+const ALL_IDS: &[&str] = &[
+    "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+    "ablations", "ext_storage",
+];
+
+fn generate(id: &str, opts: FigureOpts) -> Option<Vec<Table>> {
+    Some(match id {
+        "table1" => vec![figures::table1()],
+        "fig5" => figures::fig5(opts),
+        "fig6" => vec![figures::fig6(opts)],
+        "fig7" => vec![figures::fig7(opts)],
+        "fig8" => vec![figures::fig8(opts)],
+        "fig9" => vec![figures::fig9(opts)],
+        "fig10" => vec![figures::fig10(opts)],
+        "fig11" => figures::fig11(opts),
+        "fig12" => figures::fig12(opts),
+        "fig13" => vec![figures::fig13(opts)],
+        "ablations" => figures::ablations(opts),
+        "ext_storage" => vec![figures::ext_storage(opts)],
+        _ => return None,
+    })
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,40 +43,37 @@ fn main() {
     let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let opts = FigureOpts { quick };
 
-    let selected: Vec<Table> = if wanted.is_empty() {
-        figures::all_figures(opts)
+    let ids: Vec<&str> = if wanted.is_empty() {
+        ALL_IDS.to_vec()
     } else {
-        let mut out = Vec::new();
-        for w in wanted {
-            match w.as_str() {
-                "table1" => out.push(figures::table1()),
-                "fig5" => out.extend(figures::fig5(opts)),
-                "fig6" => out.push(figures::fig6(opts)),
-                "fig7" => out.push(figures::fig7(opts)),
-                "fig8" => out.push(figures::fig8(opts)),
-                "fig9" => out.push(figures::fig9(opts)),
-                "fig10" => out.push(figures::fig10(opts)),
-                "fig11" => out.extend(figures::fig11(opts)),
-                "fig12" => out.extend(figures::fig12(opts)),
-                "fig13" => out.push(figures::fig13(opts)),
-                "ablations" => out.extend(figures::ablations(opts)),
-                "ext_storage" => out.push(figures::ext_storage(opts)),
-                other => {
-                    eprintln!("unknown figure id: {other}");
-                    eprintln!("known: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 ablations ext_storage");
-                    std::process::exit(2);
-                }
-            }
-        }
-        out
+        wanted.iter().map(|s| s.as_str()).collect()
     };
+    for id in &ids {
+        if !ALL_IDS.contains(id) {
+            eprintln!("unknown figure id: {id}");
+            eprintln!("known: {}", ALL_IDS.join(" "));
+            std::process::exit(2);
+        }
+    }
 
     let out_dir = PathBuf::from("results");
-    for table in &selected {
-        println!("{}", table.render());
-        match table.save(&out_dir) {
-            Ok((csv, _)) => println!("  saved {}\n", csv.display()),
-            Err(e) => eprintln!("  failed to save {}: {e}", table.id),
+    for id in ids {
+        let tables = generate(id, opts).expect("ids validated above");
+        // Metrics accumulated by this generator's simulations — shared
+        // by every table the generator produced, reset per generator.
+        let metrics = figures::take_run_metrics();
+        for table in &tables {
+            println!("{}", table.render());
+            match table.save(&out_dir) {
+                Ok((csv, _)) => {
+                    let mpath = out_dir.join(format!("{}.metrics.json", table.id));
+                    match std::fs::write(&mpath, metrics.to_string_pretty() + "\n") {
+                        Ok(()) => println!("  saved {} (+ {})\n", csv.display(), mpath.display()),
+                        Err(e) => eprintln!("  failed to save {}: {e}", mpath.display()),
+                    }
+                }
+                Err(e) => eprintln!("  failed to save {}: {e}", table.id),
+            }
         }
     }
 }

@@ -8,9 +8,35 @@
 
 use crate::report::{pct, secs, Table};
 use smarth_core::config::{InstanceType, WriteMode};
+use smarth_core::json::Value;
+use smarth_core::obs::Obs;
 use smarth_core::units::{Bandwidth, ByteSize};
 use smarth_sim::scenario::{contention, heterogeneous, improvement_percent, two_rack};
-use smarth_sim::{simulate_upload, SimScenario};
+use smarth_sim::{simulate_upload_with_obs, SimResult, SimScenario};
+use std::sync::{Mutex, OnceLock};
+
+/// Shared observability handle every generator's simulations feed, so
+/// the `figures` binary can persist a metrics JSON beside each table.
+fn obs_cell() -> &'static Mutex<Obs> {
+    static CELL: OnceLock<Mutex<Obs>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(Obs::disabled()))
+}
+
+/// All generators run their uploads through this wrapper.
+fn simulate_upload(scenario: &SimScenario) -> SimResult {
+    let obs = obs_cell().lock().expect("obs cell poisoned").clone();
+    simulate_upload_with_obs(scenario, obs)
+}
+
+/// Snapshots the metrics accumulated by every simulation since the last
+/// call, then resets the registry so successive figures don't bleed
+/// into each other.
+pub fn take_run_metrics() -> Value {
+    let mut cell = obs_cell().lock().expect("obs cell poisoned");
+    let snapshot = cell.metrics().snapshot();
+    *cell = Obs::disabled();
+    snapshot
+}
 
 /// Controls sweep density: `quick` halves the points for CI-speed runs.
 #[derive(Debug, Clone, Copy)]

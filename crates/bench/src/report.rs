@@ -1,14 +1,14 @@
 //! Report rendering for the figure harness: aligned text tables on
 //! stdout plus CSV and JSON files under `results/`.
 
-use serde::Serialize;
+use smarth_core::json::{ObjectBuilder, Value};
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 /// A rectangular result table destined for one figure/table of the
 /// paper.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     pub id: String,
     pub title: String,
@@ -107,13 +107,30 @@ impl Table {
         out
     }
 
+    /// JSON value mirroring the table's fields.
+    pub fn to_json(&self) -> Value {
+        let rows = Value::Array(
+            self.rows
+                .iter()
+                .map(|row| Value::from(row.as_slice()))
+                .collect(),
+        );
+        ObjectBuilder::new()
+            .field("id", self.id.as_str())
+            .field("title", self.title.as_str())
+            .field("columns", self.columns.as_slice())
+            .field("rows", rows)
+            .field("notes", self.notes.as_slice())
+            .build()
+    }
+
     /// Writes `<dir>/<id>.csv` and `<dir>/<id>.json`, creating `dir`.
     pub fn save(&self, dir: &Path) -> std::io::Result<(PathBuf, PathBuf)> {
         fs::create_dir_all(dir)?;
         let csv_path = dir.join(format!("{}.csv", self.id));
         fs::write(&csv_path, self.csv())?;
         let json_path = dir.join(format!("{}.json", self.id));
-        fs::write(&json_path, serde_json::to_string_pretty(self).unwrap())?;
+        fs::write(&json_path, self.to_json().to_string_pretty())?;
         Ok((csv_path, json_path))
     }
 }
@@ -173,9 +190,10 @@ mod tests {
         let (csv, json) = t.save(&dir).unwrap();
         assert!(csv.exists());
         assert!(json.exists());
-        let parsed: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string(json).unwrap()).unwrap();
-        assert_eq!(parsed["id"], "fig_test");
+        let parsed =
+            smarth_core::json::parse(&std::fs::read_to_string(json).unwrap()).unwrap();
+        assert_eq!(parsed.get("id").as_str(), Some("fig_test"));
+        assert_eq!(parsed.get("rows").idx(0).idx(1).as_str(), Some("2"));
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -11,6 +11,7 @@ use smarth_core::checksum::ChunkedChecksum;
 use smarth_core::config::{DfsConfig, WriteMode};
 use smarth_core::error::{DfsError, DfsResult};
 use smarth_core::ids::ClientId;
+use smarth_core::obs::Obs;
 use smarth_core::proto::{DataOp, DataReply, FileStatus, LocatedBlock, Packet};
 use smarth_core::speed::ClientSpeedTracker;
 use smarth_core::wire::{recv_message, send_message};
@@ -34,6 +35,9 @@ pub(crate) struct ClientCtx {
     /// heartbeat.
     pub tracker: Mutex<ClientSpeedTracker>,
     pub rng: Mutex<ChaCha8Rng>,
+    /// Observability handle shared by every stream and pipeline of this
+    /// client (disabled unless the caller opted in).
+    pub obs: Obs,
 }
 
 /// Outcome of a `put` — what the paper's experiments measure.
@@ -72,6 +76,28 @@ impl DfsClient {
         config: DfsConfig,
         seed: u64,
     ) -> DfsResult<Self> {
+        Self::connect_with_obs(
+            fabric,
+            host,
+            rack,
+            nn_client_addr,
+            config,
+            seed,
+            Obs::disabled(),
+        )
+    }
+
+    /// [`Self::connect`] with an observability handle: every stream and
+    /// pipeline of this client emits events and metrics through it.
+    pub fn connect_with_obs(
+        fabric: &Fabric,
+        host: &str,
+        rack: &str,
+        nn_client_addr: &str,
+        config: DfsConfig,
+        seed: u64,
+        obs: Obs,
+    ) -> DfsResult<Self> {
         config.validate().map_err(DfsError::Internal)?;
         let rpc = NamenodeClient::connect(fabric, host, nn_client_addr)?;
         let id = rpc.register(host, rack)?;
@@ -84,6 +110,7 @@ impl DfsClient {
             config,
             rpc,
             id,
+            obs,
         });
 
         let stop = Arc::new(AtomicBool::new(false));

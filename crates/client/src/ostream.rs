@@ -27,24 +27,12 @@ use smarth_core::config::WriteMode;
 use smarth_core::error::{DfsError, DfsResult};
 use smarth_core::ids::{DatanodeId, ExtendedBlock, FileId, PipelineId};
 use smarth_core::localopt::{local_optimize, LocalOptOutcome};
+use smarth_core::obs::{Obs, ObsEvent, RecoveryCause};
 use smarth_core::proto::{DataOp, DataReply, DatanodeInfo, Packet};
 use smarth_core::units::{ByteSize, SimDuration};
 use smarth_core::wire::{recv_message, send_message};
 use std::sync::Arc;
 use std::time::Duration;
-
-/// How long the stream waits on pipeline events before declaring a hang.
-const EVENT_TIMEOUT: Duration = Duration::from_secs(60);
-/// Recovery attempts per incident before giving up.
-const MAX_RECOVERY_ATTEMPTS: u32 = 5;
-
-macro_rules! trace {
-    ($($arg:tt)*) => {
-        if std::env::var_os("SMARTH_TRACE").is_some() {
-            eprintln!($($arg)*);
-        }
-    };
-}
 
 /// Counters reported by [`DfsOutputStream::close`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -94,6 +82,9 @@ pub struct DfsOutputStream {
     dead: Vec<DatanodeId>,
     packet_buf: Vec<u8>,
     stats: StreamStats,
+    /// Timestamp of the most recent FNFA, for the FNFA→next-allocation
+    /// latency histogram (the §III-A overlap the protocol exists to buy).
+    last_fnfa_at: Option<u64>,
     closed: bool,
 }
 
@@ -122,8 +113,21 @@ impl DfsOutputStream {
             dead: Vec::new(),
             packet_buf: Vec::new(),
             stats: StreamStats::default(),
+            last_fnfa_at: None,
             closed: false,
         }
+    }
+
+    fn obs(&self) -> &Obs {
+        &self.ctx.obs
+    }
+
+    fn event_timeout(&self) -> Duration {
+        Duration::from_secs_f64(self.ctx.config.pipeline_event_timeout.as_secs_f64())
+    }
+
+    fn max_recovery_attempts(&self) -> u32 {
+        self.ctx.config.max_recovery_attempts
     }
 
     pub fn path(&self) -> &str {
@@ -171,6 +175,7 @@ impl DfsOutputStream {
             self.packet_buf.extend_from_slice(&data[..take]);
             data = &data[take..];
             self.stats.bytes_written += take as u64;
+            self.obs().metrics().bytes_written.add(take as u64);
 
             let at_block_end =
                 offset + self.packet_buf.len() as u64 == block_size;
@@ -256,7 +261,7 @@ impl DfsOutputStream {
                 }
                 Err(e) => {
                     attempts += 1;
-                    if attempts >= MAX_RECOVERY_ATTEMPTS {
+                    if attempts >= self.max_recovery_attempts() {
                         return Err(e);
                     }
                     // Transient (e.g. a node died between liveness check
@@ -268,18 +273,37 @@ impl DfsOutputStream {
             }
         };
 
+        // §III-A overlap: how long after the previous block's FNFA did
+        // the next allocation land?
+        if let Some(fnfa_at) = self.last_fnfa_at.take() {
+            self.obs()
+                .metrics()
+                .fnfa_to_allocation_us
+                .observe(Obs::now_us().saturating_sub(fnfa_at));
+        }
+        self.obs().emit(ObsEvent::BlockAllocated {
+            block: located.block.id,
+            targets: located.targets.iter().map(|t| t.id).collect(),
+        });
+
         let mut targets = located.targets;
         // Algorithm 2: client-side re-sort plus ε-exploration.
         if self.mode == WriteMode::Smarth && self.ctx.config.local_opt_enabled {
             let tracker = self.ctx.tracker.lock();
             let mut rng = self.ctx.rng.lock();
-            if let LocalOptOutcome::Explored { .. } = local_optimize(
+            if let LocalOptOutcome::Explored { swapped_index } = local_optimize(
                 &mut targets,
                 &tracker,
                 self.ctx.config.local_opt_threshold,
                 &mut *rng,
             ) {
                 self.stats.explored_swaps += 1;
+                self.obs().metrics().exploration_swaps.inc();
+                self.obs().emit(ObsEvent::ExplorationSwap {
+                    block: located.block.id,
+                    promoted: targets[0].id,
+                    displaced: targets[swapped_index].id,
+                });
             }
         }
 
@@ -303,7 +327,7 @@ impl DfsOutputStream {
     ) -> DfsResult<Pipeline> {
         let id = PipelineId(self.next_pipeline);
         self.next_pipeline += 1;
-        Pipeline::open(
+        let pipeline = Pipeline::open(
             &self.ctx.fabric,
             &self.ctx.host,
             self.ctx.id,
@@ -313,7 +337,24 @@ impl DfsOutputStream {
             self.mode,
             self.ctx.config.datanode_client_buffer.as_u64(),
             self.events_tx.clone(),
-        )
+            self.obs().clone(),
+        )?;
+        self.obs().metrics().concurrent_pipelines.inc();
+        self.obs().emit(ObsEvent::PipelineOpened {
+            block: block.id,
+            targets: pipeline.targets.iter().map(|t| t.id).collect(),
+        });
+        Ok(pipeline)
+    }
+
+    /// Tears down a pipeline's threads and records its fate.
+    fn close_pipeline(&self, pipeline: Pipeline, committed: bool) {
+        self.obs().metrics().concurrent_pipelines.dec();
+        self.obs().emit(ObsEvent::PipelineClosed {
+            block: pipeline.block.id,
+            committed,
+        });
+        pipeline.close();
     }
 
     fn flush_packet(&mut self, last_in_block: bool) -> DfsResult<()> {
@@ -337,7 +378,7 @@ impl DfsOutputStream {
         if current.pipeline.send_packet(pkt).is_err() {
             // The packet is retained in the pipeline, so recovery will
             // resend it (Algorithm 3 line 3).
-            self.recover(pipeline_id, None)?;
+            self.recover(pipeline_id, None, RecoveryCause::ConnectionLost)?;
         }
         Ok(())
     }
@@ -362,7 +403,8 @@ impl DfsOutputStream {
                 );
                 self.ctx.rpc.commit_block(self.ctx.id, self.file_id, block)?;
                 self.stats.blocks_committed += 1;
-                done.pipeline.close();
+                self.obs().metrics().blocks_committed.inc();
+                self.close_pipeline(done.pipeline, true);
             }
             WriteMode::Smarth => {
                 // §III-A: wait only for the FNFA, then let the pipeline
@@ -389,7 +431,8 @@ impl DfsOutputStream {
                     );
                     self.ctx.rpc.commit_block(self.ctx.id, self.file_id, block)?;
                     self.stats.blocks_committed += 1;
-                    done.pipeline.close();
+                    self.obs().metrics().blocks_committed.inc();
+                    self.close_pipeline(done.pipeline, true);
                 } else {
                     self.pending.push(PendingPipeline {
                         len: done.offset,
@@ -428,12 +471,11 @@ impl DfsOutputStream {
 
     fn wait_event(&self) -> DfsResult<PipelineEvent> {
         self.events_rx
-            .recv_timeout(EVENT_TIMEOUT)
+            .recv_timeout(self.event_timeout())
             .map_err(|_| DfsError::Timeout("waiting for pipeline events".into()))
     }
 
     fn process_event(&mut self, ev: PipelineEvent) -> DfsResult<()> {
-        trace!("[event] {ev:?}");
         match ev.kind {
             PipelineEventKind::FirstNodeFinish => {
                 if let Some(c) = &mut self.current {
@@ -448,6 +490,13 @@ impl DfsOutputStream {
                             ByteSize::bytes(c.offset),
                             SimDuration::from_secs_f64(elapsed.as_secs_f64()),
                         );
+                        let block = c.pipeline.block.id;
+                        self.last_fnfa_at = Some(Obs::now_us());
+                        self.obs().metrics().fnfa_received.inc();
+                        self.obs().emit(ObsEvent::FnfaReceived {
+                            block,
+                            first_node: first,
+                        });
                     }
                 }
             }
@@ -472,13 +521,19 @@ impl DfsOutputStream {
                     );
                     self.ctx.rpc.commit_block(self.ctx.id, self.file_id, block)?;
                     self.stats.blocks_committed += 1;
-                    done.pipeline.close();
+                    self.obs().metrics().blocks_committed.inc();
+                    self.close_pipeline(done.pipeline, true);
                 }
             }
             PipelineEventKind::Error { failed_index } => {
                 // Stale error events for already-recovered pipelines are
                 // ignored inside recover().
-                self.recover(ev.pipeline, failed_index)?;
+                let cause = if failed_index.is_some() {
+                    RecoveryCause::DatanodeError
+                } else {
+                    RecoveryCause::ConnectionLost
+                };
+                self.recover(ev.pipeline, failed_index, cause)?;
             }
         }
         Ok(())
@@ -495,6 +550,7 @@ impl DfsOutputStream {
         &mut self,
         pipeline_id: PipelineId,
         failed_index: Option<usize>,
+        cause: RecoveryCause,
     ) -> DfsResult<()> {
         enum Slot {
             Current,
@@ -516,7 +572,7 @@ impl DfsOutputStream {
             return Ok(()); // stale event for a replaced pipeline
         };
         self.stats.recoveries += 1;
-        trace!("[recover] pipeline={pipeline_id:?} failed_index={failed_index:?}");
+        self.obs().metrics().record_recovery(cause);
 
         // Step 1-3 of Algorithm 3: stop the transfer, close streams,
         // move retained packets back to the resend queue.
@@ -531,25 +587,39 @@ impl DfsOutputStream {
             }
         };
         let retained = old.take_retained_packets();
-        trace!("[recover] retained={} acked={} finished={}", retained.len(), old.packets_acked(), old.finished_sending());
         let packets_acked = old.packets_acked();
         let old_targets = old.targets.clone();
         let old_block = old.block;
         let finished_sending = old.finished_sending();
-        old.close();
+        self.obs().emit(ObsEvent::RecoveryStarted {
+            block: old_block.id,
+            attempt: 1,
+            cause,
+        });
+        self.close_pipeline(old, false);
 
         let mut attempt = 0u32;
         let mut targets = old_targets;
         let mut failed_hint = failed_index;
-        loop {
+        let result: DfsResult<()> = loop {
             attempt += 1;
-            if attempt > MAX_RECOVERY_ATTEMPTS {
-                return Err(DfsError::PipelineUnrecoverable {
+            if attempt > self.max_recovery_attempts() {
+                break Err(DfsError::PipelineUnrecoverable {
                     pipeline: pipeline_id,
-                    reason: format!("gave up after {MAX_RECOVERY_ATTEMPTS} attempts"),
+                    reason: format!(
+                        "gave up after {} attempts",
+                        self.max_recovery_attempts()
+                    ),
                 });
             }
-            trace!("[recover] attempt {attempt} targets={:?}", targets.iter().map(|t| t.host_name.clone()).collect::<Vec<_>>());
+            self.obs().emit(ObsEvent::RecoveryStep {
+                block: old_block.id,
+                step: format!(
+                    "attempt {attempt}: probing {} targets, {} retained packets",
+                    targets.len(),
+                    retained.len()
+                ),
+            });
             match self.try_rebuild(
                 old_block,
                 &targets,
@@ -559,7 +629,6 @@ impl DfsOutputStream {
                 finished_sending,
             ) {
                 Ok((new_pipeline, resent_all)) => {
-                    trace!("[recover] rebuilt as {:?}", new_pipeline.id);
                     debug_assert!(resent_all);
                     // Step 7 of Algorithm 4: resume the interrupted
                     // block / restore the pipeline to its former role.
@@ -581,24 +650,29 @@ impl DfsOutputStream {
                             });
                         }
                     }
-                    return Ok(());
+                    break Ok(());
                 }
                 Err((e, surviving)) => {
                     if !e.is_recoverable() && !matches!(e, DfsError::PlacementFailed { .. }) {
-                        return Err(e);
+                        break Err(e);
                     }
                     // Narrow the target set and try again.
                     targets = surviving;
                     failed_hint = None;
                     if targets.is_empty() && packets_acked > 0 {
-                        return Err(DfsError::PipelineUnrecoverable {
+                        break Err(DfsError::PipelineUnrecoverable {
                             pipeline: pipeline_id,
                             reason: "no surviving replica holds acked data".into(),
                         });
                     }
                 }
             }
-        }
+        };
+        self.obs().emit(ObsEvent::RecoveryFinished {
+            block: old_block.id,
+            success: result.is_ok(),
+        });
+        result
     }
 
     /// One rebuild attempt. On failure returns the error plus the target
@@ -616,7 +690,11 @@ impl DfsOutputStream {
     ) -> Result<(Pipeline, bool), (DfsError, Vec<DatanodeInfo>)> {
         // Probe every target: who is alive, and how much of the block
         // does each hold? (Algorithm 3's parameter-validity check plus
-        // the agreement on a safe resume length.)
+        // the agreement on a safe resume length.) Only *unreachable*
+        // nodes are condemned — a node that answers but holds no replica
+        // (e.g. downstream of a first-node failure, never fed a byte) is
+        // healthy and must stay eligible for future placements, or a
+        // single mid-pipeline death poisons the whole pool.
         let mut survivors: Vec<(DatanodeInfo, u64)> = Vec::new();
         for (idx, t) in targets.iter().enumerate() {
             if Some(idx) == failed_index {
@@ -624,8 +702,9 @@ impl DfsOutputStream {
                 continue;
             }
             match self.probe_replica(t, old_block) {
-                Some(len) => survivors.push((t.clone(), len)),
-                None => self.mark_dead(t.id),
+                Probe::Has(len) => survivors.push((t.clone(), len)),
+                Probe::NoReplica => {}
+                Probe::Unreachable => self.mark_dead(t.id),
             }
         }
 
@@ -652,7 +731,6 @@ impl DfsOutputStream {
 
         // Agree on the common durable prefix.
         let min_len = survivors.iter().map(|(_, l)| *l).min().unwrap_or(0);
-        trace!("[rebuild] survivors={:?} min_len={min_len}", survivors.iter().map(|(t,l)| (t.host_name.clone(), *l)).collect::<Vec<_>>());
 
         // Bump the generation stamp (namenode coordination).
         let new_gen = self
@@ -697,7 +775,6 @@ impl DfsOutputStream {
             }
         }
 
-        trace!("[rebuild] new targets={:?}", new_targets.iter().map(|t| t.host_name.clone()).collect::<Vec<_>>());
         let new_block = ExtendedBlock::new(old_block.id, new_gen, 0);
         let mut pipeline = self
             .open_pipeline(new_block, new_targets.clone())
@@ -742,14 +819,56 @@ impl DfsOutputStream {
         old_block: ExtendedBlock,
         retained: &[Packet],
     ) -> DfsResult<(Pipeline, bool)> {
-        self.ctx
-            .rpc
-            .abandon_block(self.ctx.id, self.file_id, old_block.id)?;
-        let excluded = self.busy_and_dead();
-        let located = self
+        self.obs().emit(ObsEvent::RecoveryStep {
+            block: old_block.id,
+            step: "scratch rebuild: abandoning block, reallocating".into(),
+        });
+        match self
             .ctx
             .rpc
-            .add_block(self.ctx.id, self.file_id, None, &excluded)?;
+            .abandon_block(self.ctx.id, self.file_id, old_block.id)
+        {
+            Ok(()) => {}
+            // A previous attempt of this same incident already abandoned
+            // the block before failing further along — not an error.
+            Err(DfsError::UnknownBlock(_)) => {}
+            Err(e) => return Err(e),
+        }
+        let mut attempts = 0u32;
+        let located = loop {
+            let excluded = self.busy_and_dead();
+            match self
+                .ctx
+                .rpc
+                .add_block(self.ctx.id, self.file_id, None, &excluded)
+            {
+                Ok(lb) if lb.targets.len() < self.replication && !self.pending.is_empty() => {
+                    // Short only because our own draining pipelines hold
+                    // the other nodes (§IV-C) — wait for one to finish
+                    // rather than replaying into an under-replicated
+                    // pipeline.
+                    let _ = self
+                        .ctx
+                        .rpc
+                        .abandon_block(self.ctx.id, self.file_id, lb.block.id);
+                    let ev = self.wait_event()?;
+                    self.process_event(ev)?;
+                }
+                Ok(lb) => break lb,
+                Err(DfsError::PlacementFailed { .. }) if !self.pending.is_empty() => {
+                    let ev = self.wait_event()?;
+                    self.process_event(ev)?;
+                }
+                Err(e) => return Err(e),
+            }
+            attempts += 1;
+            if attempts >= self.max_recovery_attempts() {
+                return Err(DfsError::PlacementFailed {
+                    wanted: self.replication,
+                    available: 0,
+                });
+            }
+        };
         let mut pipeline = self.open_pipeline(located.block, located.targets)?;
         for pkt in retained {
             pipeline.send_packet(pkt.clone())?;
@@ -763,20 +882,22 @@ impl DfsOutputStream {
         }
     }
 
-    /// Returns the stored length of a replica, or `None` when the node
-    /// is unreachable / has no such replica.
-    fn probe_replica(&self, target: &DatanodeInfo, block: ExtendedBlock) -> Option<u64> {
-        let mut stream = self
-            .ctx
-            .fabric
-            .connect(&self.ctx.host, &target.addr)
-            .ok()?;
-        send_message(&mut stream, &DataOp::GetReplicaInfo { block: block.id }).ok()?;
-        match recv_message::<DataReply>(&mut stream).ok()? {
-            DataReply::ReplicaInfo {
+    /// What a probe learned about one former pipeline member.
+    fn probe_replica(&self, target: &DatanodeInfo, block: ExtendedBlock) -> Probe {
+        let Ok(mut stream) = self.ctx.fabric.connect(&self.ctx.host, &target.addr) else {
+            return Probe::Unreachable;
+        };
+        if send_message(&mut stream, &DataOp::GetReplicaInfo { block: block.id }).is_err() {
+            return Probe::Unreachable;
+        }
+        match recv_message::<DataReply>(&mut stream) {
+            Ok(DataReply::ReplicaInfo {
                 block: Some(b), ..
-            } if b.gen >= block.gen => Some(b.len),
-            _ => None,
+            }) if b.gen >= block.gen => Probe::Has(b.len),
+            // The node answered: it is alive, it just has nothing (or
+            // only a stale generation) for this block.
+            Ok(_) => Probe::NoReplica,
+            Err(_) => Probe::Unreachable,
         }
     }
 
@@ -807,6 +928,15 @@ impl DfsOutputStream {
             ))),
         }
     }
+}
+
+/// Outcome of probing a former pipeline member during recovery. The
+/// distinction between `Unreachable` and `NoReplica` matters: only the
+/// former means the node is dead.
+enum Probe {
+    Unreachable,
+    NoReplica,
+    Has(u64),
 }
 
 fn infos(survivors: &[(DatanodeInfo, u64)]) -> Vec<DatanodeInfo> {

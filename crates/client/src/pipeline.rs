@@ -22,6 +22,7 @@ use parking_lot::Mutex;
 use smarth_core::config::WriteMode;
 use smarth_core::error::{DfsError, DfsResult};
 use smarth_core::ids::{ClientId, DatanodeId, ExtendedBlock, PipelineId};
+use smarth_core::obs::{Obs, ObsEvent};
 use smarth_core::proto::{AckKind, DataOp, DatanodeInfo, Packet, PipelineAck, WriteBlockHeader};
 use smarth_core::wire::send_message;
 use smarth_fabric::{Fabric, WriteHalf};
@@ -72,6 +73,7 @@ pub struct Pipeline {
     write: WriteHalf,
     shared: Arc<Shared>,
     responder: Option<JoinHandle<()>>,
+    obs: Obs,
 }
 
 impl Pipeline {
@@ -88,6 +90,7 @@ impl Pipeline {
         mode: WriteMode,
         client_buffer: u64,
         events: Sender<PipelineEvent>,
+        obs: Obs,
     ) -> DfsResult<Self> {
         assert!(!targets.is_empty(), "pipeline needs at least one target");
         let mut stream = fabric.connect(client_host, &targets[0].addr)?;
@@ -111,6 +114,7 @@ impl Pipeline {
 
         let responder = {
             let shared = Arc::clone(&shared);
+            let obs = obs.clone();
             std::thread::Builder::new()
                 .name(format!("pipe-{}-responder", id.raw()))
                 .spawn(move || {
@@ -144,6 +148,12 @@ impl Pipeline {
                                     return;
                                 }
                                 let acked = shared.acked.fetch_add(1, Ordering::SeqCst) + 1;
+                                obs.metrics().packets_in_flight.dec();
+                                obs.emit(ObsEvent::PacketBatchAcked {
+                                    block: block.id,
+                                    acked_seq: ack.seq,
+                                    packets: 1,
+                                });
                                 // Fully acked once the last packet has
                                 // been *sent* (so the retained count is
                                 // final) and every sent packet on this
@@ -176,6 +186,7 @@ impl Pipeline {
             write,
             shared,
             responder: Some(responder),
+            obs,
         })
     }
 
@@ -187,6 +198,8 @@ impl Pipeline {
             self.shared.last_seq.store(pkt.seq, Ordering::SeqCst);
         }
         self.shared.sent.lock().push(pkt.clone());
+        self.obs.metrics().packets_sent.inc();
+        self.obs.metrics().packets_in_flight.inc();
         send_message(&mut self.write, &pkt)
     }
 
@@ -220,7 +233,12 @@ impl Pipeline {
     /// Takes all retained packets — the recovery resend source
     /// (Algorithm 3 line 3: ACK queue back to data queue).
     pub fn take_retained_packets(&self) -> Vec<Packet> {
-        std::mem::take(&mut *self.shared.sent.lock())
+        let taken = std::mem::take(&mut *self.shared.sent.lock());
+        // Whatever was never acked on this pipeline is no longer in
+        // flight — the recovery resend will re-count each packet.
+        let outstanding = (taken.len() as u64).saturating_sub(self.packets_acked());
+        self.obs.metrics().packets_in_flight.sub(outstanding);
+        taken
     }
 
     /// Shuts the pipeline down, joining the responder. Safe to call on
@@ -359,6 +377,7 @@ mod tests {
             WriteMode::Smarth,
             1 << 20,
             events,
+            Obs::disabled(),
         )
         .unwrap()
     }

@@ -228,6 +228,14 @@ fn remote_error(msg: String) -> DfsError {
         }
     } else if msg.contains("lease expired") {
         DfsError::LeaseExpired(msg)
+    } else if let Some(rest) = msg.split("unknown block blk_").nth(1) {
+        // Recovery treats UnknownBlock specially (e.g. abandoning a block
+        // twice across retries), so recover the id from the message.
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        match digits.parse::<u64>() {
+            Ok(raw) => DfsError::UnknownBlock(BlockId(raw)),
+            Err(_) => DfsError::Internal(format!("namenode: {msg}")),
+        }
     } else {
         DfsError::Internal(format!("namenode: {msg}"))
     }
@@ -258,6 +266,10 @@ mod tests {
         assert!(matches!(
             remote_error("lease expired for /y".into()),
             DfsError::LeaseExpired(_)
+        ));
+        assert!(matches!(
+            remote_error("unknown block blk_42".into()),
+            DfsError::UnknownBlock(BlockId(42))
         ));
         assert!(matches!(
             remote_error("boom".into()),

@@ -13,6 +13,7 @@
 //! ls <path>                              list a directory
 //! rm <path>                              delete a file
 //! report                                 dfsadmin-style cluster report
+//! metrics                                dump the observability counters as JSON
 //! kill <host>                            crash a datanode
 //! throttle <host> <mbps|off>             tc a host NIC
 //! seed <path> <size>[k|m]                put with both protocols, print timing
@@ -66,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ["quit"] | ["exit"] => break,
             ["help"] => {
                 println!("put <path> <size>[k|m] [hdfs|smarth] | get <path> | ls <path> | rm <path>");
-                println!("report | kill <host> | throttle <host> <mbps|off> | seed <path> <size> | quit");
+                println!("report | metrics | kill <host> | throttle <host> <mbps|off> | seed <path> <size> | quit");
                 Ok(())
             }
             ["put", path, size, rest @ ..] => (|| {
@@ -125,6 +126,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
                 Ok::<(), Box<dyn std::error::Error>>(())
             })(),
+            ["metrics"] => {
+                println!("{}", cluster.obs().metrics().snapshot().to_string_pretty());
+                Ok(())
+            }
             ["kill", host] => (|| {
                 cluster.kill_datanode(host)?;
                 println!("{host} killed");

@@ -7,6 +7,7 @@
 use smarth_client::DfsClient;
 use smarth_core::config::{ClusterSpec, DfsConfig, HostRole};
 use smarth_core::error::{DfsError, DfsResult};
+use smarth_core::obs::Obs;
 use smarth_core::units::Bandwidth;
 use smarth_datanode::DataNode;
 use smarth_fabric::{Fabric, FabricConfig};
@@ -22,6 +23,7 @@ pub struct MiniCluster {
     spec: ClusterSpec,
     config: DfsConfig,
     seed: u64,
+    obs: Obs,
 }
 
 impl MiniCluster {
@@ -30,6 +32,19 @@ impl MiniCluster {
     /// namenode plus every datanode. Datanode registration is
     /// synchronous: when this returns, placement sees the whole cluster.
     pub fn start(spec: &ClusterSpec, config: DfsConfig, seed: u64) -> DfsResult<Self> {
+        Self::start_with_obs(spec, config, seed, Obs::disabled())
+    }
+
+    /// [`Self::start`] with an observability handle shared by the
+    /// namenode, every datanode, and every client created through this
+    /// cluster — one event stream and metrics registry for the whole
+    /// write path.
+    pub fn start_with_obs(
+        spec: &ClusterSpec,
+        config: DfsConfig,
+        seed: u64,
+        obs: Obs,
+    ) -> DfsResult<Self> {
         config.validate().map_err(DfsError::Internal)?;
         let fabric = Fabric::new(FabricConfig {
             latency: Duration::from_secs_f64(spec.link_latency.as_secs_f64()),
@@ -48,17 +63,19 @@ impl MiniCluster {
         }
 
         let nn_host = spec.namenode_host().name.clone();
-        let namenode = NameNode::start(&fabric, &nn_host, config.clone(), seed)?;
+        let namenode =
+            NameNode::start_with_obs(&fabric, &nn_host, config.clone(), seed, obs.clone())?;
         let nn_dn_addr = namenode.datanode_addr();
 
         let mut datanodes = Vec::new();
         for host in spec.hosts.iter().filter(|h| h.role == HostRole::DataNode) {
-            datanodes.push(DataNode::start(
+            datanodes.push(DataNode::start_with_obs(
                 &fabric,
                 &host.name,
                 &host.rack,
                 &nn_dn_addr,
                 config.clone(),
+                obs.clone(),
             )?);
         }
 
@@ -69,7 +86,14 @@ impl MiniCluster {
             spec: spec.clone(),
             config,
             seed,
+            obs,
         })
+    }
+
+    /// The cluster-wide observability handle (disabled unless the
+    /// cluster was started with [`Self::start_with_obs`]).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     pub fn fabric(&self) -> &Fabric {
@@ -103,13 +127,14 @@ impl MiniCluster {
 
     /// A client bound to an arbitrary existing fabric host.
     pub fn client_on(&self, host: &str, rack: &str) -> DfsResult<DfsClient> {
-        DfsClient::connect(
+        DfsClient::connect_with_obs(
             &self.fabric,
             host,
             rack,
             &self.client_addr(),
             self.config.clone(),
             self.seed ^ 0x9E37_79B9_7F4A_7C15,
+            self.obs.clone(),
         )
     }
 

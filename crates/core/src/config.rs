@@ -10,10 +10,9 @@
 //! scenarios.
 
 use crate::units::{Bandwidth, ByteSize, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Which write protocol a client uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WriteMode {
     /// Original HDFS: one pipeline at a time, block `k+1` starts only
     /// after every ack of block `k` arrived (stop-and-wait, §II).
@@ -34,7 +33,7 @@ impl WriteMode {
 
 /// All protocol-level tunables. Defaults mirror Hadoop 1.0.3 as described
 /// in the paper; tests override sizes downward to keep runtimes small.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DfsConfig {
     /// Block size (paper default: 64 MB).
     pub block_size: ByteSize,
@@ -76,6 +75,12 @@ pub struct DfsConfig {
     /// Socket buffer size used by the emulator's streams; bounds how far
     /// a sender can run ahead of a slow receiver hop.
     pub socket_buffer: ByteSize,
+    /// How long a stream waits on pipeline events before declaring the
+    /// pipeline hung and returning a timeout.
+    pub pipeline_event_timeout: SimDuration,
+    /// Recovery attempts per pipeline incident (Algorithm 3's retry
+    /// budget) before the stream gives up.
+    pub max_recovery_attempts: u32,
 }
 
 impl Default for DfsConfig {
@@ -105,6 +110,8 @@ impl DfsConfig {
             packet_write_cost: SimDuration::from_micros(20),
             disk_bandwidth: Bandwidth::mib_per_sec(120.0),
             socket_buffer: ByteSize::kib(256),
+            pipeline_event_timeout: SimDuration::from_secs(60),
+            max_recovery_attempts: 5,
         }
     }
 
@@ -130,6 +137,9 @@ impl DfsConfig {
             packet_write_cost: SimDuration::from_micros(5),
             disk_bandwidth: Bandwidth::mib_per_sec(512.0),
             socket_buffer: ByteSize::kib(64),
+            // A hung test pipeline should fail fast, not after a minute.
+            pipeline_event_timeout: SimDuration::from_secs(5),
+            max_recovery_attempts: 5,
         }
     }
 
@@ -168,12 +178,18 @@ impl DfsConfig {
         if self.datanode_client_buffer < self.packet_size {
             return Err("datanode buffer must hold at least one packet".into());
         }
+        if self.pipeline_event_timeout <= SimDuration::ZERO {
+            return Err("pipeline_event_timeout must be positive".into());
+        }
+        if self.max_recovery_attempts == 0 {
+            return Err("max_recovery_attempts must be at least 1".into());
+        }
         Ok(())
     }
 }
 
 /// Amazon EC2 instance types of Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InstanceType {
     Small,
     Medium,
@@ -224,7 +240,7 @@ impl InstanceType {
 }
 
 /// Role a host plays in a cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HostRole {
     NameNode,
     DataNode,
@@ -232,7 +248,7 @@ pub enum HostRole {
 }
 
 /// One host of a cluster scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HostSpec {
     pub name: String,
     pub role: HostRole,
@@ -247,7 +263,7 @@ pub struct HostSpec {
 
 /// A full cluster blueprint: hosts plus the inter-rack throttle that the
 /// two-rack experiments apply with `tc`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterSpec {
     pub name: String,
     pub hosts: Vec<HostSpec>,
@@ -458,6 +474,23 @@ mod tests {
         let mut c = DfsConfig::test_scale();
         c.datanode_client_buffer = ByteSize::bytes(1);
         assert!(c.validate().is_err());
+
+        let mut c = DfsConfig::test_scale();
+        c.pipeline_event_timeout = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = DfsConfig::test_scale();
+        c.max_recovery_attempts = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn recovery_knobs_default_to_paper_values() {
+        let c = DfsConfig::paper_scale();
+        assert_eq!(c.pipeline_event_timeout, SimDuration::from_secs(60));
+        assert_eq!(c.max_recovery_attempts, 5);
+        // Tests fail fast on hung pipelines.
+        assert!(DfsConfig::test_scale().pipeline_event_timeout < c.pipeline_event_timeout);
     }
 
     #[test]

@@ -6,7 +6,6 @@
 //! expected. All ids are plain `u64`/`u32` wrappers: cheap to copy, hash
 //! and serialize.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -14,7 +13,7 @@ macro_rules! id_newtype {
     ($(#[$meta:meta])* $name:ident, $inner:ty, $prefix:expr) => {
         $(#[$meta])*
         #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
         )]
         pub struct $name(pub $inner);
 
@@ -115,7 +114,7 @@ impl BlockId {
 /// A block id together with its generation stamp — the unit that datanodes
 /// store and the namenode tracks. Two `ExtendedBlock`s with equal ids but
 /// different generation stamps refer to different replica generations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ExtendedBlock {
     pub id: BlockId,
     pub gen: GenStamp,

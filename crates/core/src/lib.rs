@@ -18,7 +18,9 @@ pub mod config;
 pub mod costmodel;
 pub mod error;
 pub mod ids;
+pub mod json;
 pub mod localopt;
+pub mod obs;
 pub mod placement;
 pub mod proto;
 pub mod speed;
@@ -28,6 +30,10 @@ pub mod wire;
 
 pub use config::{ClusterSpec, DfsConfig, HostRole, HostSpec, InstanceType, WriteMode};
 pub use error::{DfsError, DfsResult};
+pub use obs::{
+    EventRecord, EventSink, FanoutSink, JsonLinesSink, Metrics, NullSink, Obs, ObsEvent,
+    RecoveryCause, RingBufferSink, SpeedObservation,
+};
 pub use ids::{
     BlockId, ClientId, DatanodeId, ExtendedBlock, FileId, GenStamp, PacketSeq, PipelineId,
 };

@@ -61,12 +61,15 @@ pub fn local_optimize(
 }
 
 fn sort_infos_by(targets: &mut [DatanodeInfo], order: &[DatanodeId]) {
-    debug_assert_eq!(targets.len(), order.len());
+    // `order` is normally a permutation of the target ids, but a
+    // duplicated or unknown target must not take the stream down: any id
+    // missing from `order` sorts after every known one, and the stable
+    // sort keeps such stragglers in their original (namenode) order.
     targets.sort_by_key(|t| {
         order
             .iter()
             .position(|id| *id == t.id)
-            .expect("order must contain every target")
+            .unwrap_or(order.len())
     });
 }
 
@@ -173,6 +176,30 @@ mod tests {
             local_optimize(&mut none, &tracker, 0.0, &mut rng),
             LocalOptOutcome::TooShort
         );
+    }
+
+    #[test]
+    fn degenerate_target_lists_do_not_panic() {
+        // Regression: a duplicated target id means the sorted id list is
+        // not a permutation of the targets, and `sort_infos_by` used to
+        // panic with "order must contain every target". It must instead
+        // sort the ids it knows and leave stragglers, in their original
+        // relative order, at the back.
+        let tracker = tracker_with(&[(1, 10.0), (2, 30.0)]);
+        let mut targets = vec![info(1), info(2), info(2)];
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let out = local_optimize(&mut targets, &tracker, 1.0, &mut rng);
+        assert_eq!(out, LocalOptOutcome::Sorted);
+        let ids: Vec<u32> = targets.iter().map(|t| t.id.raw()).collect();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(ids[0], 2, "fastest known node still leads");
+
+        // An id the tracker-sorted order has never seen at all (empty
+        // order slice) degrades to the original order.
+        let mut targets = vec![info(9), info(8)];
+        sort_infos_by(&mut targets, &[]);
+        let ids: Vec<u32> = targets.iter().map(|t| t.id.raw()).collect();
+        assert_eq!(ids, vec![9, 8], "unknown ids keep their original order");
     }
 
     #[test]

@@ -1,0 +1,886 @@
+//! Structured observability: typed protocol events plus an atomic
+//! metrics registry, shared by the threaded emulator and the
+//! discrete-event simulator.
+//!
+//! SMARTH is a measurement-driven protocol — Algorithm 1 places blocks
+//! from observed per-datanode speeds, Algorithm 2 reorders pipelines
+//! from the client's own transfer records — so the system exposes its
+//! own measurements through this module instead of ad-hoc `eprintln!`
+//! tracing. Two complementary surfaces:
+//!
+//! * **Events** ([`ObsEvent`]): the write path emits one typed record
+//!   per protocol action (block allocation, pipeline open/close, FNFA,
+//!   recovery steps, placement decisions…) through a pluggable
+//!   [`EventSink`]. The default sink is a no-op; a bounded in-memory
+//!   ring ([`RingBufferSink`]) and a JSON-lines writer
+//!   ([`JsonLinesSink`]) are provided, and [`FanoutSink`] composes
+//!   sinks. The emulator stamps records with real (monotonic) time, the
+//!   simulator with virtual time — same event types, comparable traces.
+//! * **Metrics** ([`Metrics`]): always-on atomic counters, gauges with
+//!   high-water marks, and fixed-bucket histograms for the quantities
+//!   the paper's claims rest on (bytes written, packets in flight,
+//!   concurrent pipelines, FNFA→next-allocation latency, recoveries by
+//!   cause).
+//!
+//! Everything is cheap when disabled: a [`NullSink`] emit is one
+//! dynamic call on an `Arc`, and metric updates are single relaxed
+//! atomic ops.
+
+use crate::ids::{BlockId, ClientId, DatanodeId};
+use crate::json::{ObjectBuilder, Value};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// Why a pipeline recovery was started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryCause {
+    /// No pipeline event arrived within the configured event timeout.
+    AckTimeout,
+    /// A datanode reported a failure for a specific pipeline position.
+    DatanodeError,
+    /// The transport to the pipeline broke (host killed, link cut).
+    ConnectionLost,
+    /// The namenode rejected an operation mid-write.
+    NamenodeError,
+}
+
+impl RecoveryCause {
+    pub const ALL: [RecoveryCause; 4] = [
+        RecoveryCause::AckTimeout,
+        RecoveryCause::DatanodeError,
+        RecoveryCause::ConnectionLost,
+        RecoveryCause::NamenodeError,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryCause::AckTimeout => "ack_timeout",
+            RecoveryCause::DatanodeError => "datanode_error",
+            RecoveryCause::ConnectionLost => "connection_lost",
+            RecoveryCause::NamenodeError => "namenode_error",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            RecoveryCause::AckTimeout => 0,
+            RecoveryCause::DatanodeError => 1,
+            RecoveryCause::ConnectionLost => 2,
+            RecoveryCause::NamenodeError => 3,
+        }
+    }
+}
+
+impl fmt::Display for RecoveryCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One observed per-datanode speed record consulted by a placement
+/// decision (Algorithm 1's inputs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedObservation {
+    pub datanode: DatanodeId,
+    pub bytes_per_sec: f64,
+}
+
+/// A typed protocol event on the write path. Variants cover the
+/// client, datanode, namenode and simulator; each carries the ids
+/// needed to join it back to a block or pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsEvent {
+    /// The namenode allocated a block (client-side receipt).
+    BlockAllocated {
+        block: BlockId,
+        targets: Vec<DatanodeId>,
+    },
+    /// A write pipeline was established through all its datanodes.
+    PipelineOpened {
+        block: BlockId,
+        targets: Vec<DatanodeId>,
+    },
+    /// A pipeline finished (committed or abandoned).
+    PipelineClosed { block: BlockId, committed: bool },
+    /// The client observed acks up to `acked_seq` (one event per ack
+    /// batch, not per packet).
+    PacketBatchAcked {
+        block: BlockId,
+        acked_seq: u64,
+        packets: u64,
+    },
+    /// FIRST_NODE_FINISH ack reached the client (§III-A) — the trigger
+    /// for allocating the next block while this pipeline drains.
+    FnfaReceived { block: BlockId, first_node: DatanodeId },
+    /// A first datanode finalized its replica and emitted FNFA
+    /// downstream-independently (datanode side).
+    FnfaSent { datanode: DatanodeId, block: BlockId },
+    /// A datanode finalized a received replica.
+    BlockReceived {
+        datanode: DatanodeId,
+        block: BlockId,
+        bytes: u64,
+    },
+    /// Pipeline recovery began (Algorithms 3/4).
+    RecoveryStarted {
+        block: BlockId,
+        attempt: u32,
+        cause: RecoveryCause,
+    },
+    /// One step of an ongoing recovery (probe, replica copy, rebuild…).
+    RecoveryStep { block: BlockId, step: String },
+    /// Recovery concluded.
+    RecoveryFinished { block: BlockId, success: bool },
+    /// Algorithm 2 explored: a slower-ranked datanode was promoted to
+    /// pipeline head to refresh its speed record.
+    ExplorationSwap {
+        block: BlockId,
+        promoted: DatanodeId,
+        displaced: DatanodeId,
+    },
+    /// The namenode chose targets for a block, with the speed records
+    /// it consulted (empty for the default rack-aware policy).
+    PlacementDecision {
+        block: BlockId,
+        policy: &'static str,
+        chosen: Vec<DatanodeId>,
+        speeds_consulted: Vec<SpeedObservation>,
+    },
+    /// The namenode ingested a client speed report (heartbeat piggyback).
+    SpeedReportIngested { client: ClientId, records: u64 },
+}
+
+impl ObsEvent {
+    /// Stable machine-readable kind tag (JSON `"kind"` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::BlockAllocated { .. } => "block_allocated",
+            ObsEvent::PipelineOpened { .. } => "pipeline_opened",
+            ObsEvent::PipelineClosed { .. } => "pipeline_closed",
+            ObsEvent::PacketBatchAcked { .. } => "packet_batch_acked",
+            ObsEvent::FnfaReceived { .. } => "fnfa_received",
+            ObsEvent::FnfaSent { .. } => "fnfa_sent",
+            ObsEvent::BlockReceived { .. } => "block_received",
+            ObsEvent::RecoveryStarted { .. } => "recovery_started",
+            ObsEvent::RecoveryStep { .. } => "recovery_step",
+            ObsEvent::RecoveryFinished { .. } => "recovery_finished",
+            ObsEvent::ExplorationSwap { .. } => "exploration_swap",
+            ObsEvent::PlacementDecision { .. } => "placement_decision",
+            ObsEvent::SpeedReportIngested { .. } => "speed_report_ingested",
+        }
+    }
+
+    fn fields(&self, obj: ObjectBuilder) -> ObjectBuilder {
+        fn ids(targets: &[DatanodeId]) -> Value {
+            Value::Array(targets.iter().map(|d| Value::from(d.raw() as u64)).collect())
+        }
+        match self {
+            ObsEvent::BlockAllocated { block, targets } => obj
+                .field("block", block.raw())
+                .field("targets", ids(targets)),
+            ObsEvent::PipelineOpened { block, targets } => obj
+                .field("block", block.raw())
+                .field("targets", ids(targets)),
+            ObsEvent::PipelineClosed { block, committed } => obj
+                .field("block", block.raw())
+                .field("committed", *committed),
+            ObsEvent::PacketBatchAcked {
+                block,
+                acked_seq,
+                packets,
+            } => obj
+                .field("block", block.raw())
+                .field("acked_seq", *acked_seq)
+                .field("packets", *packets),
+            ObsEvent::FnfaReceived { block, first_node } => obj
+                .field("block", block.raw())
+                .field("first_node", first_node.raw() as u64),
+            ObsEvent::FnfaSent { datanode, block } => obj
+                .field("datanode", datanode.raw() as u64)
+                .field("block", block.raw()),
+            ObsEvent::BlockReceived {
+                datanode,
+                block,
+                bytes,
+            } => obj
+                .field("datanode", datanode.raw() as u64)
+                .field("block", block.raw())
+                .field("bytes", *bytes),
+            ObsEvent::RecoveryStarted {
+                block,
+                attempt,
+                cause,
+            } => obj
+                .field("block", block.raw())
+                .field("attempt", *attempt)
+                .field("cause", cause.name()),
+            ObsEvent::RecoveryStep { block, step } => obj
+                .field("block", block.raw())
+                .field("step", step.as_str()),
+            ObsEvent::RecoveryFinished { block, success } => obj
+                .field("block", block.raw())
+                .field("success", *success),
+            ObsEvent::ExplorationSwap {
+                block,
+                promoted,
+                displaced,
+            } => obj
+                .field("block", block.raw())
+                .field("promoted", promoted.raw() as u64)
+                .field("displaced", displaced.raw() as u64),
+            ObsEvent::PlacementDecision {
+                block,
+                policy,
+                chosen,
+                speeds_consulted,
+            } => obj
+                .field("block", block.raw())
+                .field("policy", *policy)
+                .field("chosen", ids(chosen))
+                .field(
+                    "speeds_consulted",
+                    Value::Array(
+                        speeds_consulted
+                            .iter()
+                            .map(|s| {
+                                ObjectBuilder::new()
+                                    .field("datanode", s.datanode.raw() as u64)
+                                    .field("bytes_per_sec", s.bytes_per_sec)
+                                    .build()
+                            })
+                            .collect(),
+                    ),
+                ),
+            ObsEvent::SpeedReportIngested { client, records } => obj
+                .field("client", client.raw())
+                .field("records", *records),
+        }
+    }
+}
+
+/// A timestamped, sequenced event record as delivered to sinks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Monotone per-`Obs` sequence number (emission order).
+    pub seq: u64,
+    /// Microseconds — wall-clock-anchored monotonic time for the
+    /// emulator, virtual time for the simulator.
+    pub at_us: u64,
+    /// True when `at_us` is simulator virtual time.
+    pub virtual_time: bool,
+    pub event: ObsEvent,
+}
+
+impl EventRecord {
+    pub fn to_json(&self) -> Value {
+        let obj = ObjectBuilder::new()
+            .field("seq", self.seq)
+            .field(if self.virtual_time { "vt_us" } else { "t_us" }, self.at_us)
+            .field("kind", self.event.kind());
+        self.event.fields(obj).build()
+    }
+}
+
+/// Receiver of event records. Implementations must be cheap and
+/// non-blocking — they run inline on protocol threads.
+pub trait EventSink: Send + Sync {
+    fn emit(&self, record: &EventRecord);
+}
+
+/// Discards everything (the default).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _record: &EventRecord) {}
+}
+
+/// Keeps the most recent `capacity` records in memory.
+pub struct RingBufferSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<EventRecord>>,
+    dropped: AtomicU64,
+}
+
+impl RingBufferSink {
+    pub fn new(capacity: usize) -> Arc<Self> {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        Arc::new(RingBufferSink {
+            capacity,
+            buf: Mutex::new(VecDeque::with_capacity(capacity)),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Copies out the retained records, oldest first.
+    pub fn snapshot(&self) -> Vec<EventRecord> {
+        self.buf.lock().iter().cloned().collect()
+    }
+
+    /// Number of records evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    pub fn clear(&self) {
+        self.buf.lock().clear();
+    }
+}
+
+impl EventSink for RingBufferSink {
+    fn emit(&self, record: &EventRecord) {
+        let mut buf = self.buf.lock();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(record.clone());
+    }
+}
+
+/// Streams each record as one compact JSON object per line.
+pub struct JsonLinesSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    pub fn new(out: W) -> Arc<Self> {
+        Arc::new(JsonLinesSink {
+            out: Mutex::new(out),
+        })
+    }
+}
+
+impl JsonLinesSink<std::io::BufWriter<std::fs::File>> {
+    pub fn create(path: &std::path::Path) -> std::io::Result<Arc<Self>> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(std::io::BufWriter::new(file)))
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonLinesSink<W> {
+    fn emit(&self, record: &EventRecord) {
+        let line = record.to_json().to_string_compact();
+        let mut out = self.out.lock();
+        // Tracing must never take down the write path; I/O errors are
+        // swallowed by design.
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+impl<W: Write + Send> Drop for JsonLinesSink<W> {
+    fn drop(&mut self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
+/// Delivers every record to each of several sinks.
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn EventSink>>,
+}
+
+impl FanoutSink {
+    pub fn new(sinks: Vec<Arc<dyn EventSink>>) -> Arc<Self> {
+        Arc::new(FanoutSink { sinks })
+    }
+}
+
+impl EventSink for FanoutSink {
+    fn emit(&self, record: &EventRecord) {
+        for sink in &self.sinks {
+            sink.emit(record);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Up/down gauge that also tracks its high-water mark.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl Gauge {
+    /// Increments and returns the post-increment value.
+    pub fn inc(&self) -> u64 {
+        self.add(1)
+    }
+
+    /// Adds `n` and returns the post-add value.
+    pub fn add(&self, n: u64) -> u64 {
+        let now = self.value.fetch_add(n, Ordering::Relaxed) + n;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+        now
+    }
+
+    pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    pub fn sub(&self, n: u64) {
+        // Saturating: a spurious extra dec must not wrap to u64::MAX.
+        let _ = self.value.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(n))
+        });
+    }
+
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.high_water.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of exponential histogram buckets: bucket `i` counts values in
+/// `[2^i, 2^(i+1))` (bucket 0 additionally holds 0).
+const HISTOGRAM_BUCKETS: usize = 40;
+
+/// Lock-free histogram over `u64` samples with power-of-two buckets.
+/// Forty buckets cover 1 µs .. ~12 days when samples are microseconds.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_for(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (63 - value.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        }
+    }
+
+    pub fn observe(&self, value: u64) {
+        self.buckets[Self::bucket_for(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Approximate quantile from bucket boundaries: returns the upper
+    /// bound of the bucket containing the q-th sample (q in `[0, 1]`).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return upper_bound(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    fn to_json(&self) -> Value {
+        ObjectBuilder::new()
+            .field("count", self.count())
+            .field("sum", self.sum())
+            .field("mean", self.mean())
+            .field("p50", self.quantile(0.5))
+            .field("p99", self.quantile(0.99))
+            .field("max", self.max())
+            .build()
+    }
+}
+
+fn upper_bound(bucket: usize) -> u64 {
+    if bucket + 1 >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << (bucket + 1)) - 1
+    }
+}
+
+/// The write path's well-known metrics. One instance is shared by every
+/// component wired to the same [`Obs`].
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Payload bytes acknowledged end-to-end.
+    pub bytes_written: Counter,
+    /// Packets handed to pipelines.
+    pub packets_sent: Counter,
+    /// Packets sent but not yet fully acked, across all pipelines.
+    pub packets_in_flight: Gauge,
+    /// Currently open write pipelines; `high_water()` is the paper's
+    /// concurrency claim (§IV-C cap).
+    pub concurrent_pipelines: Gauge,
+    /// Blocks committed by the namenode.
+    pub blocks_committed: Counter,
+    /// FNFA receipt → next block allocation latency, µs (SMARTH's
+    /// pipelining benefit is precisely this gap staying small).
+    pub fnfa_to_allocation_us: Histogram,
+    /// FNFA events received by clients.
+    pub fnfa_received: Counter,
+    /// Recoveries by cause, indexed per `RecoveryCause::index`.
+    recoveries: [Counter; 4],
+    /// Exploration swaps performed by Algorithm 2.
+    pub exploration_swaps: Counter,
+    /// Placement decisions taken with speed records available.
+    pub speed_aware_placements: Counter,
+    /// Speed records ingested by the namenode.
+    pub speed_records_ingested: Counter,
+    /// Bytes buffered in datanode-side write buffers (first-node
+    /// buffer accounting, §IV-C).
+    pub datanode_buffered_bytes: Gauge,
+}
+
+impl Metrics {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Metrics::default())
+    }
+
+    pub fn record_recovery(&self, cause: RecoveryCause) {
+        self.recoveries[cause.index()].inc();
+    }
+
+    pub fn recoveries(&self, cause: RecoveryCause) -> u64 {
+        self.recoveries[cause.index()].get()
+    }
+
+    pub fn recoveries_total(&self) -> u64 {
+        self.recoveries.iter().map(Counter::get).sum()
+    }
+
+    /// Point-in-time JSON snapshot of every metric.
+    pub fn snapshot(&self) -> Value {
+        let recoveries = RecoveryCause::ALL
+            .iter()
+            .fold(ObjectBuilder::new(), |obj, c| {
+                obj.field(c.name(), self.recoveries(*c))
+            })
+            .field("total", self.recoveries_total())
+            .build();
+        ObjectBuilder::new()
+            .field("bytes_written", self.bytes_written.get())
+            .field("packets_sent", self.packets_sent.get())
+            .field("packets_in_flight", self.packets_in_flight.get())
+            .field("packets_in_flight_high_water", self.packets_in_flight.high_water())
+            .field("concurrent_pipelines", self.concurrent_pipelines.get())
+            .field(
+                "concurrent_pipelines_high_water",
+                self.concurrent_pipelines.high_water(),
+            )
+            .field("blocks_committed", self.blocks_committed.get())
+            .field("fnfa_received", self.fnfa_received.get())
+            .field("fnfa_to_allocation_us", self.fnfa_to_allocation_us.to_json())
+            .field("recoveries", recoveries)
+            .field("exploration_swaps", self.exploration_swaps.get())
+            .field("speed_aware_placements", self.speed_aware_placements.get())
+            .field("speed_records_ingested", self.speed_records_ingested.get())
+            .field("datanode_buffered_bytes", self.datanode_buffered_bytes.get())
+            .field(
+                "datanode_buffered_bytes_high_water",
+                self.datanode_buffered_bytes.high_water(),
+            )
+            .build()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Observability handle
+// ---------------------------------------------------------------------------
+
+/// Shared anchor so real-time stamps from different components are
+/// mutually comparable within one process.
+fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// The handle components hold: an event sink plus the metrics registry.
+/// Cloning is cheap (two `Arc`s and an `Arc`'d sequence counter).
+#[derive(Clone)]
+pub struct Obs {
+    sink: Arc<dyn EventSink>,
+    metrics: Arc<Metrics>,
+    seq: Arc<AtomicU64>,
+}
+
+impl Obs {
+    pub fn new(sink: Arc<dyn EventSink>) -> Self {
+        Obs {
+            sink,
+            metrics: Metrics::new(),
+            seq: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    pub fn with_metrics(sink: Arc<dyn EventSink>, metrics: Arc<Metrics>) -> Self {
+        Obs {
+            sink,
+            metrics,
+            seq: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// No-op event sink; metrics still collected.
+    pub fn disabled() -> Self {
+        Obs::new(Arc::new(NullSink))
+    }
+
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    pub fn sink(&self) -> &Arc<dyn EventSink> {
+        &self.sink
+    }
+
+    /// Microseconds since the process-wide epoch (monotonic).
+    pub fn now_us() -> u64 {
+        process_epoch().elapsed().as_micros() as u64
+    }
+
+    /// Emits an event stamped with real time.
+    pub fn emit(&self, event: ObsEvent) {
+        self.emit_record(Self::now_us(), false, event);
+    }
+
+    /// Emits an event stamped with simulator virtual time.
+    pub fn emit_virtual(&self, at_us: u64, event: ObsEvent) {
+        self.emit_record(at_us, true, event);
+    }
+
+    fn emit_record(&self, at_us: u64, virtual_time: bool, event: ObsEvent) {
+        let record = EventRecord {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            at_us,
+            virtual_time,
+            event,
+        };
+        self.sink.emit(&record);
+    }
+}
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Obs")
+            .field("seq", &self.seq.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event(i: u64) -> ObsEvent {
+        ObsEvent::PacketBatchAcked {
+            block: BlockId(i),
+            acked_seq: i * 10,
+            packets: 10,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_truncates_oldest_first() {
+        let ring = RingBufferSink::new(3);
+        let obs = Obs::new(ring.clone());
+        for i in 0..5 {
+            obs.emit(sample_event(i));
+        }
+        let records = ring.snapshot();
+        assert_eq!(records.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        // Oldest two evicted; seq 2..5 retained in order.
+        let seqs: Vec<u64> = records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn fanout_delivers_to_every_sink() {
+        let a = RingBufferSink::new(8);
+        let b = RingBufferSink::new(8);
+        let obs = Obs::new(FanoutSink::new(vec![a.clone(), b.clone()]));
+        obs.emit(sample_event(1));
+        obs.emit(sample_event(2));
+        assert_eq!(a.snapshot().len(), 2);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn json_lines_sink_writes_parseable_lines() {
+        let buf: Vec<u8> = Vec::new();
+        let sink = JsonLinesSink::new(buf);
+        let obs = Obs::new(sink.clone());
+        obs.emit(ObsEvent::FnfaReceived {
+            block: BlockId(7),
+            first_node: DatanodeId(3),
+        });
+        obs.emit_virtual(
+            123,
+            ObsEvent::PlacementDecision {
+                block: BlockId(8),
+                policy: "smarth",
+                chosen: vec![DatanodeId(1), DatanodeId(2)],
+                speeds_consulted: vec![SpeedObservation {
+                    datanode: DatanodeId(1),
+                    bytes_per_sec: 1e6,
+                }],
+            },
+        );
+        let text = String::from_utf8(sink.out.lock().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = crate::json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("kind").as_str(), Some("fnfa_received"));
+        assert_eq!(first.get("block").as_u64(), Some(7));
+        assert!(first.get("vt_us").is_null(), "real time stamped as t_us");
+        let second = crate::json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("vt_us").as_u64(), Some(123));
+        assert_eq!(second.get("chosen").idx(1).as_u64(), Some(2));
+        assert_eq!(
+            second.get("speeds_consulted").idx(0).get("bytes_per_sec").as_f64(),
+            Some(1e6)
+        );
+    }
+
+    #[test]
+    fn histogram_math() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [0u64, 1, 1, 3, 8, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1113);
+        assert!((h.mean() - 1113.0 / 7.0).abs() < 1e-9);
+        assert_eq!(h.max(), 1000);
+        // p50 falls in the bucket holding the 4th sample (value 3 →
+        // bucket [2,4), upper bound 3).
+        assert_eq!(h.quantile(0.5), 3);
+        // p100 is capped at the observed max, not the bucket bound.
+        assert_eq!(h.quantile(1.0), 1000);
+        // Bucket assignment: exact powers of two land in their own bucket.
+        assert_eq!(Histogram::bucket_for(0), 0);
+        assert_eq!(Histogram::bucket_for(1), 0);
+        assert_eq!(Histogram::bucket_for(2), 1);
+        assert_eq!(Histogram::bucket_for(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn gauge_high_water_and_saturation() {
+        let g = Gauge::default();
+        g.inc();
+        g.inc();
+        g.dec();
+        g.inc();
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.high_water(), 2);
+        g.dec();
+        g.dec();
+        g.dec(); // extra dec must saturate at zero, not wrap
+        assert_eq!(g.get(), 0);
+        assert_eq!(g.high_water(), 2);
+    }
+
+    #[test]
+    fn metrics_snapshot_is_valid_json() {
+        let m = Metrics::default();
+        m.bytes_written.add(4096);
+        m.record_recovery(RecoveryCause::AckTimeout);
+        m.record_recovery(RecoveryCause::AckTimeout);
+        m.concurrent_pipelines.inc();
+        m.fnfa_to_allocation_us.observe(1500);
+        let snap = m.snapshot();
+        let parsed = crate::json::parse(&snap.to_string_pretty()).unwrap();
+        assert_eq!(parsed.get("bytes_written").as_u64(), Some(4096));
+        assert_eq!(parsed.get("recoveries").get("ack_timeout").as_u64(), Some(2));
+        assert_eq!(parsed.get("recoveries").get("total").as_u64(), Some(2));
+        assert_eq!(parsed.get("concurrent_pipelines_high_water").as_u64(), Some(1));
+        assert_eq!(parsed.get("fnfa_to_allocation_us").get("count").as_u64(), Some(1));
+    }
+
+    #[test]
+    fn null_sink_still_counts_sequence() {
+        let obs = Obs::disabled();
+        obs.emit(sample_event(1));
+        obs.emit(sample_event(2));
+        // Metrics registry reachable and zeroed.
+        assert_eq!(obs.metrics().bytes_written.get(), 0);
+    }
+}

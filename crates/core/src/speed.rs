@@ -180,6 +180,15 @@ impl NamenodeSpeedRegistry {
         scored.into_iter().map(|(dn, _)| dn).collect()
     }
 
+    /// Every (datanode, bytes/sec) record held for `client` — the data a
+    /// speed-aware placement decision consults.
+    pub fn records_for(&self, client: ClientId) -> Vec<(DatanodeId, f64)> {
+        self.per_client
+            .get(&client)
+            .map(|t| t.iter().map(|(dn, e)| (*dn, e.bytes_per_sec)).collect())
+            .unwrap_or_default()
+    }
+
     /// Forgets a dead datanode everywhere so it can't be recommended.
     pub fn forget_datanode(&mut self, dn: DatanodeId) {
         for table in self.per_client.values_mut() {

@@ -7,7 +7,6 @@
 //! explicit conversion methods. Arithmetic that crosses units
 //! (`bytes / bandwidth -> duration`) is provided as named operations.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
@@ -18,7 +17,7 @@ pub const GB: u64 = 1024 * MB;
 /// A byte volume. Wraps `u64`; construction helpers mirror the paper's
 /// units (`ByteSize::gib(8)` is the paper's 8 GB file).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct ByteSize(pub u64);
 
@@ -114,7 +113,7 @@ impl fmt::Display for ByteSize {
 /// Network (or disk) bandwidth. Stored internally as bytes per second in
 /// `f64` to make rate arithmetic exact enough for simulation; constructors
 /// accept the paper's Mbps figures.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Bandwidth {
     bytes_per_sec: f64,
 }
@@ -220,13 +219,13 @@ impl fmt::Display for Bandwidth {
 /// start. Integer representation keeps the discrete-event simulator's
 /// event ordering exact and platform-independent.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimInstant(pub u64);
 
 /// A span of simulated time in integer nanoseconds.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimDuration(pub u64);
 

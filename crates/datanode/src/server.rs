@@ -26,6 +26,7 @@ use smarth_core::checksum::ChunkedChecksum;
 use smarth_core::config::{DfsConfig, WriteMode};
 use smarth_core::error::{DfsError, DfsResult};
 use smarth_core::ids::DatanodeId;
+use smarth_core::obs::{Obs, ObsEvent};
 use smarth_core::proto::{
     AckKind, AckStatus, DataOp, DataReply, DatanodeRequest, DatanodeResponse, Packet,
     PipelineAck, WriteBlockHeader,
@@ -68,6 +69,7 @@ struct DnInner {
     nn: NnClient,
     active_transfers: AtomicU32,
     checksum: ChunkedChecksum,
+    obs: Obs,
 }
 
 impl DnInner {
@@ -105,6 +107,19 @@ impl DataNode {
         nn_datanode_addr: &str,
         config: DfsConfig,
     ) -> DfsResult<Self> {
+        Self::start_with_obs(fabric, host, rack, nn_datanode_addr, config, Obs::disabled())
+    }
+
+    /// [`Self::start`] with an observability handle for FNFA, replica and
+    /// buffer-accounting events.
+    pub fn start_with_obs(
+        fabric: &Fabric,
+        host: &str,
+        rack: &str,
+        nn_datanode_addr: &str,
+        config: DfsConfig,
+        obs: Obs,
+    ) -> DfsResult<Self> {
         let nn = NnClient::connect(fabric, host, nn_datanode_addr)?;
         let data_addr = Self::data_addr_of(host);
         let id = match nn.call(&DatanodeRequest::Register {
@@ -132,6 +147,7 @@ impl DataNode {
             store: BlockStore::new(),
             nn,
             active_transfers: AtomicU32::new(0),
+            obs,
         });
         let stop = Arc::new(AtomicBool::new(false));
         let mut threads = Vec::new();
@@ -336,14 +352,22 @@ fn run_write_threads(
 
     // Forwarder: pumps packets to the next datanode.
     let forwarder = mirror_write.map(|mut m_write| {
+        let obs = dn.obs.clone();
         std::thread::Builder::new()
             .name("dn-forwarder".into())
             .spawn(move || {
                 for pkt in fwd_rx.iter() {
-                    if send_message(&mut m_write, &pkt).is_err() {
+                    let n = pkt.payload.len() as u64;
+                    let sent = send_message(&mut m_write, &pkt);
+                    obs.metrics().datanode_buffered_bytes.sub(n);
+                    if sent.is_err() {
                         // Drain so the receiver never blocks on a dead
                         // mirror; the responder reports the error.
-                        for _ in fwd_rx.iter() {}
+                        for pkt in fwd_rx.iter() {
+                            obs.metrics()
+                                .datanode_buffered_bytes
+                                .sub(pkt.payload.len() as u64);
+                        }
                         break;
                     }
                 }
@@ -413,7 +437,18 @@ fn run_write_threads(
             if has_mirror {
                 // A closed forwarder means the mirror died; the responder
                 // reports it via error acks, we just stop forwarding.
-                let _ = fwd_tx.send(pkt.clone());
+                // Buffer accounting happens before the send: the bounded
+                // queue blocks here, and that backlog is the §IV-C buffer.
+                dn.obs
+                    .metrics()
+                    .datanode_buffered_bytes
+                    .add(pkt.payload.len() as u64);
+                if fwd_tx.send(pkt.clone()).is_err() {
+                    dn.obs
+                        .metrics()
+                        .datanode_buffered_bytes
+                        .sub(pkt.payload.len() as u64);
+                }
             }
             // Disk time: modelled as bucket tokens (§III-D's T_w is the
             // per-packet constant; sustained rate is the disk bandwidth).
@@ -438,7 +473,16 @@ fn run_write_threads(
                             statuses: vec![AckStatus::Success],
                         },
                     );
+                    dn.obs.emit(ObsEvent::FnfaSent {
+                        datanode: dn.id,
+                        block: block.id,
+                    });
                 }
+                dn.obs.emit(ObsEvent::BlockReceived {
+                    datanode: dn.id,
+                    block: block.id,
+                    bytes: final_len,
+                });
                 dn.notify_block_received(finalized);
             }
             ack_tx.send((pkt.seq, last)).ok();

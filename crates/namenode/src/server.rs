@@ -15,6 +15,7 @@ use rand_chacha::ChaCha8Rng;
 use smarth_core::config::{DfsConfig, WriteMode};
 use smarth_core::error::{DfsError, DfsResult};
 use smarth_core::ids::{ClientId, DatanodeId, IdGenerator};
+use smarth_core::obs::{Obs, ObsEvent, SpeedObservation};
 use smarth_core::placement::{
     default_placement, replacement_targets, smarth_placement, ClientLocality,
 };
@@ -73,10 +74,15 @@ pub struct NameNodeState {
     clients: Mutex<HashMap<ClientId, ClientSession>>,
     client_ids: IdGenerator,
     rng: Mutex<ChaCha8Rng>,
+    obs: Obs,
 }
 
 impl NameNodeState {
     pub fn new(config: DfsConfig, seed: u64) -> Self {
+        Self::with_obs(config, seed, Obs::disabled())
+    }
+
+    pub fn with_obs(config: DfsConfig, seed: u64, obs: Obs) -> Self {
         let expiry = Duration::from_secs_f64(
             config.heartbeat_interval.as_secs_f64() * config.heartbeat_expiry_multiplier as f64,
         );
@@ -89,6 +95,7 @@ impl NameNodeState {
             clients: Mutex::new(HashMap::new()),
             client_ids: IdGenerator::starting_at(1),
             rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
+            obs,
         }
     }
 
@@ -143,13 +150,15 @@ impl NameNodeState {
         let alive = dns.alive();
         let topo = dns.topology();
         let mut rng = self.rng.lock();
-        let target_ids = match mode {
-            WriteMode::Hdfs => {
-                default_placement(topo, &mut *rng, &locality, replication, excluded)?
-            }
+        let (policy, target_ids, speeds_consulted) = match mode {
+            WriteMode::Hdfs => (
+                "hdfs",
+                default_placement(topo, &mut *rng, &locality, replication, excluded)?,
+                Vec::new(),
+            ),
             WriteMode::Smarth => {
                 let speeds = self.speeds.lock();
-                smarth_placement(
+                let chosen = smarth_placement(
                     topo,
                     &speeds,
                     &mut *rng,
@@ -157,7 +166,16 @@ impl NameNodeState {
                     replication,
                     alive.len(),
                     excluded,
-                )?
+                )?;
+                let consulted = speeds
+                    .records_for(client)
+                    .into_iter()
+                    .map(|(datanode, bytes_per_sec)| SpeedObservation {
+                        datanode,
+                        bytes_per_sec,
+                    })
+                    .collect();
+                ("smarth", chosen, consulted)
             }
         };
         drop(rng);
@@ -169,6 +187,15 @@ impl NameNodeState {
 
         let block = self.blocks.lock().allocate(file_id, &target_ids);
         self.namespace.lock().append_block(client, file_id, block)?;
+        if mode == WriteMode::Smarth {
+            self.obs.metrics().speed_aware_placements.inc();
+        }
+        self.obs.emit(ObsEvent::PlacementDecision {
+            block: block.id,
+            policy,
+            chosen: target_ids,
+            speeds_consulted,
+        });
         Ok(LocatedBlock { block, targets })
     }
 
@@ -271,6 +298,14 @@ impl NameNodeState {
             }
             ClientRequest::ReportSpeeds { client, records } => {
                 self.speeds.lock().ingest(client, &records);
+                self.obs
+                    .metrics()
+                    .speed_records_ingested
+                    .add(records.len() as u64);
+                self.obs.emit(ObsEvent::SpeedReportIngested {
+                    client,
+                    records: records.len() as u64,
+                });
                 Ok(ClientResponse::SpeedsAck)
             }
             ClientRequest::GetFileInfo { path } => Ok(ClientResponse::FileInfo(
@@ -421,7 +456,19 @@ impl NameNode {
     /// Starts the namenode's listeners on `host` (which must already be a
     /// fabric host) and the expiry sweeper.
     pub fn start(fabric: &Fabric, host: &str, config: DfsConfig, seed: u64) -> DfsResult<Self> {
-        let state = Arc::new(NameNodeState::new(config, seed));
+        Self::start_with_obs(fabric, host, config, seed, Obs::disabled())
+    }
+
+    /// [`Self::start`] with an observability handle for placement and
+    /// speed-registry events.
+    pub fn start_with_obs(
+        fabric: &Fabric,
+        host: &str,
+        config: DfsConfig,
+        seed: u64,
+        obs: Obs,
+    ) -> DfsResult<Self> {
+        let state = Arc::new(NameNodeState::with_obs(config, seed, obs));
         let stop = Arc::new(AtomicBool::new(false));
         let client_listener = fabric.listen(&format!("{host}:{}", Self::CLIENT_PORT))?;
         let dn_listener = fabric.listen(&format!("{host}:{}", Self::DATANODE_PORT))?;

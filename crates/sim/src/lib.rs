@@ -13,7 +13,10 @@ pub mod model;
 pub mod scenario;
 pub mod server;
 
-pub use model::{simulate_upload, PipelineTrace, ProtocolFlags, SimResult, SimScenario};
+pub use model::{
+    simulate_upload, simulate_upload_with_obs, PipelineTrace, ProtocolFlags, SimResult,
+    SimScenario,
+};
 pub use server::RateServer;
 
 #[cfg(test)]

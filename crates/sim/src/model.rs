@@ -14,10 +14,10 @@
 use crate::server::RateServer;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde::Serialize;
 use smarth_core::config::{ClusterSpec, DfsConfig, HostRole, WriteMode};
-use smarth_core::ids::{ClientId, DatanodeId};
+use smarth_core::ids::{BlockId, ClientId, DatanodeId};
 use smarth_core::localopt::{local_optimize, LocalOptOutcome};
+use smarth_core::obs::{Obs, ObsEvent, SpeedObservation};
 use smarth_core::placement::{default_placement, smarth_placement, ClientLocality};
 use smarth_core::proto::DatanodeInfo;
 use smarth_core::speed::{ClientSpeedTracker, NamenodeSpeedRegistry};
@@ -89,7 +89,7 @@ impl SimScenario {
 }
 
 /// Measured outcome of one simulated upload.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SimResult {
     pub upload_secs: f64,
     pub file_bytes: u64,
@@ -105,7 +105,7 @@ pub struct SimResult {
 }
 
 /// Lifecycle of one block's pipeline in the simulation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PipelineTrace {
     /// First datanode of the pipeline (raw id).
     pub first_node: u32,
@@ -234,6 +234,9 @@ struct Sim {
     max_concurrent: usize,
     first_node_histogram: BTreeMap<u32, u64>,
     explored_swaps: u64,
+    // Same event stream as the real write path, stamped with virtual
+    // time (warm-up rounds run with a disabled handle).
+    obs: Obs,
 }
 
 const CLIENT: ClientId = ClientId(1);
@@ -247,6 +250,12 @@ impl Sim {
     fn schedule_now(&mut self, ev: Ev) {
         let now = self.now;
         self.schedule(now, ev);
+    }
+
+    /// Current virtual time in microseconds, the timestamp unit of
+    /// [`smarth_core::obs::EventRecord`].
+    fn vtime_us(&self) -> u64 {
+        self.now.0 / 1_000
     }
 
     fn buffer_of(&self, hop: usize) -> u64 {
@@ -484,13 +493,19 @@ impl Sim {
                 // HDFS mode: the block completes while still "current".
                 self.sending = None;
             }
-            if std::env::var_os("SMARTH_SIM_TRACE").is_some() {
-                eprintln!(
-                    "[sim] pipe {pipe} done at {:.3}s targets={:?}",
-                    self.now.as_secs_f64(),
-                    self.pipes[pipe].target_ids
-                );
-            }
+            self.obs.metrics().blocks_committed.inc();
+            self.obs
+                .metrics()
+                .bytes_written
+                .add(self.pipes[pipe].block_bytes);
+            self.obs.metrics().concurrent_pipelines.dec();
+            self.obs.emit_virtual(
+                self.vtime_us(),
+                ObsEvent::PipelineClosed {
+                    block: BlockId(pipe as u64),
+                    committed: true,
+                },
+            );
             if self.blocks_done == self.total_blocks {
                 // complete() RPC.
                 self.finished_at = Some(self.now + self.config.namenode_rpc_cost);
@@ -514,6 +529,14 @@ impl Sim {
             .observe(first, ByteSize::bytes(bytes), elapsed);
         if self.pipes[pipe].fnfa_at.is_none() {
             self.pipes[pipe].fnfa_at = Some(self.now);
+            self.obs.metrics().fnfa_received.inc();
+            self.obs.emit_virtual(
+                self.vtime_us(),
+                ObsEvent::FnfaReceived {
+                    block: BlockId(pipe as u64),
+                    first_node: first,
+                },
+            );
         }
         if self.sending == Some(pipe) {
             self.sending = None;
@@ -526,6 +549,17 @@ impl Sim {
         if elapsed >= self.config.heartbeat_interval {
             let records = self.tracker.drain_report();
             if !records.is_empty() {
+                self.obs
+                    .metrics()
+                    .speed_records_ingested
+                    .add(records.len() as u64);
+                self.obs.emit_virtual(
+                    self.vtime_us(),
+                    ObsEvent::SpeedReportIngested {
+                        client: CLIENT,
+                        records: records.len() as u64,
+                    },
+                );
                 self.registry.ingest(CLIENT, &records);
             }
             self.last_speed_flush = self.now;
@@ -584,14 +618,16 @@ impl Sim {
             .iter()
             .map(|id| self.infos[id.raw() as usize].clone())
             .collect();
+        let mut explored_swap = None;
         if self.flags.local_opt {
-            if let LocalOptOutcome::Explored { .. } = local_optimize(
+            if let LocalOptOutcome::Explored { swapped_index } = local_optimize(
                 &mut target_infos,
                 &self.tracker,
                 self.config.local_opt_threshold,
                 &mut self.rng,
             ) {
                 self.explored_swaps += 1;
+                explored_swap = Some(swapped_index);
             }
         }
         let final_ids: Vec<DatanodeId> = target_infos.iter().map(|t| t.id).collect();
@@ -652,14 +688,54 @@ impl Sim {
             done_at: None,
             active: true,
         });
-        if std::env::var_os("SMARTH_SIM_TRACE").is_some() {
-            eprintln!(
-                "[sim] pipe {pipe_idx} open at {:.3}s targets={:?} hosts={:?}",
-                self.now.as_secs_f64(),
-                self.pipes[pipe_idx].target_ids,
-                self.pipes[pipe_idx].targets
+        let block = BlockId(pipe_idx as u64);
+        let at = self.vtime_us();
+        let (policy, speeds_consulted) = if self.flags.smart_placement {
+            self.obs.metrics().speed_aware_placements.inc();
+            let consulted = self
+                .registry
+                .records_for(CLIENT)
+                .into_iter()
+                .map(|(datanode, bytes_per_sec)| SpeedObservation {
+                    datanode,
+                    bytes_per_sec,
+                })
+                .collect();
+            ("smarth", consulted)
+        } else {
+            ("hdfs", Vec::new())
+        };
+        self.obs.emit_virtual(
+            at,
+            ObsEvent::PlacementDecision {
+                block,
+                policy,
+                chosen: target_ids,
+                speeds_consulted,
+            },
+        );
+        let final_ids = self.pipes[pipe_idx].target_ids.clone();
+        self.obs.emit_virtual(
+            at,
+            ObsEvent::BlockAllocated {
+                block,
+                targets: final_ids.clone(),
+            },
+        );
+        if let Some(swapped_index) = explored_swap {
+            self.obs.metrics().exploration_swaps.inc();
+            self.obs.emit_virtual(
+                at,
+                ObsEvent::ExplorationSwap {
+                    block,
+                    promoted: final_ids[0],
+                    displaced: final_ids[swapped_index],
+                },
             );
         }
+        self.obs.metrics().concurrent_pipelines.inc();
+        self.obs
+            .emit_virtual(at, ObsEvent::PipelineOpened { block, targets: final_ids });
         self.sending = Some(pipe_idx);
         self.active_count += 1;
         self.max_concurrent = self.max_concurrent.max(self.active_count);
@@ -706,6 +782,15 @@ impl Sim {
 
 /// Runs one upload (plus warm-ups) and returns the measured result.
 pub fn simulate_upload(scenario: &SimScenario) -> SimResult {
+    simulate_upload_with_obs(scenario, Obs::disabled())
+}
+
+/// [`simulate_upload`] with an observability handle. Only the measured
+/// (final) round emits events and counts metrics — warm-up uploads run
+/// with a disabled handle so the stream describes exactly one upload.
+/// Events carry virtual time: `at_us` is simulated microseconds since
+/// upload start, not wall time.
+pub fn simulate_upload_with_obs(scenario: &SimScenario, obs: Obs) -> SimResult {
     scenario.config.validate().expect("invalid config");
     assert!(
         scenario.file_size.as_u64() > 0,
@@ -809,6 +894,11 @@ pub fn simulate_upload(scenario: &SimScenario) -> SimResult {
             max_concurrent: 0,
             first_node_histogram: BTreeMap::new(),
             explored_swaps: 0,
+            obs: if round == scenario.warmup_uploads {
+                obs.clone()
+            } else {
+                Obs::disabled()
+            },
         };
         sim.run();
 

@@ -1,0 +1,147 @@
+//! Integration tests for the observability layer (`smarth_core::obs`):
+//! the same scaled two-rack upload in both write modes, observed through
+//! a ring-buffer event sink and the shared metrics registry, plus a
+//! cross-engine check that the simulator emits the same event types
+//! stamped with virtual time.
+
+use smarth::cluster::{random_data, MiniCluster};
+use smarth::core::obs::{EventRecord, Metrics, Obs, ObsEvent, RingBufferSink};
+use smarth::core::units::{Bandwidth, ByteSize};
+use smarth::core::{ClusterSpec, DfsConfig, InstanceType, SimDuration, WriteMode};
+use smarth::sim::scenario::two_rack;
+use smarth::sim::simulate_upload_with_obs;
+use std::sync::Arc;
+
+const UPLOAD_BYTES: usize = 2_500_000; // 10 blocks at the 256 KiB test scale
+
+fn fast_config() -> DfsConfig {
+    let mut c = DfsConfig::test_scale();
+    c.disk_bandwidth = Bandwidth::unlimited();
+    c.heartbeat_interval = SimDuration::from_millis(25);
+    c
+}
+
+/// Uploads one file in `mode` on an observed two-rack cluster and
+/// returns the captured events, the metrics registry, and the number of
+/// blocks the stream committed.
+fn observed_upload(mode: WriteMode, seed: u64) -> (Vec<EventRecord>, Arc<Metrics>, u64) {
+    let sink = RingBufferSink::new(65_536);
+    let obs = Obs::new(sink.clone());
+    // A cross-rack throttle keeps downstream pipeline drain slow enough
+    // that SMARTH-mode overlap is robustly observable.
+    let mut spec = ClusterSpec::homogeneous(InstanceType::Large);
+    spec.cross_rack_throttle = Some(Bandwidth::mbps(300.0));
+    let cluster = MiniCluster::start_with_obs(&spec, fast_config(), seed, obs.clone()).unwrap();
+    let client = cluster.client().unwrap();
+    let data = random_data(7, UPLOAD_BYTES);
+    let report = client.put("/obs/file.bin", &data, mode).unwrap();
+    assert_eq!(report.stats.recoveries, 0, "healthy cluster must not recover");
+    cluster.shutdown();
+    (sink.snapshot(), Arc::clone(obs.metrics()), report.stats.blocks_committed)
+}
+
+fn count(events: &[EventRecord], pred: impl Fn(&ObsEvent) -> bool) -> u64 {
+    events.iter().filter(|r| pred(&r.event)).count() as u64
+}
+
+#[test]
+fn hdfs_mode_serializes_pipelines_and_emits_no_fnfa() {
+    let (events, metrics, blocks) = observed_upload(WriteMode::Hdfs, 11);
+    assert!(blocks >= 2, "upload must span several blocks, got {blocks}");
+
+    assert_eq!(
+        count(&events, |e| matches!(e, ObsEvent::FnfaReceived { .. })),
+        0,
+        "stock HDFS never sends FIRST_NODE_FINISH to the client"
+    );
+    assert_eq!(metrics.fnfa_received.get(), 0);
+    assert_eq!(
+        metrics.concurrent_pipelines.high_water(),
+        1,
+        "HDFS write pipelines are strictly serialized"
+    );
+
+    // One opened + one committed close per block, in matching numbers.
+    assert_eq!(
+        count(&events, |e| matches!(e, ObsEvent::PipelineOpened { .. })),
+        blocks
+    );
+    assert_eq!(
+        count(
+            &events,
+            |e| matches!(e, ObsEvent::PipelineClosed { committed: true, .. })
+        ),
+        blocks
+    );
+    assert_eq!(metrics.bytes_written.get(), UPLOAD_BYTES as u64);
+    assert_eq!(metrics.blocks_committed.get(), blocks);
+}
+
+#[test]
+fn smarth_mode_emits_fnfa_per_block_and_overlaps_pipelines() {
+    let (events, metrics, blocks) = observed_upload(WriteMode::Smarth, 12);
+    assert!(blocks >= 2, "upload must span several blocks, got {blocks}");
+
+    assert_eq!(
+        count(&events, |e| matches!(e, ObsEvent::FnfaReceived { .. })),
+        blocks,
+        "SMARTH delivers exactly one FNFA per committed block"
+    );
+    assert_eq!(metrics.fnfa_received.get(), blocks);
+    assert!(
+        metrics.concurrent_pipelines.high_water() >= 2,
+        "FNFA pipelining must overlap pipelines, high water {}",
+        metrics.concurrent_pipelines.high_water()
+    );
+    assert_eq!(metrics.bytes_written.get(), UPLOAD_BYTES as u64);
+
+    // The datanode side of the same handshake is visible too: each
+    // block's first node reports sending the FNFA it received.
+    assert_eq!(
+        count(&events, |e| matches!(e, ObsEvent::FnfaSent { .. })),
+        blocks
+    );
+    // Every event carries real (monotonic) time in the emulator.
+    assert!(events.iter().all(|r| !r.virtual_time));
+}
+
+#[test]
+fn simulator_emits_the_same_event_types_in_virtual_time() {
+    let sink = RingBufferSink::new(65_536);
+    let obs = Obs::new(sink.clone());
+    let scenario = two_rack(
+        InstanceType::Small,
+        ByteSize::mib(512),
+        Some(Bandwidth::mbps(60.0)),
+        WriteMode::Smarth,
+    );
+    let result = simulate_upload_with_obs(&scenario, obs.clone());
+
+    let events = sink.snapshot();
+    assert!(!events.is_empty(), "simulator must emit events");
+    assert!(
+        events.iter().all(|r| r.virtual_time),
+        "simulator events are stamped with virtual time"
+    );
+    assert_eq!(
+        count(&events, |e| matches!(e, ObsEvent::FnfaReceived { .. })),
+        result.blocks,
+        "one FNFA per simulated block"
+    );
+    assert_eq!(
+        count(
+            &events,
+            |e| matches!(e, ObsEvent::PipelineClosed { committed: true, .. })
+        ),
+        result.blocks
+    );
+    assert_eq!(
+        obs.metrics().concurrent_pipelines.high_water(),
+        result.max_concurrent_pipelines as u64
+    );
+    // Virtual timestamps are monotone in emission order and bounded by
+    // the measured upload time.
+    let last_us = events.last().unwrap().at_us;
+    assert!(last_us as f64 / 1e6 <= result.upload_secs + 1e-6);
+    assert!(events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+}

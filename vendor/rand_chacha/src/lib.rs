@@ -1,0 +1,115 @@
+//! Vendored ChaCha8 random number generator.
+//!
+//! A real ChaCha8 keystream (RFC 7539 block function at 8 rounds), so
+//! statistical quality matches the upstream `rand_chacha` crate; the
+//! exact output stream is *not* guaranteed to be bit-identical to
+//! upstream, and nothing in the workspace depends on that — seeds are
+//! only used for run-to-run determinism within this codebase.
+
+use rand::{RngCore, SeedableRng};
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// ChaCha with 8 rounds, keyed from a 32-byte seed.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    /// Current keystream block, consumed front to back.
+    block: [u8; 64],
+    /// Next unconsumed byte in `block`; 64 = exhausted.
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865; // "expa"
+        state[1] = 0x3320_646e; // "nd 3"
+        state[2] = 0x7962_2d32; // "2-by"
+        state[3] = 0x6b20_6574; // "te k"
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let mut working = state;
+        for _ in 0..4 {
+            // One double round: 4 column + 4 diagonal quarter rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (i, w) in working.iter().enumerate() {
+            let out = w.wrapping_add(state[i]);
+            self.block[i * 4..i * 4 + 4].copy_from_slice(&out.to_le_bytes());
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        debug_assert!(n <= 64);
+        if self.index + n > 64 {
+            self.refill();
+        }
+        let out = &self.block[self.index..self.index + n];
+        self.index += n;
+        out
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0u8; 64],
+            index: 64,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut filled = 0;
+        while filled < dest.len() {
+            if self.index >= 64 {
+                self.refill();
+            }
+            let n = (64 - self.index).min(dest.len() - filled);
+            dest[filled..filled + n].copy_from_slice(&self.block[self.index..self.index + n]);
+            self.index += n;
+            filled += n;
+        }
+    }
+}
