@@ -8,7 +8,9 @@
 //!
 //! Output: aligned tables on stdout plus `results/<id>.{csv,json}` and,
 //! for every table, a `results/<id>.metrics.json` with the
-//! observability counters the underlying simulations accumulated.
+//! observability counters the underlying simulations accumulated and a
+//! `results/<id>.trace.json` Chrome trace_event file (Perfetto /
+//! chrome://tracing) of the simulated block lifecycles.
 
 use smarth_bench::figures::{self, FigureOpts};
 use smarth_bench::report::Table;
@@ -59,17 +61,28 @@ fn main() {
     let out_dir = PathBuf::from("results");
     for id in ids {
         let tables = generate(id, opts).expect("ids validated above");
-        // Metrics accumulated by this generator's simulations — shared
-        // by every table the generator produced, reset per generator.
-        let metrics = figures::take_run_metrics();
+        // Metrics and the assembled causal trace accumulated by this
+        // generator's simulations — shared by every table the generator
+        // produced, reset per generator.
+        let (metrics, trace) = figures::take_run_artifacts();
         for table in &tables {
             println!("{}", table.render());
             match table.save(&out_dir) {
                 Ok((csv, _)) => {
                     let mpath = out_dir.join(format!("{}.metrics.json", table.id));
-                    match std::fs::write(&mpath, metrics.to_string_pretty() + "\n") {
-                        Ok(()) => println!("  saved {} (+ {})\n", csv.display(), mpath.display()),
-                        Err(e) => eprintln!("  failed to save {}: {e}", mpath.display()),
+                    let tpath = out_dir.join(format!("{}.trace.json", table.id));
+                    let saved = std::fs::write(&mpath, metrics.to_string_pretty() + "\n")
+                        .and_then(|()| {
+                            std::fs::write(&tpath, trace.to_string_compact() + "\n")
+                        });
+                    match saved {
+                        Ok(()) => println!(
+                            "  saved {} (+ {} + {})\n",
+                            csv.display(),
+                            mpath.display(),
+                            tpath.display()
+                        ),
+                        Err(e) => eprintln!("  failed to save metrics/trace for {id}: {e}"),
                     }
                 }
                 Err(e) => eprintln!("  failed to save {}: {e}", table.id),

@@ -9,22 +9,29 @@
 use crate::report::{pct, secs, Table};
 use smarth_core::config::{InstanceType, WriteMode};
 use smarth_core::json::Value;
-use smarth_core::obs::Obs;
+use smarth_core::obs::{Obs, RingBufferSink};
+use smarth_core::trace::{to_chrome_trace, TraceAssembler};
 use smarth_core::units::{Bandwidth, ByteSize};
 use smarth_sim::scenario::{contention, heterogeneous, improvement_percent, two_rack};
 use smarth_sim::{simulate_upload_with_obs, SimResult, SimScenario};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Shared observability handle every generator's simulations feed, so
-/// the `figures` binary can persist a metrics JSON beside each table.
-fn obs_cell() -> &'static Mutex<Obs> {
-    static CELL: OnceLock<Mutex<Obs>> = OnceLock::new();
-    CELL.get_or_init(|| Mutex::new(Obs::disabled()))
+/// the `figures` binary can persist a metrics JSON and a Chrome trace
+/// beside each table.
+fn obs_cell() -> &'static Mutex<(Obs, Arc<RingBufferSink>)> {
+    static CELL: OnceLock<Mutex<(Obs, Arc<RingBufferSink>)>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(fresh_obs()))
+}
+
+fn fresh_obs() -> (Obs, Arc<RingBufferSink>) {
+    let sink = RingBufferSink::new(262_144);
+    (Obs::new(sink.clone()), sink)
 }
 
 /// All generators run their uploads through this wrapper.
 fn simulate_upload(scenario: &SimScenario) -> SimResult {
-    let obs = obs_cell().lock().expect("obs cell poisoned").clone();
+    let obs = obs_cell().lock().expect("obs cell poisoned").0.clone();
     simulate_upload_with_obs(scenario, obs)
 }
 
@@ -32,10 +39,19 @@ fn simulate_upload(scenario: &SimScenario) -> SimResult {
 /// call, then resets the registry so successive figures don't bleed
 /// into each other.
 pub fn take_run_metrics() -> Value {
+    take_run_artifacts().0
+}
+
+/// Snapshots both the metrics *and* the assembled Chrome trace of the
+/// events recorded since the last call, then resets the registry. The
+/// `figures` binary drops the trace beside each experiment's metrics so
+/// any run can be opened in Perfetto.
+pub fn take_run_artifacts() -> (Value, Value) {
     let mut cell = obs_cell().lock().expect("obs cell poisoned");
-    let snapshot = cell.metrics().snapshot();
-    *cell = Obs::disabled();
-    snapshot
+    let metrics = cell.0.metrics().snapshot();
+    let trace = to_chrome_trace(&TraceAssembler::assemble(&cell.1.snapshot()));
+    *cell = fresh_obs();
+    (metrics, trace)
 }
 
 /// Controls sweep density: `quick` halves the points for CI-speed runs.

@@ -27,7 +27,7 @@ use smarth_core::config::WriteMode;
 use smarth_core::error::{DfsError, DfsResult};
 use smarth_core::ids::{DatanodeId, ExtendedBlock, FileId, PipelineId};
 use smarth_core::localopt::{local_optimize, LocalOptOutcome};
-use smarth_core::obs::{Obs, ObsEvent, RecoveryCause};
+use smarth_core::obs::{Obs, ObsEvent, RecoveryCause, TraceCtx};
 use smarth_core::proto::{DataOp, DataReply, DatanodeInfo, Packet};
 use smarth_core::units::{ByteSize, SimDuration};
 use smarth_core::wire::{recv_message, send_message};
@@ -281,7 +281,11 @@ impl DfsOutputStream {
                 .fnfa_to_allocation_us
                 .observe(Obs::now_us().saturating_sub(fnfa_at));
         }
-        self.obs().emit(ObsEvent::BlockAllocated {
+        // Causal context minted by the namenode for this block's whole
+        // lifecycle; every event below rides on it.
+        let ctx = located.trace_ctx();
+        self.obs().emit_traced(ctx, ObsEvent::BlockAllocated {
+            client: self.ctx.id,
             block: located.block.id,
             targets: located.targets.iter().map(|t| t.id).collect(),
         });
@@ -299,7 +303,7 @@ impl DfsOutputStream {
             ) {
                 self.stats.explored_swaps += 1;
                 self.obs().metrics().exploration_swaps.inc();
-                self.obs().emit(ObsEvent::ExplorationSwap {
+                self.obs().emit_traced(ctx, ObsEvent::ExplorationSwap {
                     block: located.block.id,
                     promoted: targets[0].id,
                     displaced: targets[swapped_index].id,
@@ -307,7 +311,7 @@ impl DfsOutputStream {
             }
         }
 
-        let pipeline = self.open_pipeline(located.block, targets)?;
+        let pipeline = self.open_pipeline(located.block, targets, ctx)?;
         self.current = Some(ActiveBlock {
             pipeline,
             next_seq: 0,
@@ -324,6 +328,7 @@ impl DfsOutputStream {
         &mut self,
         block: ExtendedBlock,
         targets: Vec<DatanodeInfo>,
+        ctx: Option<TraceCtx>,
     ) -> DfsResult<Pipeline> {
         let id = PipelineId(self.next_pipeline);
         self.next_pipeline += 1;
@@ -334,13 +339,14 @@ impl DfsOutputStream {
             id,
             block,
             targets,
+            ctx,
             self.mode,
             self.ctx.config.datanode_client_buffer.as_u64(),
             self.events_tx.clone(),
             self.obs().clone(),
         )?;
         self.obs().metrics().concurrent_pipelines.inc();
-        self.obs().emit(ObsEvent::PipelineOpened {
+        self.obs().emit_traced(ctx, ObsEvent::PipelineOpened {
             block: block.id,
             targets: pipeline.targets.iter().map(|t| t.id).collect(),
         });
@@ -350,7 +356,7 @@ impl DfsOutputStream {
     /// Tears down a pipeline's threads and records its fate.
     fn close_pipeline(&self, pipeline: Pipeline, committed: bool) {
         self.obs().metrics().concurrent_pipelines.dec();
-        self.obs().emit(ObsEvent::PipelineClosed {
+        self.obs().emit_traced(pipeline.ctx, ObsEvent::PipelineClosed {
             block: pipeline.block.id,
             committed,
         });
@@ -388,12 +394,12 @@ impl DfsOutputStream {
         match self.mode {
             WriteMode::Hdfs => {
                 // Stop-and-wait: block until every replica acked.
+                let mut timeouts = 0u32;
                 loop {
                     if self.current.as_ref().is_some_and(|c| c.fully_acked) {
                         break;
                     }
-                    let ev = self.wait_event()?;
-                    self.process_event(ev)?;
+                    self.pump_event(&mut timeouts)?;
                 }
                 let done = self.current.take().expect("current");
                 let block = ExtendedBlock::new(
@@ -409,12 +415,12 @@ impl DfsOutputStream {
             WriteMode::Smarth => {
                 // §III-A: wait only for the FNFA, then let the pipeline
                 // drain in the background.
+                let mut timeouts = 0u32;
                 loop {
                     if self.current.as_ref().is_some_and(|c| c.fnfa) {
                         break;
                     }
-                    let ev = self.wait_event()?;
-                    self.process_event(ev)?;
+                    self.pump_event(&mut timeouts)?;
                 }
                 let done = self.current.take().expect("current");
                 if done.fully_acked {
@@ -445,9 +451,9 @@ impl DfsOutputStream {
     }
 
     fn wait_all_pending_acked(&mut self) -> DfsResult<()> {
+        let mut timeouts = 0u32;
         while !self.pending.is_empty() {
-            let ev = self.wait_event()?;
-            self.process_event(ev)?;
+            self.pump_event(&mut timeouts)?;
         }
         Ok(())
     }
@@ -475,6 +481,34 @@ impl DfsOutputStream {
             .map_err(|_| DfsError::Timeout("waiting for pipeline events".into()))
     }
 
+    /// Waits for one pipeline event and processes it. A timeout while a
+    /// pipeline is in flight is classified as an *ack timeout* — the
+    /// transport is up but no ack arrived within the event timeout — and
+    /// triggers recovery with [`RecoveryCause::AckTimeout`], distinct
+    /// from `ConnectionLost` (a broken transport, reported by the
+    /// responder). Bounded by `timeouts` so a persistently silent
+    /// cluster still surfaces the timeout error.
+    fn pump_event(&mut self, timeouts: &mut u32) -> DfsResult<()> {
+        match self.wait_event() {
+            Ok(ev) => self.process_event(ev),
+            Err(e @ DfsError::Timeout(_)) => {
+                *timeouts += 1;
+                let stalled = self
+                    .current
+                    .as_ref()
+                    .map(|c| c.pipeline.id)
+                    .or_else(|| self.pending.first().map(|p| p.pipeline.id));
+                match stalled {
+                    Some(pid) if *timeouts <= self.max_recovery_attempts() => {
+                        self.recover(pid, None, RecoveryCause::AckTimeout)
+                    }
+                    _ => Err(e),
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     fn process_event(&mut self, ev: PipelineEvent) -> DfsResult<()> {
         match ev.kind {
             PipelineEventKind::FirstNodeFinish => {
@@ -491,9 +525,10 @@ impl DfsOutputStream {
                             SimDuration::from_secs_f64(elapsed.as_secs_f64()),
                         );
                         let block = c.pipeline.block.id;
+                        let ctx = c.pipeline.ctx;
                         self.last_fnfa_at = Some(Obs::now_us());
                         self.obs().metrics().fnfa_received.inc();
-                        self.obs().emit(ObsEvent::FnfaReceived {
+                        self.obs().emit_traced(ctx, ObsEvent::FnfaReceived {
                             block,
                             first_node: first,
                         });
@@ -590,8 +625,9 @@ impl DfsOutputStream {
         let packets_acked = old.packets_acked();
         let old_targets = old.targets.clone();
         let old_block = old.block;
+        let old_ctx = old.ctx;
         let finished_sending = old.finished_sending();
-        self.obs().emit(ObsEvent::RecoveryStarted {
+        self.obs().emit_traced(old_ctx, ObsEvent::RecoveryStarted {
             block: old_block.id,
             attempt: 1,
             cause,
@@ -612,7 +648,7 @@ impl DfsOutputStream {
                     ),
                 });
             }
-            self.obs().emit(ObsEvent::RecoveryStep {
+            self.obs().emit_traced(old_ctx, ObsEvent::RecoveryStep {
                 block: old_block.id,
                 step: format!(
                     "attempt {attempt}: probing {} targets, {} retained packets",
@@ -627,6 +663,7 @@ impl DfsOutputStream {
                 &retained,
                 packets_acked,
                 finished_sending,
+                old_ctx,
             ) {
                 Ok((new_pipeline, resent_all)) => {
                     debug_assert!(resent_all);
@@ -668,7 +705,7 @@ impl DfsOutputStream {
                 }
             }
         };
-        self.obs().emit(ObsEvent::RecoveryFinished {
+        self.obs().emit_traced(old_ctx, ObsEvent::RecoveryFinished {
             block: old_block.id,
             success: result.is_ok(),
         });
@@ -687,6 +724,7 @@ impl DfsOutputStream {
         retained: &[Packet],
         packets_acked: u64,
         finished_sending: bool,
+        ctx: Option<TraceCtx>,
     ) -> Result<(Pipeline, bool), (DfsError, Vec<DatanodeInfo>)> {
         // Probe every target: who is alive, and how much of the block
         // does each hold? (Algorithm 3's parameter-validity check plus
@@ -720,7 +758,7 @@ impl DfsOutputStream {
                 // Nothing durable was lost: abandon the block and write a
                 // brand-new one elsewhere.
                 return self
-                    .rebuild_from_scratch(old_block, retained)
+                    .rebuild_from_scratch(old_block, retained, ctx)
                     .map_err(|e| (e, Vec::new()));
             }
             return Err((
@@ -776,8 +814,11 @@ impl DfsOutputStream {
         }
 
         let new_block = ExtendedBlock::new(old_block.id, new_gen, 0);
+        // Same block, same trace: the rebuilt pipeline's events stay on
+        // the original causal context so the assembler can stitch the
+        // recovery sub-span into the block's timeline.
         let mut pipeline = self
-            .open_pipeline(new_block, new_targets.clone())
+            .open_pipeline(new_block, new_targets.clone(), ctx)
             .map_err(|e| (e, new_targets.clone()))?;
 
         // Resend everything past the agreed prefix (retained packets are
@@ -818,8 +859,9 @@ impl DfsOutputStream {
         &mut self,
         old_block: ExtendedBlock,
         retained: &[Packet],
+        old_ctx: Option<TraceCtx>,
     ) -> DfsResult<(Pipeline, bool)> {
-        self.obs().emit(ObsEvent::RecoveryStep {
+        self.obs().emit_traced(old_ctx, ObsEvent::RecoveryStep {
             block: old_block.id,
             step: "scratch rebuild: abandoning block, reallocating".into(),
         });
@@ -869,7 +911,10 @@ impl DfsOutputStream {
                 });
             }
         };
-        let mut pipeline = self.open_pipeline(located.block, located.targets)?;
+        // A scratch rebuild is a new allocation: it carries the fresh
+        // trace context the namenode just minted for it.
+        let ctx = located.trace_ctx();
+        let mut pipeline = self.open_pipeline(located.block, located.targets, ctx)?;
         for pkt in retained {
             pipeline.send_packet(pkt.clone())?;
         }

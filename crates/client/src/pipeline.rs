@@ -21,8 +21,8 @@ use crossbeam_channel::Sender;
 use parking_lot::Mutex;
 use smarth_core::config::WriteMode;
 use smarth_core::error::{DfsError, DfsResult};
-use smarth_core::ids::{ClientId, DatanodeId, ExtendedBlock, PipelineId};
-use smarth_core::obs::{Obs, ObsEvent};
+use smarth_core::ids::{ClientId, DatanodeId, ExtendedBlock, PipelineId, SpanId, TraceId};
+use smarth_core::obs::{Obs, ObsEvent, TraceCtx};
 use smarth_core::proto::{AckKind, DataOp, DatanodeInfo, Packet, PipelineAck, WriteBlockHeader};
 use smarth_core::wire::send_message;
 use smarth_fabric::{Fabric, WriteHalf};
@@ -68,6 +68,9 @@ pub struct Pipeline {
     pub block: ExtendedBlock,
     /// Full pipeline membership, first datanode first.
     pub targets: Vec<DatanodeInfo>,
+    /// Causal context minted by the namenode at allocation time; `None`
+    /// for untraced writes (e.g. blocks located by a read path).
+    pub ctx: Option<TraceCtx>,
     /// When the first packet was sent (speed measurement, §III-B).
     pub started: Instant,
     write: WriteHalf,
@@ -87,6 +90,7 @@ impl Pipeline {
         id: PipelineId,
         block: ExtendedBlock,
         targets: Vec<DatanodeInfo>,
+        ctx: Option<TraceCtx>,
         mode: WriteMode,
         client_buffer: u64,
         events: Sender<PipelineEvent>,
@@ -102,6 +106,8 @@ impl Pipeline {
             targets: targets[1..].to_vec(),
             position: 0,
             client_buffer,
+            trace: ctx.map_or(TraceId::INVALID, |c| c.trace),
+            span: ctx.map_or(SpanId::INVALID, |c| c.span),
         };
         send_message(&mut stream, &DataOp::WriteBlock(header))?;
         let (mut read, write) = stream.split();
@@ -147,12 +153,18 @@ impl Pipeline {
                                     });
                                     return;
                                 }
-                                let acked = shared.acked.fetch_add(1, Ordering::SeqCst) + 1;
-                                obs.metrics().packets_in_flight.dec();
-                                obs.emit(ObsEvent::PacketBatchAcked {
+                                // Acks are cumulative: one frame may cover
+                                // a whole batch of consecutive packets
+                                // (the datanode responder coalesces under
+                                // load). Advance by the batch width.
+                                let batch = ack.batch.max(1);
+                                let acked =
+                                    shared.acked.fetch_add(batch, Ordering::SeqCst) + batch;
+                                obs.metrics().packets_in_flight.sub(batch);
+                                obs.emit_traced(ctx, ObsEvent::PacketBatchAcked {
                                     block: block.id,
                                     acked_seq: ack.seq,
-                                    packets: 1,
+                                    packets: batch,
                                 });
                                 // Fully acked once the last packet has
                                 // been *sent* (so the retained count is
@@ -182,6 +194,7 @@ impl Pipeline {
             id,
             block,
             targets,
+            ctx,
             started: Instant::now(),
             write,
             shared,
@@ -302,6 +315,7 @@ mod tests {
                         &PipelineAck {
                             kind: AckKind::Packet,
                             seq: pkt.seq,
+                            batch: 1,
                             statuses: vec![AckStatus::Success, AckStatus::Error],
                         },
                     );
@@ -313,6 +327,7 @@ mod tests {
                         &PipelineAck {
                             kind: AckKind::FirstNodeFinish,
                             seq: pkt.seq,
+                            batch: 1,
                             statuses: vec![AckStatus::Success],
                         },
                     );
@@ -322,6 +337,7 @@ mod tests {
                     &PipelineAck {
                         kind: AckKind::Packet,
                         seq: pkt.seq,
+                        batch: 1,
                         statuses: vec![AckStatus::Success],
                     },
                 )
@@ -374,6 +390,7 @@ mod tests {
             PipelineId(9),
             ExtendedBlock::new(smarth_core::ids::BlockId(1), smarth_core::ids::GenStamp(1), 0),
             vec![target()],
+            None,
             WriteMode::Smarth,
             1 << 20,
             events,
@@ -404,6 +421,48 @@ mod tests {
         assert_eq!(kinds.last(), Some(&PipelineEventKind::FullyAcked));
         assert_eq!(p.packets_acked(), 4);
         assert_eq!(p.bytes_sent(), 400);
+        p.close();
+    }
+
+    #[test]
+    fn cumulative_batch_ack_advances_by_batch_width() {
+        // A datanode that coalesces: stays silent until the last packet,
+        // then sends one cumulative ack covering the whole block. The
+        // responder must count all packets acked and report FullyAcked.
+        let f = fabric();
+        let listener = f.listen("dn:1").unwrap();
+        std::thread::spawn(move || {
+            let mut s = listener.accept().unwrap();
+            let _header: DataOp = recv_message(&mut s).unwrap();
+            let mut n = 0u64;
+            loop {
+                let pkt: Packet = match recv_message(&mut s) {
+                    Ok(p) => p,
+                    Err(_) => return,
+                };
+                n += 1;
+                if pkt.last_in_block {
+                    let _ = send_message(
+                        &mut s,
+                        &PipelineAck {
+                            kind: AckKind::Packet,
+                            seq: pkt.seq,
+                            batch: n,
+                            statuses: vec![AckStatus::Success],
+                        },
+                    );
+                    return;
+                }
+            }
+        });
+        let (tx, rx) = unbounded();
+        let mut p = open(&f, tx);
+        for i in 0..5u64 {
+            p.send_packet(packet(i, i * 100, 100, i == 4)).unwrap();
+        }
+        let ev = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(ev.kind, PipelineEventKind::FullyAcked);
+        assert_eq!(p.packets_acked(), 5, "one frame, five packets covered");
         p.close();
     }
 

@@ -12,7 +12,8 @@
 //! get <path>                             read back and verify length
 //! ls <path>                              list a directory
 //! rm <path>                              delete a file
-//! report                                 dfsadmin-style cluster report
+//! report                                 dfsadmin-style cluster report + per-client trace table
+//! trace <file.json>                      write a Chrome trace_event file of every recorded write
 //! metrics                                dump the observability counters as JSON
 //! kill <host>                            crash a datanode
 //! throttle <host> <mbps|off>             tc a host NIC
@@ -21,6 +22,8 @@
 //! ```
 
 use smarth_cluster::{random_data, MiniCluster};
+use smarth_core::obs::{Obs, RingBufferSink};
+use smarth_core::trace::{write_chrome_trace, TraceAssembler};
 use smarth_core::units::Bandwidth;
 use smarth_core::{ClusterSpec, DfsConfig, InstanceType, WriteMode};
 use std::io::{BufRead, Write};
@@ -45,7 +48,11 @@ fn parse_mode(s: Option<&str>) -> WriteMode {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = ClusterSpec::homogeneous(InstanceType::Large);
-    let cluster = MiniCluster::start(&spec, DfsConfig::test_scale(), 42)?;
+    // Every node shares one event stream so `report`/`trace` can stitch
+    // per-block timelines across the whole cluster.
+    let sink = RingBufferSink::new(262_144);
+    let obs = Obs::new(sink.clone());
+    let cluster = MiniCluster::start_with_obs(&spec, DfsConfig::test_scale(), 42, obs)?;
     let client = cluster.client()?;
     println!(
         "smarth-shell: emulated cluster with {} datanodes up. Type `help`.",
@@ -67,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ["quit"] | ["exit"] => break,
             ["help"] => {
                 println!("put <path> <size>[k|m] [hdfs|smarth] | get <path> | ls <path> | rm <path>");
-                println!("report | metrics | kill <host> | throttle <host> <mbps|off> | seed <path> <size> | quit");
+                println!("report | trace <file.json> | metrics | kill <host> | throttle <host> <mbps|off> | seed <path> <size> | quit");
                 Ok(())
             }
             ["put", path, size, rest @ ..] => (|| {
@@ -119,11 +126,62 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     r.safe_mode
                 );
                 for d in &r.live_datanodes {
+                    let replicas = cluster
+                        .datanode(&d.host_name)
+                        .map(|dn| dn.store().replica_count())
+                        .unwrap_or(0);
                     println!(
-                        "  {} ({}) used {} bytes",
-                        d.host_name, d.rack, d.used_bytes
+                        "  {} ({}) used {} bytes, {} replicas",
+                        d.host_name, d.rack, d.used_bytes, replicas
                     );
                 }
+                let m = cluster.obs().metrics();
+                println!(
+                    "forward buffers: {} bytes now, {} bytes high-water",
+                    m.datanode_buffered_bytes.get(),
+                    m.datanode_buffered_bytes.high_water()
+                );
+                let report = TraceAssembler::assemble(&sink.snapshot());
+                if report.clients.is_empty() {
+                    println!("no traced writes yet");
+                } else {
+                    println!(
+                        "{:<12} {:>7} {:>9} {:>6} {:>13} {:>10} {:>15}",
+                        "client", "blocks", "committed", "fnfa", "overlap pairs", "max conc", "fnfa→alloc ms"
+                    );
+                    for c in &report.clients {
+                        let h = &c.fnfa_to_allocation_us;
+                        let lat = if h.count() > 0 {
+                            format!("{:.2}", h.mean() / 1_000.0)
+                        } else {
+                            "-".to_string()
+                        };
+                        println!(
+                            "{:<12} {:>7} {:>9} {:>6} {:>13} {:>10} {:>15}",
+                            c.client.to_string(),
+                            c.blocks,
+                            c.committed,
+                            c.fnfa_count,
+                            c.overlap_pairs,
+                            c.max_concurrent,
+                            lat
+                        );
+                    }
+                }
+                Ok::<(), Box<dyn std::error::Error>>(())
+            })(),
+            ["trace", path] => (|| {
+                let events = sink.snapshot();
+                let report = TraceAssembler::assemble(&events);
+                write_chrome_trace(&report, std::path::Path::new(path))?;
+                println!(
+                    "{}: {} events -> {} block timelines ({} committed, {} overlapping pairs); load in Perfetto / chrome://tracing",
+                    path,
+                    report.events,
+                    report.blocks.len(),
+                    report.committed_blocks(),
+                    report.overlap_pairs()
+                );
                 Ok::<(), Box<dyn std::error::Error>>(())
             })(),
             ["metrics"] => {

@@ -94,6 +94,61 @@ id_newtype!(
     "pipe_"
 );
 
+id_newtype!(
+    /// Identifier of one causal trace: the full lifecycle of one block
+    /// write, from `addBlock` at the namenode through every pipeline
+    /// hop. Minted by the namenode when the block is allocated and
+    /// propagated across every RPC boundary so that client, namenode
+    /// and datanode events can be joined mechanically.
+    TraceId,
+    u64,
+    "trace_"
+);
+
+id_newtype!(
+    /// Identifier of one span inside a trace (allocation, a pipeline,
+    /// one hop's replica write, a recovery attempt…). The root span is
+    /// minted with the trace; sub-spans are derived with
+    /// [`SpanId::child`] so no cross-process coordination is needed.
+    SpanId,
+    u64,
+    "span_"
+);
+
+impl TraceId {
+    /// Sentinel used in wire messages emitted by untraced paths.
+    pub const INVALID: TraceId = TraceId(u64::MAX);
+
+    /// True when this is a real (non-sentinel) trace id.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self != TraceId::INVALID
+    }
+}
+
+impl SpanId {
+    /// Sentinel used in wire messages emitted by untraced paths.
+    pub const INVALID: SpanId = SpanId(u64::MAX);
+
+    /// True when this is a real (non-sentinel) span id.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self != SpanId::INVALID
+    }
+
+    /// Derives a child span id from this span and a small salt (e.g. the
+    /// pipeline position). The derivation is a splitmix64-style mix so
+    /// ids stay unique-in-practice without a shared counter — each
+    /// process can derive its own sub-spans deterministically.
+    #[must_use]
+    pub fn child(self, salt: u64) -> SpanId {
+        let mut z = self.0 ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SpanId(z ^ (z >> 31))
+    }
+}
+
 impl GenStamp {
     /// The initial generation stamp for a freshly allocated block.
     pub const INITIAL: GenStamp = GenStamp(1);
@@ -190,6 +245,22 @@ mod tests {
         assert_eq!(ClientId(12).to_string(), "client_12");
         assert_eq!(GenStamp(2).to_string(), "gs_2");
         assert_eq!(PipelineId(1).to_string(), "pipe_1");
+        assert_eq!(TraceId(4).to_string(), "trace_4");
+        assert_eq!(SpanId(9).to_string(), "span_9");
+    }
+
+    #[test]
+    fn span_children_are_distinct_and_deterministic() {
+        let root = SpanId(42);
+        let kids: Vec<SpanId> = (0..64).map(|i| root.child(i)).collect();
+        let mut uniq = kids.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), kids.len(), "child spans must not collide");
+        assert_eq!(root.child(3), SpanId(42).child(3), "derivation is pure");
+        assert!(kids.iter().all(|k| *k != root && k.is_valid()));
+        assert!(!SpanId::INVALID.is_valid());
+        assert!(!TraceId::INVALID.is_valid());
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod placement;
 pub mod proto;
 pub mod speed;
 pub mod topology;
+pub mod trace;
 pub mod units;
 pub mod wire;
 
@@ -32,9 +33,11 @@ pub use config::{ClusterSpec, DfsConfig, HostRole, HostSpec, InstanceType, Write
 pub use error::{DfsError, DfsResult};
 pub use obs::{
     EventRecord, EventSink, FanoutSink, JsonLinesSink, Metrics, NullSink, Obs, ObsEvent,
-    RecoveryCause, RingBufferSink, SpeedObservation,
+    RecoveryCause, RingBufferSink, SpeedObservation, TraceCtx,
 };
 pub use ids::{
     BlockId, ClientId, DatanodeId, ExtendedBlock, FileId, GenStamp, PacketSeq, PipelineId,
+    SpanId, TraceId,
 };
+pub use trace::{BlockTimeline, TraceAssembler, TraceReport};
 pub use units::{Bandwidth, ByteSize, SimDuration, SimInstant};

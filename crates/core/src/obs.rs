@@ -26,7 +26,7 @@
 //! dynamic call on an `Arc`, and metric updates are single relaxed
 //! atomic ops.
 
-use crate::ids::{BlockId, ClientId, DatanodeId};
+use crate::ids::{BlockId, ClientId, DatanodeId, SpanId, TraceId};
 use crate::json::{ObjectBuilder, Value};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -86,6 +86,38 @@ impl fmt::Display for RecoveryCause {
     }
 }
 
+/// Causal context attached to an event: which block-lifecycle trace it
+/// belongs to and which span within that trace emitted it. Minted by
+/// the namenode at `addBlock` time and threaded across every RPC
+/// boundary (client → namenode → datanode chain → simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceCtx {
+    pub trace: TraceId,
+    pub span: SpanId,
+}
+
+impl TraceCtx {
+    pub fn new(trace: TraceId, span: SpanId) -> Self {
+        TraceCtx { trace, span }
+    }
+
+    /// Rebuilds a context from raw wire values; returns `None` when
+    /// either side is the untraced sentinel.
+    pub fn from_raw(trace: u64, span: u64) -> Option<Self> {
+        let (trace, span) = (TraceId(trace), SpanId(span));
+        (trace.is_valid() && span.is_valid()).then_some(TraceCtx { trace, span })
+    }
+
+    /// The same trace, entered through a derived child span.
+    #[must_use]
+    pub fn child(self, salt: u64) -> Self {
+        TraceCtx {
+            trace: self.trace,
+            span: self.span.child(salt),
+        }
+    }
+}
+
 /// One observed per-datanode speed record consulted by a placement
 /// decision (Algorithm 1's inputs).
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +133,7 @@ pub struct SpeedObservation {
 pub enum ObsEvent {
     /// The namenode allocated a block (client-side receipt).
     BlockAllocated {
+        client: ClientId,
         block: BlockId,
         targets: Vec<DatanodeId>,
     },
@@ -150,6 +183,7 @@ pub enum ObsEvent {
     /// The namenode chose targets for a block, with the speed records
     /// it consulted (empty for the default rack-aware policy).
     PlacementDecision {
+        client: ClientId,
         block: BlockId,
         policy: &'static str,
         chosen: Vec<DatanodeId>,
@@ -184,7 +218,12 @@ impl ObsEvent {
             Value::Array(targets.iter().map(|d| Value::from(d.raw() as u64)).collect())
         }
         match self {
-            ObsEvent::BlockAllocated { block, targets } => obj
+            ObsEvent::BlockAllocated {
+                client,
+                block,
+                targets,
+            } => obj
+                .field("client", client.raw())
                 .field("block", block.raw())
                 .field("targets", ids(targets)),
             ObsEvent::PipelineOpened { block, targets } => obj
@@ -238,11 +277,13 @@ impl ObsEvent {
                 .field("promoted", promoted.raw() as u64)
                 .field("displaced", displaced.raw() as u64),
             ObsEvent::PlacementDecision {
+                client,
                 block,
                 policy,
                 chosen,
                 speeds_consulted,
             } => obj
+                .field("client", client.raw())
                 .field("block", block.raw())
                 .field("policy", *policy)
                 .field("chosen", ids(chosen))
@@ -265,6 +306,25 @@ impl ObsEvent {
                 .field("records", *records),
         }
     }
+
+    /// The block this event is about, when it is about one.
+    pub fn block(&self) -> Option<BlockId> {
+        match self {
+            ObsEvent::BlockAllocated { block, .. }
+            | ObsEvent::PipelineOpened { block, .. }
+            | ObsEvent::PipelineClosed { block, .. }
+            | ObsEvent::PacketBatchAcked { block, .. }
+            | ObsEvent::FnfaReceived { block, .. }
+            | ObsEvent::FnfaSent { block, .. }
+            | ObsEvent::BlockReceived { block, .. }
+            | ObsEvent::RecoveryStarted { block, .. }
+            | ObsEvent::RecoveryStep { block, .. }
+            | ObsEvent::RecoveryFinished { block, .. }
+            | ObsEvent::ExplorationSwap { block, .. }
+            | ObsEvent::PlacementDecision { block, .. } => Some(*block),
+            ObsEvent::SpeedReportIngested { .. } => None,
+        }
+    }
 }
 
 /// A timestamped, sequenced event record as delivered to sinks.
@@ -277,15 +337,23 @@ pub struct EventRecord {
     pub at_us: u64,
     /// True when `at_us` is simulator virtual time.
     pub virtual_time: bool,
+    /// Causal parent: the block-lifecycle trace and span this event was
+    /// emitted under, when the emitting path was traced.
+    pub ctx: Option<TraceCtx>,
     pub event: ObsEvent,
 }
 
 impl EventRecord {
     pub fn to_json(&self) -> Value {
-        let obj = ObjectBuilder::new()
+        let mut obj = ObjectBuilder::new()
             .field("seq", self.seq)
-            .field(if self.virtual_time { "vt_us" } else { "t_us" }, self.at_us)
-            .field("kind", self.event.kind());
+            .field(if self.virtual_time { "vt_us" } else { "t_us" }, self.at_us);
+        if let Some(ctx) = self.ctx {
+            obj = obj
+                .field("trace", ctx.trace.raw())
+                .field("span", ctx.span.raw());
+        }
+        obj = obj.field("kind", self.event.kind());
         self.event.fields(obj).build()
     }
 }
@@ -364,6 +432,94 @@ impl JsonLinesSink<std::io::BufWriter<std::fs::File>> {
     pub fn create(path: &std::path::Path) -> std::io::Result<Arc<Self>> {
         let file = std::fs::File::create(path)?;
         Ok(Self::new(std::io::BufWriter::new(file)))
+    }
+}
+
+impl JsonLinesSink<RotatingFile> {
+    /// File-backed sink that rotates once the live file exceeds
+    /// `max_bytes`, keeping at most `max_rotated` old files
+    /// (`<path>.1` is the most recent rotation). Long-running clusters
+    /// stay bounded at roughly `(max_rotated + 1) * max_bytes`.
+    pub fn create_rotating(
+        path: &std::path::Path,
+        max_bytes: u64,
+        max_rotated: usize,
+    ) -> std::io::Result<Arc<Self>> {
+        Ok(Self::new(RotatingFile::create(path, max_bytes, max_rotated)?))
+    }
+
+    /// Number of times the live file has been rotated out.
+    pub fn rotations(&self) -> u64 {
+        self.out.lock().rotations
+    }
+}
+
+/// Write target with size-based rotation. Rotation only ever happens on
+/// a line boundary so no JSON record is ever split across files.
+pub struct RotatingFile {
+    path: std::path::PathBuf,
+    max_bytes: u64,
+    max_rotated: usize,
+    file: std::io::BufWriter<std::fs::File>,
+    written: u64,
+    at_line_start: bool,
+    rotations: u64,
+}
+
+impl RotatingFile {
+    pub fn create(
+        path: &std::path::Path,
+        max_bytes: u64,
+        max_rotated: usize,
+    ) -> std::io::Result<Self> {
+        assert!(max_bytes > 0, "rotation threshold must be positive");
+        assert!(max_rotated > 0, "must keep at least one rotated file");
+        let file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        Ok(RotatingFile {
+            path: path.to_path_buf(),
+            max_bytes,
+            max_rotated,
+            file,
+            written: 0,
+            at_line_start: true,
+            rotations: 0,
+        })
+    }
+
+    fn rotated_path(&self, i: usize) -> std::path::PathBuf {
+        let mut name = self.path.as_os_str().to_os_string();
+        name.push(format!(".{i}"));
+        std::path::PathBuf::from(name)
+    }
+
+    fn rotate(&mut self) -> std::io::Result<()> {
+        self.file.flush()?;
+        // Shift <path>.i → <path>.i+1, newest last so nothing is
+        // clobbered; the oldest ages out by being renamed over.
+        for i in (1..self.max_rotated).rev() {
+            let _ = std::fs::rename(self.rotated_path(i), self.rotated_path(i + 1));
+        }
+        std::fs::rename(&self.path, self.rotated_path(1))?;
+        self.file = std::io::BufWriter::new(std::fs::File::create(&self.path)?);
+        self.written = 0;
+        self.rotations += 1;
+        Ok(())
+    }
+}
+
+impl Write for RotatingFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.at_line_start && self.written >= self.max_bytes {
+            self.rotate()?;
+        }
+        let n = self.file.write(buf)?;
+        self.written += n as u64;
+        self.at_line_start = buf[..n].last() == Some(&b'\n');
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.file.flush()
     }
 }
 
@@ -711,19 +867,35 @@ impl Obs {
 
     /// Emits an event stamped with real time.
     pub fn emit(&self, event: ObsEvent) {
-        self.emit_record(Self::now_us(), false, event);
+        self.emit_record(Self::now_us(), false, None, event);
+    }
+
+    /// Emits an event stamped with real time under a causal context.
+    pub fn emit_traced(&self, ctx: impl Into<Option<TraceCtx>>, event: ObsEvent) {
+        self.emit_record(Self::now_us(), false, ctx.into(), event);
     }
 
     /// Emits an event stamped with simulator virtual time.
     pub fn emit_virtual(&self, at_us: u64, event: ObsEvent) {
-        self.emit_record(at_us, true, event);
+        self.emit_record(at_us, true, None, event);
     }
 
-    fn emit_record(&self, at_us: u64, virtual_time: bool, event: ObsEvent) {
+    /// Emits a virtual-time event under a causal context.
+    pub fn emit_virtual_traced(
+        &self,
+        at_us: u64,
+        ctx: impl Into<Option<TraceCtx>>,
+        event: ObsEvent,
+    ) {
+        self.emit_record(at_us, true, ctx.into(), event);
+    }
+
+    fn emit_record(&self, at_us: u64, virtual_time: bool, ctx: Option<TraceCtx>, event: ObsEvent) {
         let record = EventRecord {
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
             at_us,
             virtual_time,
+            ctx,
             event,
         };
         self.sink.emit(&record);
@@ -794,6 +966,7 @@ mod tests {
         obs.emit_virtual(
             123,
             ObsEvent::PlacementDecision {
+                client: ClientId(4),
                 block: BlockId(8),
                 policy: "smarth",
                 chosen: vec![DatanodeId(1), DatanodeId(2)],
@@ -873,6 +1046,54 @@ mod tests {
         assert_eq!(parsed.get("recoveries").get("total").as_u64(), Some(2));
         assert_eq!(parsed.get("concurrent_pipelines_high_water").as_u64(), Some(1));
         assert_eq!(parsed.get("fnfa_to_allocation_us").get("count").as_u64(), Some(1));
+    }
+
+    #[test]
+    fn traced_emission_carries_context_into_json() {
+        let ring = RingBufferSink::new(8);
+        let obs = Obs::new(ring.clone());
+        let ctx = TraceCtx::new(TraceId(77), SpanId(5));
+        obs.emit_traced(ctx, sample_event(1));
+        obs.emit(sample_event(2));
+        let records = ring.snapshot();
+        assert_eq!(records[0].ctx, Some(ctx));
+        assert_eq!(records[1].ctx, None);
+        let json = crate::json::parse(&records[0].to_json().to_string_compact()).unwrap();
+        assert_eq!(json.get("trace").as_u64(), Some(77));
+        assert_eq!(json.get("span").as_u64(), Some(5));
+        let bare = crate::json::parse(&records[1].to_json().to_string_compact()).unwrap();
+        assert!(bare.get("trace").is_null());
+        // Wire sentinels round-trip to "untraced".
+        assert_eq!(TraceCtx::from_raw(u64::MAX, 5), None);
+        assert_eq!(TraceCtx::from_raw(77, 5), Some(ctx));
+    }
+
+    #[test]
+    fn rotating_sink_caps_file_size_and_keeps_bounded_history() {
+        let dir = std::env::temp_dir().join(format!("smarth-obs-rot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let sink = JsonLinesSink::create_rotating(&path, 256, 2).unwrap();
+        let obs = Obs::new(sink.clone());
+        for i in 0..100 {
+            obs.emit(sample_event(i));
+        }
+        sink.out.lock().flush().unwrap();
+        assert!(sink.rotations() >= 2, "100 records must rotate a 256-byte cap");
+        // Live file plus at most two rotated files, each a bounded size
+        // and each containing only whole JSON lines.
+        let rotated_3 = std::fs::metadata(dir.join("events.jsonl.3"));
+        assert!(rotated_3.is_err(), "history beyond max_rotated must age out");
+        for name in ["events.jsonl", "events.jsonl.1", "events.jsonl.2"] {
+            let text = std::fs::read_to_string(dir.join(name)).unwrap();
+            for line in text.lines() {
+                let v = crate::json::parse(line).unwrap();
+                assert_eq!(v.get("kind").as_str(), Some("packet_batch_acked"));
+            }
+            // One record (~70 bytes) past the cap at most.
+            assert!(text.len() < 256 + 128, "{name} overgrew: {}", text.len());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -16,7 +16,10 @@
 
 use crate::config::WriteMode;
 use crate::error::{DfsError, DfsResult};
-use crate::ids::{BlockId, ClientId, DatanodeId, ExtendedBlock, FileId, GenStamp, PipelineId};
+use crate::ids::{
+    BlockId, ClientId, DatanodeId, ExtendedBlock, FileId, GenStamp, PipelineId, SpanId, TraceId,
+};
+use crate::obs::TraceCtx;
 use crate::wire::{Wire, WireReader, WireWriter};
 use bytes::Bytes;
 
@@ -99,22 +102,49 @@ fn decode_vec<T: Wire>(r: &mut WireReader) -> DfsResult<Vec<T>> {
 }
 
 /// A block plus the pipeline targets chosen by the namenode — the
-/// response to `addBlock` (§II step 2).
+/// response to `addBlock` (§II step 2). The namenode also mints the
+/// block's causal trace here: `trace`/`span` identify the lifecycle
+/// trace this allocation roots, carried back to the client and onward
+/// through every pipeline hop (`INVALID` on untraced paths such as
+/// read-side block locations).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LocatedBlock {
     pub block: ExtendedBlock,
     pub targets: Vec<DatanodeInfo>,
+    pub trace: TraceId,
+    pub span: SpanId,
+}
+
+impl LocatedBlock {
+    /// An untraced located block (read path, tests).
+    pub fn untraced(block: ExtendedBlock, targets: Vec<DatanodeInfo>) -> Self {
+        LocatedBlock {
+            block,
+            targets,
+            trace: TraceId::INVALID,
+            span: SpanId::INVALID,
+        }
+    }
+
+    /// The causal context of this allocation, when traced.
+    pub fn trace_ctx(&self) -> Option<TraceCtx> {
+        TraceCtx::from_raw(self.trace.raw(), self.span.raw())
+    }
 }
 
 impl Wire for LocatedBlock {
     fn encode(&self, w: &mut WireWriter) {
         self.block.encode(w);
         encode_vec(w, &self.targets);
+        w.put_u64(self.trace.raw());
+        w.put_u64(self.span.raw());
     }
     fn decode(r: &mut WireReader) -> DfsResult<Self> {
         Ok(LocatedBlock {
             block: ExtendedBlock::decode(r)?,
             targets: decode_vec(r)?,
+            trace: TraceId(r.get_u64()?),
+            span: SpanId(r.get_u64()?),
         })
     }
 }
@@ -773,6 +803,21 @@ pub struct WriteBlockHeader {
     pub position: u32,
     /// Buffer budget granted to this client on the first node (§IV-C).
     pub client_buffer: u64,
+    /// Causal trace of the block's lifecycle, forwarded unchanged down
+    /// the pipeline (`INVALID` when the write is untraced).
+    pub trace: TraceId,
+    /// The parent span datanode-side events hang off; each hop derives
+    /// its own child span from this and its position.
+    pub span: SpanId,
+}
+
+impl WriteBlockHeader {
+    /// The causal context this hop should emit events under: the
+    /// block's trace, entered through a per-position child span.
+    pub fn hop_ctx(&self) -> Option<TraceCtx> {
+        TraceCtx::from_raw(self.trace.raw(), self.span.raw())
+            .map(|ctx| ctx.child(self.position as u64 + 1))
+    }
 }
 
 impl Wire for WriteBlockHeader {
@@ -784,6 +829,8 @@ impl Wire for WriteBlockHeader {
         encode_vec(w, &self.targets);
         w.put_u32(self.position);
         w.put_u64(self.client_buffer);
+        w.put_u64(self.trace.raw());
+        w.put_u64(self.span.raw());
     }
     fn decode(r: &mut WireReader) -> DfsResult<Self> {
         Ok(WriteBlockHeader {
@@ -794,6 +841,8 @@ impl Wire for WriteBlockHeader {
             targets: decode_vec(r)?,
             position: r.get_u32()?,
             client_buffer: r.get_u64()?,
+            trace: TraceId(r.get_u64()?),
+            span: SpanId(r.get_u64()?),
         })
     }
 }
@@ -913,6 +962,11 @@ pub enum AckKind {
 pub struct PipelineAck {
     pub kind: AckKind,
     pub seq: u64,
+    /// Number of packets this ack covers: acks are cumulative, so an
+    /// ack for `seq` with `batch = n` acknowledges packets
+    /// `seq - n + 1 ..= seq`. The responder coalesces whatever is ready
+    /// into one ack, cutting upstream ack traffic on large uploads.
+    pub batch: u64,
     /// Status per pipeline member downstream of (and including) the
     /// sender, ordered nearest-first. A client sees `replication` entries
     /// on an intact pipeline.
@@ -938,6 +992,7 @@ impl Wire for PipelineAck {
             AckKind::FirstNodeFinish => 1,
         });
         w.put_u64(self.seq);
+        w.put_u64(self.batch);
         w.put_u32(self.statuses.len() as u32);
         for s in &self.statuses {
             w.put_u8(match s {
@@ -954,6 +1009,7 @@ impl Wire for PipelineAck {
             x => return Err(DfsError::codec(format!("unknown ack kind {x}"))),
         };
         let seq = r.get_u64()?;
+        let batch = r.get_u64()?;
         let n = r.get_u32()? as usize;
         if n > 1024 {
             return Err(DfsError::codec(format!("ack status count {n} absurd")));
@@ -970,6 +1026,7 @@ impl Wire for PipelineAck {
         Ok(PipelineAck {
             kind,
             seq,
+            batch,
             statuses,
         })
     }
@@ -1118,7 +1175,13 @@ mod tests {
         roundtrip(ClientResponse::BlockAllocated(LocatedBlock {
             block: ExtendedBlock::new(BlockId(5), GenStamp(1), 0),
             targets: vec![dn(0), dn(5), dn(6)],
+            trace: TraceId(17),
+            span: SpanId(18),
         }));
+        roundtrip(ClientResponse::BlockAllocated(LocatedBlock::untraced(
+            ExtendedBlock::new(BlockId(6), GenStamp(1), 0),
+            vec![dn(1)],
+        )));
         roundtrip(ClientResponse::AdditionalDatanodes {
             targets: vec![dn(8)],
         });
@@ -1170,6 +1233,8 @@ mod tests {
             targets: vec![dn(5), dn(6)],
             position: 0,
             client_buffer: 64 << 20,
+            trace: TraceId(9),
+            span: SpanId(10),
         }));
         roundtrip(DataOp::ReadBlock {
             block: ExtendedBlock::new(BlockId(2), GenStamp(1), 4096),
@@ -1206,6 +1271,7 @@ mod tests {
         let ok = PipelineAck {
             kind: AckKind::Packet,
             seq: 1,
+            batch: 1,
             statuses: vec![AckStatus::Success; 3],
         };
         assert!(ok.all_success());
@@ -1214,6 +1280,7 @@ mod tests {
         let bad = PipelineAck {
             kind: AckKind::Packet,
             seq: 1,
+            batch: 1,
             statuses: vec![AckStatus::Success, AckStatus::Error, AckStatus::Success],
         };
         assert!(!bad.all_success());
@@ -1222,9 +1289,52 @@ mod tests {
         let fnfa = PipelineAck {
             kind: AckKind::FirstNodeFinish,
             seq: 99,
+            batch: 1,
             statuses: vec![AckStatus::Success],
         };
         roundtrip(fnfa);
+
+        // A coalesced ack round-trips its batch size.
+        let batched = PipelineAck {
+            kind: AckKind::Packet,
+            seq: 12,
+            batch: 5,
+            statuses: vec![AckStatus::Success; 3],
+        };
+        roundtrip(batched);
+    }
+
+    #[test]
+    fn trace_context_propagates_through_headers() {
+        let lb = LocatedBlock {
+            block: ExtendedBlock::new(BlockId(5), GenStamp(1), 0),
+            targets: vec![dn(0)],
+            trace: TraceId(21),
+            span: SpanId(34),
+        };
+        let ctx = lb.trace_ctx().expect("traced block has a context");
+        assert_eq!(ctx.trace, TraceId(21));
+        assert_eq!(ctx.span, SpanId(34));
+        assert_eq!(
+            LocatedBlock::untraced(lb.block, vec![]).trace_ctx(),
+            None,
+            "sentinel ids mean untraced"
+        );
+
+        let header = WriteBlockHeader {
+            pipeline: PipelineId(3),
+            client: ClientId(1),
+            block: ExtendedBlock::new(BlockId(5), GenStamp(1), 0),
+            mode: WriteMode::Smarth,
+            targets: vec![],
+            position: 1,
+            client_buffer: 0,
+            trace: TraceId(21),
+            span: SpanId(34),
+        };
+        let hop = header.hop_ctx().unwrap();
+        assert_eq!(hop.trace, TraceId(21), "hops stay in the block's trace");
+        assert_eq!(hop.span, SpanId(34).child(2), "hop span derives from position");
     }
 
     #[test]

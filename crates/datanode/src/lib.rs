@@ -18,7 +18,7 @@ mod tests {
     use super::*;
     use smarth_core::checksum::ChunkedChecksum;
     use smarth_core::config::{DfsConfig, WriteMode};
-    use smarth_core::ids::{BlockId, ClientId, ExtendedBlock, GenStamp, PipelineId};
+    use smarth_core::ids::{BlockId, ClientId, ExtendedBlock, GenStamp, PipelineId, SpanId, TraceId};
     use smarth_core::proto::{
         AckKind, DataOp, DataReply, DatanodeInfo, DatanodeRequest, DatanodeResponse, Packet,
         PipelineAck, WriteBlockHeader,
@@ -155,6 +155,8 @@ mod tests {
             targets: targets[1..].to_vec(),
             position: 0,
             client_buffer: cluster.config.datanode_client_buffer.as_u64(),
+            trace: TraceId::INVALID,
+            span: SpanId::INVALID,
         };
         send_message(&mut stream, &DataOp::WriteBlock(header)).unwrap();
         let packets = make_packets(&cluster.config, data);
@@ -162,13 +164,18 @@ mod tests {
         for p in &packets {
             send_message(&mut stream, p).unwrap();
         }
-        // Collect acks: `total` packet acks, plus possibly one FNFA.
+        // Collect acks until every packet is covered (frames are
+        // cumulative: one may cover a whole batch), plus maybe one FNFA.
         let mut acks = Vec::new();
+        let mut covered = 0u64;
         let mut fnfa = None;
-        while acks.len() < total {
+        while covered < total as u64 {
             let ack: PipelineAck = recv_message(&mut stream).unwrap();
             match ack.kind {
-                AckKind::Packet => acks.push(ack),
+                AckKind::Packet => {
+                    covered += ack.batch.max(1);
+                    acks.push(ack);
+                }
                 AckKind::FirstNodeFinish => fnfa = Some(ack),
             }
         }
@@ -190,9 +197,16 @@ mod tests {
         assert!(acks.iter().all(|a| a.all_success()));
         assert!(acks.iter().all(|a| a.statuses.len() == 1));
         assert!(fnfa.is_none(), "no FNFA in HDFS mode");
-        // Acks are in order.
-        let seqs: Vec<u64> = acks.iter().map(|a| a.seq).collect();
-        assert_eq!(seqs, (0..acks.len() as u64).collect::<Vec<_>>());
+        // Cumulative frames cover consecutive seqs without gaps.
+        let mut covered = 0u64;
+        for a in &acks {
+            assert_eq!(
+                a.seq,
+                covered + a.batch.max(1) - 1,
+                "frame seq must be the highest of its batch"
+            );
+            covered += a.batch.max(1);
+        }
         // Replica is finalized with the right contents.
         let store = cluster.datanodes[0].store();
         let (info, finalized) = store.replica_info(BlockId(1)).unwrap();
@@ -254,6 +268,8 @@ mod tests {
                 targets: vec![],
                 position: 0,
                 client_buffer: 1 << 20,
+                trace: TraceId::INVALID,
+                span: SpanId::INVALID,
             }),
         )
         .unwrap();
@@ -400,6 +416,8 @@ mod tests {
                 targets: targets[1..].to_vec(),
                 position: 0,
                 client_buffer: cluster.config.datanode_client_buffer.as_u64(),
+                trace: TraceId::INVALID,
+                span: SpanId::INVALID,
             }),
         )
         .unwrap();

@@ -314,6 +314,8 @@ fn handle_write(
             targets: rest.to_vec(),
             position: header.position + 1,
             client_buffer: header.client_buffer,
+            trace: header.trace,
+            span: header.span,
         };
         send_message(&mut m, &DataOp::WriteBlock(fwd_header))?;
         Some(m.split())
@@ -376,19 +378,61 @@ fn run_write_threads(
     });
 
     // Responder: merges downstream acks with our own success and relays
-    // upstream (§II step 4).
+    // upstream (§II step 4). Acks are *cumulative*: while the previous
+    // upstream frame was in flight, every signal the receiver queued in
+    // the meantime is coalesced into one frame whose `batch` is the
+    // number of packets covered — the batching window is exactly the
+    // upstream backlog, so an idle pipeline still acks per-packet.
     let responder = {
         let up_write = Arc::clone(&up_write);
         let mut mirror_read = mirror_read;
         std::thread::Builder::new()
             .name("dn-responder".into())
             .spawn(move || {
-                for (seq, last) in ack_rx {
+                // Highest seq the mirror has cumulatively acked, plus
+                // the statuses of its latest frame. The mirror batches
+                // independently, so its frame boundaries need not match
+                // ours — only coverage matters.
+                let mut mirror_covered: Option<u64> = None;
+                let mut mirror_statuses: Vec<AckStatus> = Vec::new();
+                loop {
+                    let (first_seq, first_last) = match ack_rx.recv() {
+                        Ok(s) => s,
+                        Err(_) => break,
+                    };
+                    let mut seq = first_seq;
+                    let mut last = first_last;
+                    let mut batch = 1u64;
+                    while !last {
+                        match ack_rx.try_recv() {
+                            Ok((s, l)) => {
+                                seq = s;
+                                last = l;
+                                batch += 1;
+                            }
+                            Err(_) => break,
+                        }
+                    }
                     let downstream: Vec<AckStatus> = match &mut mirror_read {
-                        Some(mr) => match recv_message::<PipelineAck>(mr) {
-                            Ok(ack) if ack.seq == seq => ack.statuses,
-                            _ => vec![AckStatus::Error],
-                        },
+                        Some(mr) => {
+                            while mirror_covered.is_none_or(|c| c < seq) {
+                                match recv_message::<PipelineAck>(mr) {
+                                    Ok(ack) => {
+                                        mirror_covered = Some(ack.seq);
+                                        let errored = ack.first_error().is_some();
+                                        mirror_statuses = ack.statuses;
+                                        if errored {
+                                            break;
+                                        }
+                                    }
+                                    Err(_) => {
+                                        mirror_statuses = vec![AckStatus::Error];
+                                        break;
+                                    }
+                                }
+                            }
+                            mirror_statuses.clone()
+                        }
                         None => Vec::new(),
                     };
                     let mut statuses = Vec::with_capacity(1 + downstream.len());
@@ -397,6 +441,7 @@ fn run_write_threads(
                     let ack = PipelineAck {
                         kind: AckKind::Packet,
                         seq,
+                        batch,
                         statuses,
                     };
                     if send_ack(&up_write, &ack).is_err() {
@@ -426,6 +471,7 @@ fn run_write_threads(
                     &PipelineAck {
                         kind: AckKind::Packet,
                         seq: pkt.seq,
+                        batch: 1,
                         statuses: vec![AckStatus::Error],
                     },
                 );
@@ -470,15 +516,16 @@ fn run_write_threads(
                         &PipelineAck {
                             kind: AckKind::FirstNodeFinish,
                             seq: pkt.seq,
+                            batch: 1,
                             statuses: vec![AckStatus::Success],
                         },
                     );
-                    dn.obs.emit(ObsEvent::FnfaSent {
+                    dn.obs.emit_traced(header.hop_ctx(), ObsEvent::FnfaSent {
                         datanode: dn.id,
                         block: block.id,
                     });
                 }
-                dn.obs.emit(ObsEvent::BlockReceived {
+                dn.obs.emit_traced(header.hop_ctx(), ObsEvent::BlockReceived {
                     datanode: dn.id,
                     block: block.id,
                     bytes: final_len,

@@ -14,8 +14,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use smarth_core::config::{DfsConfig, WriteMode};
 use smarth_core::error::{DfsError, DfsResult};
-use smarth_core::ids::{ClientId, DatanodeId, IdGenerator};
-use smarth_core::obs::{Obs, ObsEvent, SpeedObservation};
+use smarth_core::ids::{ClientId, DatanodeId, IdGenerator, SpanId, TraceId};
+use smarth_core::obs::{Obs, ObsEvent, SpeedObservation, TraceCtx};
 use smarth_core::placement::{
     default_placement, replacement_targets, smarth_placement, ClientLocality,
 };
@@ -73,6 +73,9 @@ pub struct NameNodeState {
     speeds: Mutex<NamenodeSpeedRegistry>,
     clients: Mutex<HashMap<ClientId, ClientSession>>,
     client_ids: IdGenerator,
+    /// Mints `TraceId`/root-`SpanId` pairs at `addBlock` time — the
+    /// origin of every block-lifecycle trace in the system.
+    trace_ids: IdGenerator,
     rng: Mutex<ChaCha8Rng>,
     obs: Obs,
 }
@@ -94,6 +97,7 @@ impl NameNodeState {
             speeds: Mutex::new(NamenodeSpeedRegistry::new()),
             clients: Mutex::new(HashMap::new()),
             client_ids: IdGenerator::starting_at(1),
+            trace_ids: IdGenerator::starting_at(1),
             rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
             obs,
         }
@@ -190,13 +194,26 @@ impl NameNodeState {
         if mode == WriteMode::Smarth {
             self.obs.metrics().speed_aware_placements.inc();
         }
-        self.obs.emit(ObsEvent::PlacementDecision {
-            block: block.id,
-            policy,
-            chosen: target_ids,
-            speeds_consulted,
-        });
-        Ok(LocatedBlock { block, targets })
+        // Mint the block's causal trace: the allocation decision is the
+        // root span every downstream event hangs off.
+        let trace = TraceId(self.trace_ids.allocate());
+        let span = SpanId(self.trace_ids.allocate());
+        self.obs.emit_traced(
+            TraceCtx::new(trace, span),
+            ObsEvent::PlacementDecision {
+                client,
+                block: block.id,
+                policy,
+                chosen: target_ids,
+                speeds_consulted,
+            },
+        );
+        Ok(LocatedBlock {
+            block,
+            targets,
+            trace,
+            span,
+        })
     }
 
     /// Handles one client RPC. Never panics on malformed input — every
@@ -320,10 +337,7 @@ impl NameNodeState {
                 let dns = self.datanodes.lock();
                 let located = blocks
                     .into_iter()
-                    .map(|b| LocatedBlock {
-                        block: b,
-                        targets: dns.infos(&bm.locations(b.id)),
-                    })
+                    .map(|b| LocatedBlock::untraced(b, dns.infos(&bm.locations(b.id))))
                     .collect();
                 Ok(ClientResponse::BlockLocations { blocks: located })
             }
@@ -750,6 +764,35 @@ mod tests {
             );
         }
         assert!(firsts.contains(&dns[8]));
+    }
+
+    #[test]
+    fn every_allocation_mints_a_fresh_trace() {
+        let (st, _dns) = state_with_datanodes(6);
+        let client = register_client(&st);
+        let file = create(&st, client, "/t.bin", WriteMode::Smarth);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..5 {
+            match st.handle_client_request(ClientRequest::AddBlock {
+                client,
+                file_id: file,
+                previous: None,
+                excluded: vec![],
+            }) {
+                ClientResponse::BlockAllocated(lb) => {
+                    let ctx = lb.trace_ctx().expect("allocations are always traced");
+                    assert!(seen.insert(ctx.trace), "trace ids must be unique");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // The read path hands out untraced located blocks.
+        match st.handle_client_request(ClientRequest::GetBlockLocations { path: "/t.bin".into() }) {
+            ClientResponse::BlockLocations { blocks } => {
+                assert!(blocks.iter().all(|b| b.trace_ctx().is_none()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -15,9 +15,9 @@ use crate::server::RateServer;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use smarth_core::config::{ClusterSpec, DfsConfig, HostRole, WriteMode};
-use smarth_core::ids::{BlockId, ClientId, DatanodeId};
+use smarth_core::ids::{BlockId, ClientId, DatanodeId, SpanId, TraceId};
 use smarth_core::localopt::{local_optimize, LocalOptOutcome};
-use smarth_core::obs::{Obs, ObsEvent, SpeedObservation};
+use smarth_core::obs::{Obs, ObsEvent, SpeedObservation, TraceCtx};
 use smarth_core::placement::{default_placement, smarth_placement, ClientLocality};
 use smarth_core::proto::DatanodeInfo;
 use smarth_core::speed::{ClientSpeedTracker, NamenodeSpeedRegistry};
@@ -173,6 +173,12 @@ struct Hop {
 struct Pipe {
     targets: Vec<usize>,
     target_ids: Vec<DatanodeId>,
+    /// Real allocation id, minted like the namenode's block counter —
+    /// the same id the emulated cluster would hand this pipeline.
+    block: BlockId,
+    /// Causal context minted at allocation (virtual-time twin of the
+    /// namenode's trace minting).
+    ctx: TraceCtx,
     packets: u64,
     packet_size: u64,
     last_packet_size: u64,
@@ -215,6 +221,13 @@ struct Sim {
     sending: Option<usize>,
     active_count: usize,
     next_block: u64,
+    /// Monotonic allocation counters, mirroring the namenode's block and
+    /// trace id generators (satisfies "real BlockIds in the simulator").
+    next_block_id: u64,
+    next_trace_id: u64,
+    /// Virtual timestamp of the latest FNFA, consumed by the next
+    /// allocation — the §III-A overlap latency, same as the real client.
+    last_fnfa_vt: Option<u64>,
     total_blocks: u64,
     blocks_done: u64,
     produced_packets_before: u64,
@@ -499,10 +512,12 @@ impl Sim {
                 .bytes_written
                 .add(self.pipes[pipe].block_bytes);
             self.obs.metrics().concurrent_pipelines.dec();
-            self.obs.emit_virtual(
+            let (block, ctx) = (self.pipes[pipe].block, self.pipes[pipe].ctx);
+            self.obs.emit_virtual_traced(
                 self.vtime_us(),
+                ctx,
                 ObsEvent::PipelineClosed {
-                    block: BlockId(pipe as u64),
+                    block,
                     committed: true,
                 },
             );
@@ -529,11 +544,14 @@ impl Sim {
             .observe(first, ByteSize::bytes(bytes), elapsed);
         if self.pipes[pipe].fnfa_at.is_none() {
             self.pipes[pipe].fnfa_at = Some(self.now);
+            self.last_fnfa_vt = Some(self.vtime_us());
             self.obs.metrics().fnfa_received.inc();
-            self.obs.emit_virtual(
+            let (block, ctx) = (self.pipes[pipe].block, self.pipes[pipe].ctx);
+            self.obs.emit_virtual_traced(
                 self.vtime_us(),
+                ctx,
                 ObsEvent::FnfaReceived {
-                    block: BlockId(pipe as u64),
+                    block,
                     first_node: first,
                 },
             );
@@ -664,9 +682,18 @@ impl Sim {
             .collect();
         let _ = n_hops;
 
-        // Namenode RPC (T_n) before the first packet can leave.
+        // Namenode RPC (T_n) before the first packet can leave. The
+        // block id and causal trace are minted here, exactly where the
+        // real namenode would mint them.
         let start = self.now + self.config.namenode_rpc_cost;
         let pipe_idx = self.pipes.len();
+        let block = BlockId(self.next_block_id);
+        self.next_block_id += 1;
+        let ctx = TraceCtx::new(
+            TraceId(self.next_trace_id),
+            SpanId(self.next_trace_id + 1),
+        );
+        self.next_trace_id += 2;
         *self
             .first_node_histogram
             .entry(final_ids[0].raw())
@@ -674,6 +701,8 @@ impl Sim {
         self.pipes.push(Pipe {
             targets: hosts,
             target_ids: final_ids,
+            block,
+            ctx,
             packets,
             packet_size,
             last_packet_size,
@@ -688,8 +717,15 @@ impl Sim {
             done_at: None,
             active: true,
         });
-        let block = BlockId(pipe_idx as u64);
         let at = self.vtime_us();
+        // The §III-A overlap latency, measured the same way the real
+        // client measures it (FNFA consumed by the next allocation).
+        if let Some(fnfa_at) = self.last_fnfa_vt.take() {
+            self.obs
+                .metrics()
+                .fnfa_to_allocation_us
+                .observe(at.saturating_sub(fnfa_at));
+        }
         let (policy, speeds_consulted) = if self.flags.smart_placement {
             self.obs.metrics().speed_aware_placements.inc();
             let consulted = self
@@ -705,9 +741,11 @@ impl Sim {
         } else {
             ("hdfs", Vec::new())
         };
-        self.obs.emit_virtual(
+        self.obs.emit_virtual_traced(
             at,
+            ctx,
             ObsEvent::PlacementDecision {
+                client: CLIENT,
                 block,
                 policy,
                 chosen: target_ids,
@@ -715,17 +753,20 @@ impl Sim {
             },
         );
         let final_ids = self.pipes[pipe_idx].target_ids.clone();
-        self.obs.emit_virtual(
+        self.obs.emit_virtual_traced(
             at,
+            ctx,
             ObsEvent::BlockAllocated {
+                client: CLIENT,
                 block,
                 targets: final_ids.clone(),
             },
         );
         if let Some(swapped_index) = explored_swap {
             self.obs.metrics().exploration_swaps.inc();
-            self.obs.emit_virtual(
+            self.obs.emit_virtual_traced(
                 at,
+                ctx,
                 ObsEvent::ExplorationSwap {
                     block,
                     promoted: final_ids[0],
@@ -735,7 +776,7 @@ impl Sim {
         }
         self.obs.metrics().concurrent_pipelines.inc();
         self.obs
-            .emit_virtual(at, ObsEvent::PipelineOpened { block, targets: final_ids });
+            .emit_virtual_traced(at, ctx, ObsEvent::PipelineOpened { block, targets: final_ids });
         self.sending = Some(pipe_idx);
         self.active_count += 1;
         self.max_concurrent = self.max_concurrent.max(self.active_count);
@@ -877,6 +918,9 @@ pub fn simulate_upload_with_obs(scenario: &SimScenario, obs: Obs) -> SimResult {
             sending: None,
             active_count: 0,
             next_block: 0,
+            next_block_id: 1,
+            next_trace_id: 1,
+            last_fnfa_vt: None,
             total_blocks,
             blocks_done: 0,
             produced_packets_before: 0,
