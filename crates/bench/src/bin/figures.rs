@@ -11,14 +11,19 @@
 //! observability counters the underlying simulations accumulated and a
 //! `results/<id>.trace.json` Chrome trace_event file (Perfetto /
 //! chrome://tracing) of the simulated block lifecycles.
+//!
+//! The extra `soak` id runs the sustained fault-injection harness on
+//! the threaded emulator (not the simulator) and saves
+//! `results/<run>.soak.json` with per-window recovery attribution.
 
 use smarth_bench::figures::{self, FigureOpts};
 use smarth_bench::report::Table;
+use smarth_cluster::soak::{self, SoakConfig};
 use std::path::PathBuf;
 
 const ALL_IDS: &[&str] = &[
     "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "ablations", "ext_storage",
+    "ablations", "ext_storage", "soak",
 ];
 
 fn generate(id: &str, opts: FigureOpts) -> Option<Vec<Table>> {
@@ -60,6 +65,26 @@ fn main() {
 
     let out_dir = PathBuf::from("results");
     for id in ids {
+        if id == "soak" {
+            // The soak harness runs the real emulator, so it produces a
+            // windowed invariant report instead of a figure table.
+            let cfg = if quick {
+                SoakConfig::smoke(42)
+            } else {
+                SoakConfig::sustained(16, 20, 42)
+            };
+            match soak::run(&cfg) {
+                Ok(report) => {
+                    print!("{}", report.render());
+                    match report.save(&out_dir) {
+                        Ok(path) => println!("  saved {}\n", path.display()),
+                        Err(e) => eprintln!("  failed to save soak report: {e}"),
+                    }
+                }
+                Err(e) => eprintln!("soak run failed: {e}"),
+            }
+            continue;
+        }
         let tables = generate(id, opts).expect("ids validated above");
         // Metrics and the assembled causal trace accumulated by this
         // generator's simulations — shared by every table the generator

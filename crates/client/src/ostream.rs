@@ -152,6 +152,22 @@ impl DfsOutputStream {
         self.pending.len() + usize::from(self.current.is_some())
     }
 
+    /// Host names of the datanodes in the *current* block's pipeline,
+    /// first node first; empty between blocks. Fault-injection harnesses
+    /// use this to aim a kill at a live pipeline member.
+    pub fn current_target_hosts(&self) -> Vec<String> {
+        self.current
+            .as_ref()
+            .map(|c| {
+                c.pipeline
+                    .targets
+                    .iter()
+                    .map(|t| t.host_name.clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
     /// Appends data to the stream, blocking under network backpressure.
     pub fn write(&mut self, mut data: &[u8]) -> DfsResult<()> {
         if self.closed {
@@ -631,12 +647,22 @@ impl DfsOutputStream {
             block: old_block.id,
             attempt: 1,
             cause,
+            nested: false,
         });
         self.close_pipeline(old, false);
 
         let mut attempt = 0u32;
         let mut targets = old_targets;
         let mut failed_hint = failed_index;
+        // The incident that triggered this recovery accounts for exactly
+        // one dead node. With a `failed_index` hint that node is known;
+        // otherwise the first unreachable probe is attributed to the
+        // original cause. Every *further* node lost while this recovery
+        // runs is a distinct incident (`RecoveryCause::NestedFailure`) —
+        // folding it into `cause` is the attribution bug the soak
+        // harness counts against injected faults.
+        let mut original_accounted = failed_index.is_some();
+        let mut nested_losses: Vec<DatanodeId> = Vec::new();
         let result: DfsResult<()> = loop {
             attempt += 1;
             if attempt > self.max_recovery_attempts() {
@@ -656,7 +682,7 @@ impl DfsOutputStream {
                     retained.len()
                 ),
             });
-            match self.try_rebuild(
+            let rebuilt = self.try_rebuild(
                 old_block,
                 &targets,
                 failed_hint,
@@ -664,7 +690,33 @@ impl DfsOutputStream {
                 packets_acked,
                 finished_sending,
                 old_ctx,
-            ) {
+                &mut original_accounted,
+                &mut nested_losses,
+            );
+            // Attribute nodes lost *during* this attempt as their own
+            // incidents, whether or not the rebuild went through. Each
+            // gets a balanced zero-length span so the trace assembler
+            // closes the nested span and keeps attaching later steps to
+            // the enclosing recovery.
+            for dn in std::mem::take(&mut nested_losses) {
+                self.stats.recoveries += 1;
+                self.obs().metrics().record_recovery(RecoveryCause::NestedFailure);
+                self.obs().emit_traced(old_ctx, ObsEvent::RecoveryStarted {
+                    block: old_block.id,
+                    attempt,
+                    cause: RecoveryCause::NestedFailure,
+                    nested: true,
+                });
+                self.obs().emit_traced(old_ctx, ObsEvent::RecoveryStep {
+                    block: old_block.id,
+                    step: format!("datanode {} lost mid-recovery", dn.raw()),
+                });
+                self.obs().emit_traced(old_ctx, ObsEvent::RecoveryFinished {
+                    block: old_block.id,
+                    success: false,
+                });
+            }
+            match rebuilt {
                 Ok((new_pipeline, resent_all)) => {
                     debug_assert!(resent_all);
                     // Step 7 of Algorithm 4: resume the interrupted
@@ -714,6 +766,13 @@ impl DfsOutputStream {
 
     /// One rebuild attempt. On failure returns the error plus the target
     /// subset that still looked alive, for the retry loop.
+    ///
+    /// Death attribution: the original incident already accounts for one
+    /// node (`failed_index` when known, else the first unreachable
+    /// probe, tracked through `original_accounted`). Every additional
+    /// node this attempt condemns — a further unreachable probe, or a
+    /// survivor whose `recoverBlock` fails — is appended to `nested` for
+    /// the caller to record as [`RecoveryCause::NestedFailure`].
     #[allow(clippy::type_complexity)]
     #[allow(clippy::too_many_arguments)]
     fn try_rebuild(
@@ -725,6 +784,8 @@ impl DfsOutputStream {
         packets_acked: u64,
         finished_sending: bool,
         ctx: Option<TraceCtx>,
+        original_accounted: &mut bool,
+        nested: &mut Vec<DatanodeId>,
     ) -> Result<(Pipeline, bool), (DfsError, Vec<DatanodeInfo>)> {
         // Probe every target: who is alive, and how much of the block
         // does each hold? (Algorithm 3's parameter-validity check plus
@@ -742,7 +803,14 @@ impl DfsOutputStream {
             match self.probe_replica(t, old_block) {
                 Probe::Has(len) => survivors.push((t.clone(), len)),
                 Probe::NoReplica => {}
-                Probe::Unreachable => self.mark_dead(t.id),
+                Probe::Unreachable => {
+                    self.mark_dead(t.id);
+                    if *original_accounted {
+                        nested.push(t.id);
+                    } else {
+                        *original_accounted = true;
+                    }
+                }
             }
         }
 
@@ -782,7 +850,13 @@ impl DfsOutputStream {
         for (t, _) in &survivors {
             match self.recover_replica(t, old_block, new_gen, min_len) {
                 Ok(()) => recovered.push(t.clone()),
-                Err(_) => self.mark_dead(t.id),
+                Err(_) => {
+                    // The probe just said this node was alive; losing it
+                    // now is by definition a failure nested inside the
+                    // ongoing recovery, never the original incident.
+                    self.mark_dead(t.id);
+                    nested.push(t.id);
+                }
             }
         }
         if recovered.is_empty() {

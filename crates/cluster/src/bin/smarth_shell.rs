@@ -13,14 +13,18 @@
 //! ls <path>                              list a directory
 //! rm <path>                              delete a file
 //! report                                 dfsadmin-style cluster report + per-client trace table
-//! trace <file.json>                      write a Chrome trace_event file of every recorded write
+//! trace <file.json> [full]               write a Chrome trace_event file; incremental since the
+//!                                        last export unless `full` is given
 //! metrics                                dump the observability counters as JSON
 //! kill <host>                            crash a datanode
 //! throttle <host> <mbps|off>             tc a host NIC
 //! seed <path> <size>[k|m]                put with both protocols, print timing
+//! soak <clients> <secs> [seed]           sustained churn + fault injection on a fresh cluster;
+//!                                        prints the invariant report, saves results/<id>.soak.json
 //! help | quit
 //! ```
 
+use smarth_cluster::soak::{self, SoakConfig};
 use smarth_cluster::{random_data, MiniCluster};
 use smarth_core::obs::{Obs, RingBufferSink};
 use smarth_core::trace::{write_chrome_trace, TraceAssembler};
@@ -61,6 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let stdin = std::io::stdin();
     let mut seed = 0u64;
+    // Sequence number of the last event exported by `trace`, so repeat
+    // exports are incremental instead of re-serializing the whole ring.
+    let mut trace_cursor: Option<u64> = None;
     loop {
         print!("smarth> ");
         std::io::stdout().flush()?;
@@ -74,7 +81,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ["quit"] | ["exit"] => break,
             ["help"] => {
                 println!("put <path> <size>[k|m] [hdfs|smarth] | get <path> | ls <path> | rm <path>");
-                println!("report | trace <file.json> | metrics | kill <host> | throttle <host> <mbps|off> | seed <path> <size> | quit");
+                println!("report | trace <file.json> [full] | metrics | kill <host> | throttle <host> <mbps|off> | seed <path> <size>");
+                println!("soak <clients> <secs> [seed] | quit");
                 Ok(())
             }
             ["put", path, size, rest @ ..] => (|| {
@@ -170,13 +178,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
                 Ok::<(), Box<dyn std::error::Error>>(())
             })(),
-            ["trace", path] => (|| {
-                let events = sink.snapshot();
+            ["trace", path, rest @ ..] => (|| {
+                let full = rest.first() == Some(&"full") || trace_cursor.is_none();
+                let events = match (full, trace_cursor) {
+                    (false, Some(after)) => sink.snapshot_after(after),
+                    _ => sink.snapshot(),
+                };
+                if events.is_empty() {
+                    println!("no new events since the last export; use `trace {path} full` for everything");
+                    return Ok(());
+                }
+                trace_cursor = events.last().map(|r| r.seq);
                 let report = TraceAssembler::assemble(&events);
                 write_chrome_trace(&report, std::path::Path::new(path))?;
                 println!(
-                    "{}: {} events -> {} block timelines ({} committed, {} overlapping pairs); load in Perfetto / chrome://tracing",
+                    "{}: {} {} events -> {} block timelines ({} committed, {} overlapping pairs); load in Perfetto / chrome://tracing",
                     path,
+                    if full { "total" } else { "new" },
                     report.events,
                     report.blocks.len(),
                     report.committed_blocks(),
@@ -217,6 +235,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         report.throughput_mbps()
                     );
                 }
+                Ok::<(), Box<dyn std::error::Error>>(())
+            })(),
+            ["soak", clients, secs, rest @ ..] => (|| {
+                let clients: usize = clients.parse().map_err(|_| "bad client count")?;
+                let secs: u64 = secs.parse().map_err(|_| "bad duration")?;
+                let soak_seed: u64 = match rest.first() {
+                    Some(s) => s.parse().map_err(|_| "bad seed")?,
+                    None => 42,
+                };
+                println!(
+                    "running {clients}-client soak for {secs} s (seed {soak_seed}) on its own cluster..."
+                );
+                let report = soak::run(&SoakConfig::sustained(clients, secs, soak_seed))?;
+                print!("{}", report.render());
+                let path = report.save(std::path::Path::new("results"))?;
+                println!("saved {}", path.display());
                 Ok::<(), Box<dyn std::error::Error>>(())
             })(),
             other => {

@@ -8,9 +8,11 @@
 //! write protocols, speed learning and fault tolerance — is tested here.
 
 pub mod mini;
+pub mod soak;
 pub mod workload;
 
 pub use mini::MiniCluster;
+pub use soak::{FaultEvent, FaultKind, FaultPlan, SoakConfig, SoakReport, Trigger};
 pub use workload::{random_data, summarize, UploadSummary, UploadWorkload};
 
 #[cfg(test)]

@@ -1,0 +1,1564 @@
+//! Sustained multi-client soak harness with deterministic fault
+//! injection and live, time-windowed invariant checking.
+//!
+//! The paper's evaluation (§IV/§V) runs long-lived clusters where
+//! SMARTH's speed records are warm and pipelines fail *while other
+//! pipelines are mid-flight*. This module reproduces that regime on the
+//! threaded emulator: [`run`] drives N concurrent clients against one
+//! [`MiniCluster`] for a configurable budget with file churn (creates,
+//! re-writes, deletes, read-back verification interleaved mid-flight), a
+//! seeded, replayable [`FaultPlan`] layered on `smarth_fabric`
+//! (datanode stalls, connection drops, slow-node bandwidth dips), and a
+//! monitor that consumes the observability stream incrementally
+//! (via [`RingBufferSink::snapshot_after`]) and asserts per-window
+//! invariants while the run is live:
+//!
+//! * every committed SMARTH block has exactly one FNFA (modulo
+//!   recoveries, which legitimately re-finalize the first node);
+//! * pipeline overlap ≥ 2 shows up for SMARTH streams under load;
+//! * every recovery is attributable by cause to an injected fault that
+//!   was recently active (nothing recovers "for no reason");
+//! * no gauge (datanode buffer bytes, in-flight pipelines) exceeds its
+//!   configured bound.
+//!
+//! Fault triggers come in two flavours, both replayable: absolute
+//! wall-clock offsets from run start (executed by an injector thread)
+//! and absolute *byte offsets* in one client's write stream (executed
+//! cooperatively by that client's worker, which makes the fault land at
+//! an exact, repeatable point mid-block — the foundation of the
+//! deterministic smoke profile).
+
+use crate::workload::random_data;
+use crate::MiniCluster;
+use parking_lot::Mutex;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use smarth_client::{DfsClient, DfsOutputStream};
+use smarth_core::config::{
+    ClusterSpec, DfsConfig, HostRole, HostSpec, InstanceType, WriteMode,
+};
+use smarth_core::error::{DfsError, DfsResult};
+use smarth_core::ids::BlockId;
+use smarth_core::json::{ObjectBuilder, Value};
+use smarth_core::obs::{
+    EventRecord, Obs, ObsEvent, RecoveryCause, RingBufferSink, SamplingSink,
+};
+use smarth_core::trace::TraceAssembler;
+use smarth_core::units::{Bandwidth, SimDuration};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Number of distinct recovery causes (slots in per-window counters).
+const CAUSES: usize = RecoveryCause::ALL.len();
+
+fn cause_slot(cause: RecoveryCause) -> usize {
+    RecoveryCause::ALL
+        .iter()
+        .position(|c| *c == cause)
+        .expect("cause in ALL")
+}
+
+// ---------------------------------------------------------------------------
+// Fault plan
+// ---------------------------------------------------------------------------
+
+/// When a fault fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trigger {
+    /// Wall-clock offset from run start, applied by the injector thread.
+    AtMs(u64),
+    /// When `client`'s cumulative written bytes reach exactly `bytes`,
+    /// applied cooperatively by that client's worker between two write
+    /// chunks. Exact and replayable: same plan → same injection point.
+    AtClientBytes { client: usize, bytes: u64 },
+}
+
+/// What the fault does. The first two are cooperative (they act on the
+/// triggering client's own links / current pipeline and therefore
+/// require an [`Trigger::AtClientBytes`] trigger); the rest are timed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Cut every live stream between the triggering client and all
+    /// datanodes (cable pull; reconnects still succeed).
+    DropOwnLinks,
+    /// Kill the first `nodes` members of the triggering client's
+    /// current pipeline. With `nodes >= 2` the extra deaths are
+    /// discovered *during* the recovery of the first — the
+    /// nested-failure attribution path.
+    KillPipelineNodes { nodes: usize },
+    /// Cut every live stream between client `client` and all datanodes.
+    DropClientLinks { client: usize },
+    /// Throttle datanode `datanode`'s NIC to a crawl for `for_ms`.
+    DatanodeStall { datanode: usize, for_ms: u64 },
+    /// Dip datanode `datanode`'s bandwidth to `mbps` for `for_ms`.
+    SlowNodeDip { datanode: usize, mbps: f64, for_ms: u64 },
+}
+
+impl FaultKind {
+    fn describe(&self) -> String {
+        match self {
+            FaultKind::DropOwnLinks => "drop own client links".into(),
+            FaultKind::KillPipelineNodes { nodes } => {
+                format!("kill first {nodes} current-pipeline nodes")
+            }
+            FaultKind::DropClientLinks { client } => {
+                format!("drop client{client} links")
+            }
+            FaultKind::DatanodeStall { datanode, for_ms } => {
+                format!("stall dn{datanode} for {for_ms} ms")
+            }
+            FaultKind::SlowNodeDip {
+                datanode,
+                mbps,
+                for_ms,
+            } => format!("dip dn{datanode} to {mbps} Mbps for {for_ms} ms"),
+        }
+    }
+
+    fn class(&self) -> FaultClass {
+        match self {
+            FaultKind::DropOwnLinks
+            | FaultKind::KillPipelineNodes { .. }
+            | FaultKind::DropClientLinks { .. } => FaultClass::Disconnect,
+            FaultKind::DatanodeStall { .. } => FaultClass::Stall,
+            FaultKind::SlowNodeDip { .. } => FaultClass::Dip,
+        }
+    }
+
+    fn cooperative(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::DropOwnLinks | FaultKind::KillPipelineNodes { .. }
+        )
+    }
+
+    fn to_json(&self) -> Value {
+        let obj = ObjectBuilder::new();
+        match self {
+            FaultKind::DropOwnLinks => obj.field("type", "drop_own_links"),
+            FaultKind::KillPipelineNodes { nodes } => obj
+                .field("type", "kill_pipeline_nodes")
+                .field("nodes", *nodes as u64),
+            FaultKind::DropClientLinks { client } => obj
+                .field("type", "drop_client_links")
+                .field("client", *client as u64),
+            FaultKind::DatanodeStall { datanode, for_ms } => obj
+                .field("type", "datanode_stall")
+                .field("datanode", *datanode as u64)
+                .field("for_ms", *for_ms),
+            FaultKind::SlowNodeDip {
+                datanode,
+                mbps,
+                for_ms,
+            } => obj
+                .field("type", "slow_node_dip")
+                .field("datanode", *datanode as u64)
+                .field("mbps", *mbps)
+                .field("for_ms", *for_ms),
+        }
+        .build()
+    }
+}
+
+/// Broad effect class, used to attribute recovery causes to faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultClass {
+    /// Breaks transport: explains `ConnectionLost`, `DatanodeError`
+    /// and `NestedFailure` recoveries.
+    Disconnect,
+    /// Starves acks: explains `AckTimeout` recoveries.
+    Stall,
+    /// Slows a node; usually recovers nothing, may explain a timeout.
+    Dip,
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    pub trigger: Trigger,
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    fn to_json(&self) -> Value {
+        let trig = match &self.trigger {
+            Trigger::AtMs(ms) => ObjectBuilder::new().field("at_ms", *ms).build(),
+            Trigger::AtClientBytes { client, bytes } => ObjectBuilder::new()
+                .field("client", *client as u64)
+                .field("bytes", *bytes)
+                .build(),
+        };
+        ObjectBuilder::new()
+            .field("trigger", trig)
+            .field("kind", self.kind.to_json())
+            .build()
+    }
+}
+
+/// A deterministic, replayable fault schedule. Same seed and shape →
+/// byte-identical plan; the plan is echoed into the soak report so any
+/// run can be replayed exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Generates `faults` timed faults spread over the middle 70% of a
+    /// `budget_ms` run, deterministically from `seed`: a mix of client
+    /// link drops, datanode stalls and bandwidth dips.
+    pub fn generate(
+        seed: u64,
+        clients: usize,
+        datanodes: usize,
+        budget_ms: u64,
+        faults: usize,
+    ) -> Self {
+        assert!(clients > 0 && datanodes > 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x50AC_F417);
+        let lo = budget_ms * 15 / 100;
+        let hi = (budget_ms * 85 / 100).max(lo + 1);
+        let mut events = Vec::with_capacity(faults);
+        for _ in 0..faults {
+            let at_ms = rng.gen_range(lo..hi);
+            let roll: f64 = rng.gen_range(0.0..1.0);
+            let kind = if roll < 0.4 {
+                FaultKind::DropClientLinks {
+                    client: rng.gen_range(0..clients),
+                }
+            } else if roll < 0.7 {
+                FaultKind::DatanodeStall {
+                    datanode: rng.gen_range(0..datanodes),
+                    for_ms: rng.gen_range(300..1200),
+                }
+            } else {
+                FaultKind::SlowNodeDip {
+                    datanode: rng.gen_range(0..datanodes),
+                    mbps: rng.gen_range(10.0..60.0),
+                    for_ms: rng.gen_range(300..1500),
+                }
+            };
+            events.push(FaultEvent {
+                trigger: Trigger::AtMs(at_ms),
+                kind,
+            });
+        }
+        events.sort_by_key(|e| match e.trigger {
+            Trigger::AtMs(ms) => ms,
+            Trigger::AtClientBytes { .. } => unreachable!("generate emits timed faults"),
+        });
+        FaultPlan { seed, events }
+    }
+
+    /// Shape checks: cooperative kinds need byte triggers on the same
+    /// client that executes them; indices must exist.
+    pub fn validate(&self, clients: usize, datanodes: usize) -> Result<(), String> {
+        for (i, ev) in self.events.iter().enumerate() {
+            match (&ev.trigger, ev.kind.cooperative()) {
+                (Trigger::AtClientBytes { client, .. }, true) if *client >= clients => {
+                    return Err(format!("event {i}: client {client} out of range"));
+                }
+                (Trigger::AtClientBytes { .. }, true) => {}
+                (Trigger::AtMs(_), false) => {}
+                (Trigger::AtMs(_), true) => {
+                    return Err(format!(
+                        "event {i}: cooperative fault needs an at-client-bytes trigger"
+                    ));
+                }
+                (Trigger::AtClientBytes { .. }, false) => {
+                    return Err(format!(
+                        "event {i}: timed fault cannot use a client-bytes trigger"
+                    ));
+                }
+            }
+            match &ev.kind {
+                FaultKind::DropClientLinks { client } if *client >= clients => {
+                    return Err(format!("event {i}: client {client} out of range"));
+                }
+                FaultKind::DatanodeStall { datanode, .. }
+                | FaultKind::SlowNodeDip { datanode, .. }
+                    if *datanode >= datanodes =>
+                {
+                    return Err(format!("event {i}: datanode {datanode} out of range"));
+                }
+                FaultKind::KillPipelineNodes { nodes } if *nodes == 0 => {
+                    return Err(format!("event {i}: kill must target at least one node"));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    pub fn to_json(&self) -> Value {
+        ObjectBuilder::new()
+            .field("seed", self.seed)
+            .field(
+                "events",
+                Value::Array(self.events.iter().map(FaultEvent::to_json).collect()),
+            )
+            .build()
+    }
+}
+
+/// One fault as actually executed (or skipped), relative to run start.
+#[derive(Debug, Clone)]
+pub struct AppliedFault {
+    pub at_ms: u64,
+    /// End of the fault's direct effect (`at_ms` for instantaneous
+    /// drops/kills, `at_ms + for_ms` for stalls and dips).
+    pub until_ms: u64,
+    pub desc: String,
+    pub applied: bool,
+    class: FaultClass,
+}
+
+impl AppliedFault {
+    fn to_json(&self) -> Value {
+        ObjectBuilder::new()
+            .field("at_ms", self.at_ms)
+            .field("until_ms", self.until_ms)
+            .field("desc", self.desc.as_str())
+            .field("applied", self.applied)
+            .build()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// How long the soak runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Budget {
+    /// Run until the wall clock expires (workers finish their op).
+    WallClock(Duration),
+    /// Each client performs exactly this many operations — the
+    /// deterministic profile (no timing-dependent cutoff).
+    OpsPerClient(usize),
+}
+
+/// Full soak profile. Build one with a constructor
+/// ([`SoakConfig::smoke`], [`SoakConfig::deterministic`],
+/// [`SoakConfig::sustained`]) and adjust fields as needed.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    pub clients: usize,
+    pub datanodes: usize,
+    pub seed: u64,
+    pub budget: Budget,
+    /// Invariant-checking window length.
+    pub window: Duration,
+    pub mode: WriteMode,
+    /// Uniform file size range (bytes), inclusive.
+    pub file_size_range: (usize, usize),
+    pub plan: FaultPlan,
+    pub config: DfsConfig,
+    /// Event ring capacity behind the sampling sink.
+    pub ring_capacity: usize,
+    /// Per-block head/tail packet-ack samples kept by [`SamplingSink`].
+    pub sample_head: usize,
+    pub sample_tail: usize,
+    /// Gauge bounds; `None` derives them from the §IV-C pipeline cap.
+    pub max_buffered_bytes: Option<u64>,
+    pub max_concurrent_pipelines: Option<u64>,
+    /// Require exactly one FNFA for committed SMARTH blocks with no
+    /// recoveries (needs a drain slow enough that FNFA beats full-ack).
+    pub strict_fnfa: bool,
+    /// Attribution slack after a fault's direct effect ends.
+    pub grace_ms: u64,
+    pub cross_rack_mbps: Option<f64>,
+}
+
+impl SoakConfig {
+    fn base(clients: usize, datanodes: usize, seed: u64) -> Self {
+        SoakConfig {
+            clients,
+            datanodes,
+            seed,
+            budget: Budget::WallClock(Duration::from_secs(10)),
+            window: Duration::from_millis(1000),
+            mode: WriteMode::Smarth,
+            file_size_range: (192 * 1024, 768 * 1024),
+            plan: FaultPlan::none(),
+            config: DfsConfig::test_scale(),
+            ring_capacity: 262_144,
+            sample_head: 4,
+            sample_tail: 4,
+            max_buffered_bytes: None,
+            max_concurrent_pipelines: None,
+            // Off by default: a block whose full ack is processed before
+            // the FNFA frame legitimately commits with zero FnfaReceived
+            // events (the allocation fast path); the duplicate-FNFA
+            // check is always on.
+            strict_fnfa: false,
+            grace_ms: 6_000,
+            cross_rack_mbps: Some(300.0),
+        }
+    }
+
+    /// Tier-1 smoke: a handful of clients, a few seconds, a generated
+    /// fault plan with two link drops plus a stall and a dip.
+    pub fn smoke(seed: u64) -> Self {
+        let mut cfg = Self::base(6, 9, seed);
+        cfg.budget = Budget::WallClock(Duration::from_millis(3_500));
+        cfg.window = Duration::from_millis(700);
+        cfg.plan = FaultPlan::generate(seed, cfg.clients, cfg.datanodes, 3_500, 4);
+        cfg
+    }
+
+    /// Single-client, op-budgeted, single-window profile whose
+    /// per-window recovery-cause counts are exactly reproducible: the
+    /// pipeline cap is 1 (one active pipeline at any instant) and both
+    /// faults fire at exact byte offsets mid-block.
+    pub fn deterministic(seed: u64) -> Self {
+        let mut cfg = Self::base(1, 9, seed);
+        cfg.budget = Budget::OpsPerClient(6);
+        // One window spans the whole run.
+        cfg.window = Duration::from_secs(3_600);
+        cfg.file_size_range = (768 * 1024, 768 * 1024); // exactly 3 blocks
+        cfg.config.max_pipelines_override = Some(1);
+        // Zero-FNFA fast paths are timing-dependent; the deterministic
+        // profile only checks what is exactly replayable.
+        cfg.strict_fnfa = false;
+        cfg.plan = FaultPlan {
+            seed,
+            events: vec![
+                // Mid-block 2 of the first file: cable pull.
+                FaultEvent {
+                    trigger: Trigger::AtClientBytes {
+                        client: 0,
+                        bytes: 384 * 1024,
+                    },
+                    kind: FaultKind::DropOwnLinks,
+                },
+                // Mid-block 2 of the second file: kill two pipeline
+                // members at once — the second death is discovered
+                // during the recovery of the first (nested).
+                FaultEvent {
+                    trigger: Trigger::AtClientBytes {
+                        client: 0,
+                        bytes: (768 + 384) * 1024,
+                    },
+                    kind: FaultKind::KillPipelineNodes { nodes: 2 },
+                },
+            ],
+        };
+        cfg
+    }
+
+    /// Longer profile for `smarth_shell soak` and the opt-in long test:
+    /// dozens of clients, minutes of churn, a denser generated plan.
+    pub fn sustained(clients: usize, secs: u64, seed: u64) -> Self {
+        let datanodes = 12;
+        let mut cfg = Self::base(clients, datanodes, seed);
+        cfg.budget = Budget::WallClock(Duration::from_secs(secs));
+        cfg.window = Duration::from_secs(2);
+        // Stalls should outlast the event timeout so they surface as
+        // AckTimeout recoveries, not just throughput dips.
+        cfg.config.pipeline_event_timeout = SimDuration::from_millis(1_500);
+        let faults = ((secs / 3).max(2)) as usize;
+        cfg.plan = FaultPlan::generate(seed, clients, datanodes, secs * 1_000, faults);
+        // Make generated stalls long enough to trip the timeout.
+        for ev in &mut cfg.plan.events {
+            if let FaultKind::DatanodeStall { for_ms, .. } = &mut ev.kind {
+                *for_ms = (*for_ms).max(2_500);
+            }
+        }
+        cfg
+    }
+
+    fn build_spec(&self) -> ClusterSpec {
+        let instance = InstanceType::Large;
+        let mut hosts = vec![
+            HostSpec {
+                name: "namenode".into(),
+                role: HostRole::NameNode,
+                instance,
+                rack: "rack-a".into(),
+                nic_throttle: None,
+            },
+            HostSpec {
+                name: "client".into(),
+                role: HostRole::Client,
+                instance,
+                rack: "rack-a".into(),
+                nic_throttle: None,
+            },
+        ];
+        for i in 0..self.datanodes {
+            hosts.push(HostSpec {
+                name: format!("dn{i}"),
+                role: HostRole::DataNode,
+                instance,
+                rack: if i % 2 == 0 { "rack-a" } else { "rack-b" }.into(),
+                nic_throttle: None,
+            });
+        }
+        ClusterSpec {
+            name: format!("soak-{}c-{}dn", self.clients, self.datanodes),
+            hosts,
+            cross_rack_throttle: self.cross_rack_mbps.map(Bandwidth::mbps),
+            link_latency: SimDuration::from_micros(50),
+        }
+        .with_extra_clients(self.clients, instance)
+    }
+
+    fn derived_pipeline_bound(&self) -> u64 {
+        let cap = self.config.max_pipelines(self.datanodes) as u64;
+        self.clients as u64 * cap + 2
+    }
+
+    fn concurrent_bound(&self) -> u64 {
+        self.max_concurrent_pipelines
+            .unwrap_or_else(|| self.derived_pipeline_bound())
+    }
+
+    fn buffered_bound(&self) -> u64 {
+        self.max_buffered_bytes.unwrap_or_else(|| {
+            // One first-node buffer per active pipeline (§IV-C), with
+            // 2x slack for drain raggedness.
+            self.derived_pipeline_bound() * self.config.datanode_client_buffer.as_u64() * 2
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+/// Per-window accounting produced by the live invariant checker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStats {
+    pub index: usize,
+    pub start_ms: u64,
+    pub end_ms: u64,
+    pub blocks_committed: u64,
+    pub fnfa_received: u64,
+    /// Recoveries begun in this window, one slot per
+    /// [`RecoveryCause::ALL`] entry.
+    pub recoveries: [u64; CAUSES],
+    pub faults_applied: u64,
+    pub violations: u64,
+}
+
+impl WindowStats {
+    fn to_json(&self) -> Value {
+        let recov = RecoveryCause::ALL
+            .iter()
+            .enumerate()
+            .fold(ObjectBuilder::new(), |o, (i, c)| {
+                o.field(c.name(), self.recoveries[i])
+            })
+            .build();
+        ObjectBuilder::new()
+            .field("index", self.index as u64)
+            .field("start_ms", self.start_ms)
+            .field("end_ms", self.end_ms)
+            .field("blocks_committed", self.blocks_committed)
+            .field("fnfa_received", self.fnfa_received)
+            .field("recoveries", recov)
+            .field("faults_applied", self.faults_applied)
+            .field("violations", self.violations)
+            .build()
+    }
+}
+
+/// Per-worker operation tally.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    pub ops: u64,
+    pub creates: u64,
+    pub rewrites: u64,
+    pub deletes: u64,
+    pub verifies: u64,
+    pub bytes_written: u64,
+    pub op_errors: u64,
+    pub integrity_failures: u64,
+    pub errors: Vec<String>,
+}
+
+/// The full outcome of one soak run.
+#[derive(Debug)]
+pub struct SoakReport {
+    pub id: String,
+    pub seed: u64,
+    pub elapsed_ms: u64,
+    pub windows: Vec<WindowStats>,
+    pub violations: Vec<String>,
+    pub plan: FaultPlan,
+    pub fault_log: Vec<AppliedFault>,
+    pub workers: Vec<WorkerStats>,
+    pub blocks_committed: u64,
+    pub bytes_written: u64,
+    pub fnfa_received: u64,
+    /// Run totals per cause, same slot order as [`RecoveryCause::ALL`].
+    pub recoveries: [u64; CAUSES],
+    pub max_concurrent_pipelines: u64,
+    pub max_buffered_bytes: u64,
+    /// Peak simultaneous pipelines of the busiest client, from the
+    /// assembled trace (the paper's overlap signature).
+    pub max_client_overlap: usize,
+    pub events_seen: u64,
+    pub events_sampled_out: u64,
+    pub events_evicted: u64,
+}
+
+impl SoakReport {
+    pub fn recoveries_by_cause(&self) -> BTreeMap<&'static str, u64> {
+        RecoveryCause::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name(), self.recoveries[i]))
+            .collect()
+    }
+
+    pub fn recoveries_total(&self) -> u64 {
+        self.recoveries.iter().sum()
+    }
+
+    pub fn to_json(&self) -> Value {
+        let recov = RecoveryCause::ALL
+            .iter()
+            .enumerate()
+            .fold(ObjectBuilder::new(), |o, (i, c)| {
+                o.field(c.name(), self.recoveries[i])
+            })
+            .build();
+        let workers = self
+            .workers
+            .iter()
+            .map(|w| {
+                ObjectBuilder::new()
+                    .field("ops", w.ops)
+                    .field("creates", w.creates)
+                    .field("rewrites", w.rewrites)
+                    .field("deletes", w.deletes)
+                    .field("verifies", w.verifies)
+                    .field("bytes_written", w.bytes_written)
+                    .field("op_errors", w.op_errors)
+                    .field("integrity_failures", w.integrity_failures)
+                    .build()
+            })
+            .collect();
+        ObjectBuilder::new()
+            .field("id", self.id.as_str())
+            .field("seed", self.seed)
+            .field("elapsed_ms", self.elapsed_ms)
+            .field("plan", self.plan.to_json())
+            .field(
+                "fault_log",
+                Value::Array(self.fault_log.iter().map(AppliedFault::to_json).collect()),
+            )
+            .field(
+                "windows",
+                Value::Array(self.windows.iter().map(WindowStats::to_json).collect()),
+            )
+            .field("workers", Value::Array(workers))
+            .field("blocks_committed", self.blocks_committed)
+            .field("bytes_written", self.bytes_written)
+            .field("fnfa_received", self.fnfa_received)
+            .field("recoveries", recov)
+            .field("recoveries_total", self.recoveries_total())
+            .field("max_concurrent_pipelines", self.max_concurrent_pipelines)
+            .field("max_buffered_bytes", self.max_buffered_bytes)
+            .field("max_client_overlap", self.max_client_overlap as u64)
+            .field("events_seen", self.events_seen)
+            .field("events_sampled_out", self.events_sampled_out)
+            .field("events_evicted", self.events_evicted)
+            .field(
+                "violations",
+                Value::Array(
+                    self.violations
+                        .iter()
+                        .map(|v| Value::from(v.as_str()))
+                        .collect(),
+                ),
+            )
+            .build()
+    }
+
+    /// Writes `<dir>/<id>.soak.json` (same conventions as the figures
+    /// plumbing's `<id>.metrics.json` / `<id>.trace.json`).
+    pub fn save(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.soak.json", self.id));
+        std::fs::write(&path, self.to_json().to_string_pretty() + "\n")?;
+        Ok(path)
+    }
+
+    /// Human-readable summary for the shell.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "soak {} — seed {} — {:.1} s, {} committed blocks, {:.1} MiB, {} recoveries, {} faults\n",
+            self.id,
+            self.seed,
+            self.elapsed_ms as f64 / 1_000.0,
+            self.blocks_committed,
+            self.bytes_written as f64 / (1024.0 * 1024.0),
+            self.recoveries_total(),
+            self.fault_log.iter().filter(|f| f.applied).count(),
+        ));
+        out.push_str(&format!(
+            "  overlap: peak {} concurrent pipelines ({} per busiest client); buffered bytes peak {}\n",
+            self.max_concurrent_pipelines, self.max_client_overlap, self.max_buffered_bytes
+        ));
+        for (name, n) in self.recoveries_by_cause() {
+            if n > 0 {
+                out.push_str(&format!("  recoveries/{name}: {n}\n"));
+            }
+        }
+        out.push_str("  window  start..end ms   blocks  fnfa  recoveries  faults  violations\n");
+        for w in &self.windows {
+            out.push_str(&format!(
+                "  {:>6}  {:>6}..{:<6}  {:>6}  {:>4}  {:>10}  {:>6}  {:>10}\n",
+                w.index,
+                w.start_ms,
+                w.end_ms,
+                w.blocks_committed,
+                w.fnfa_received,
+                w.recoveries.iter().sum::<u64>(),
+                w.faults_applied,
+                w.violations,
+            ));
+        }
+        if self.violations.is_empty() {
+            out.push_str("  invariants: OK\n");
+        } else {
+            for v in &self.violations {
+                out.push_str(&format!("  VIOLATION: {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live invariant checker
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct BlockState {
+    fnfa: u64,
+    recoveries: u64,
+    committed: bool,
+}
+
+struct Checker {
+    strict_fnfa: bool,
+    grace_ms: u64,
+    timeout_ms: u64,
+    run_start_us: u64,
+    concurrent_bound: u64,
+    buffered_bound: u64,
+    blocks: BTreeMap<BlockId, BlockState>,
+    violations: Vec<String>,
+    // Current-window accumulators, reset by `close_window`.
+    win_recoveries: [u64; CAUSES],
+    win_committed: u64,
+    win_fnfa: u64,
+    win_violations: u64,
+}
+
+impl Checker {
+    fn new(cfg: &SoakConfig, run_start_us: u64) -> Self {
+        Checker {
+            strict_fnfa: cfg.strict_fnfa && cfg.mode == WriteMode::Smarth,
+            grace_ms: cfg.grace_ms,
+            timeout_ms: (cfg.config.pipeline_event_timeout.as_secs_f64() * 1_000.0) as u64,
+            run_start_us,
+            concurrent_bound: cfg.concurrent_bound(),
+            buffered_bound: cfg.buffered_bound(),
+            blocks: BTreeMap::new(),
+            violations: Vec::new(),
+            win_recoveries: [0; CAUSES],
+            win_committed: 0,
+            win_fnfa: 0,
+            win_violations: 0,
+        }
+    }
+
+    fn violation(&mut self, msg: String) {
+        self.win_violations += 1;
+        if self.violations.len() < 64 {
+            self.violations.push(msg);
+        }
+    }
+
+    fn rel_ms(&self, at_us: u64) -> u64 {
+        at_us.saturating_sub(self.run_start_us) / 1_000
+    }
+
+    /// Is a recovery with this cause at `t_ms` explained by a fault that
+    /// was recently active?
+    fn attributable(&self, cause: RecoveryCause, t_ms: u64, faults: &[AppliedFault]) -> bool {
+        faults.iter().filter(|f| f.applied).any(|f| {
+            let slack = match cause {
+                // Timeouts surface up to one event-timeout after the
+                // fault's direct effect ends.
+                RecoveryCause::AckTimeout => self.timeout_ms + self.grace_ms,
+                _ => self.grace_ms,
+            };
+            let compatible = match cause {
+                RecoveryCause::ConnectionLost
+                | RecoveryCause::DatanodeError
+                | RecoveryCause::NestedFailure => f.class == FaultClass::Disconnect,
+                RecoveryCause::AckTimeout => true,
+                RecoveryCause::NamenodeError => false,
+            };
+            compatible && t_ms >= f.at_ms && t_ms <= f.until_ms + slack
+        })
+    }
+
+    fn ingest(&mut self, records: &[EventRecord], faults: &[AppliedFault]) {
+        for r in records {
+            match &r.event {
+                ObsEvent::FnfaReceived { block, .. } => {
+                    self.win_fnfa += 1;
+                    let st = self.blocks.entry(*block).or_default();
+                    st.fnfa += 1;
+                    // A recovery legitimately re-finalizes the first
+                    // node; more FNFAs than 1 + recoveries is a protocol
+                    // bug (duplicate FIRST_NODE_FINISH).
+                    if st.fnfa > 1 + st.recoveries {
+                        let (fnfa, recov) = (st.fnfa, st.recoveries);
+                        self.violation(format!(
+                            "block {} received {} FNFAs with only {} recoveries",
+                            block.raw(),
+                            fnfa,
+                            recov
+                        ));
+                    }
+                }
+                ObsEvent::RecoveryStarted { block, cause, .. } => {
+                    self.blocks.entry(*block).or_default().recoveries += 1;
+                    self.win_recoveries[cause_slot(*cause)] += 1;
+                    let t_ms = self.rel_ms(r.at_us);
+                    if !self.attributable(*cause, t_ms, faults) {
+                        self.violation(format!(
+                            "unattributed recovery: block {} cause {} at {} ms has no \
+                             matching injected fault",
+                            block.raw(),
+                            cause.name(),
+                            t_ms
+                        ));
+                    }
+                }
+                ObsEvent::PipelineClosed {
+                    block,
+                    committed: true,
+                } => {
+                    self.win_committed += 1;
+                    let st = self.blocks.entry(*block).or_default();
+                    st.committed = true;
+                    if self.strict_fnfa && st.fnfa == 0 {
+                        let recov = st.recoveries;
+                        self.violation(format!(
+                            "committed block {} has no FNFA (recoveries {})",
+                            block.raw(),
+                            recov
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn check_gauges(&mut self, metrics: &smarth_core::obs::Metrics) {
+        let pipes = metrics.concurrent_pipelines.get();
+        if pipes > self.concurrent_bound {
+            let bound = self.concurrent_bound;
+            self.violation(format!(
+                "concurrent pipelines gauge {pipes} exceeds bound {bound}"
+            ));
+        }
+        let buffered = metrics.datanode_buffered_bytes.get();
+        if buffered > self.buffered_bound {
+            let bound = self.buffered_bound;
+            self.violation(format!(
+                "datanode buffered bytes gauge {buffered} exceeds bound {bound}"
+            ));
+        }
+    }
+
+    fn close_window(&mut self, index: usize, start_ms: u64, end_ms: u64, faults: u64) -> WindowStats {
+        let w = WindowStats {
+            index,
+            start_ms,
+            end_ms,
+            blocks_committed: self.win_committed,
+            fnfa_received: self.win_fnfa,
+            recoveries: self.win_recoveries,
+            faults_applied: faults,
+            violations: self.win_violations,
+        };
+        self.win_recoveries = [0; CAUSES];
+        self.win_committed = 0;
+        self.win_fnfa = 0;
+        self.win_violations = 0;
+        w
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workers and fault execution
+// ---------------------------------------------------------------------------
+
+struct Shared {
+    cluster: MiniCluster,
+    dn_hosts: Vec<String>,
+    start: Instant,
+    stop: AtomicBool,
+    fault_log: Mutex<Vec<AppliedFault>>,
+}
+
+impl Shared {
+    fn log_fault(&self, kind: &FaultKind, until_extra_ms: u64, applied: bool, detail: String) {
+        let at_ms = self.start.elapsed().as_millis() as u64;
+        self.fault_log.lock().push(AppliedFault {
+            at_ms,
+            until_ms: at_ms + until_extra_ms,
+            desc: detail,
+            applied,
+            class: kind.class(),
+        });
+    }
+
+    fn drop_links(&self, client_host: &str) {
+        for dn in &self.dn_hosts {
+            self.cluster.fabric().cut_link(client_host, dn);
+        }
+    }
+}
+
+struct Worker<'a> {
+    shared: &'a Shared,
+    cfg: &'a SoakConfig,
+    idx: usize,
+    host: String,
+    total_bytes: u64,
+    /// Remaining byte-offset triggers for this client, ascending.
+    triggers: VecDeque<(u64, FaultKind)>,
+    stats: WorkerStats,
+}
+
+impl<'a> Worker<'a> {
+    fn record_error(&mut self, what: &str, e: &DfsError) {
+        self.stats.op_errors += 1;
+        if self.stats.errors.len() < 8 {
+            self.stats.errors.push(format!("{what}: {e}"));
+        }
+    }
+
+    fn execute_cooperative(&mut self, kind: &FaultKind, stream: Option<&DfsOutputStream>) {
+        match kind {
+            FaultKind::DropOwnLinks => {
+                self.shared.drop_links(&self.host);
+                self.shared.log_fault(
+                    kind,
+                    0,
+                    true,
+                    format!("client{} dropped own links at byte {}", self.idx, self.total_bytes),
+                );
+            }
+            FaultKind::KillPipelineNodes { nodes } => {
+                let targets = stream
+                    .map(|s| s.current_target_hosts())
+                    .unwrap_or_default();
+                let victims: Vec<&String> = targets.iter().take(*nodes).collect();
+                let applied = !victims.is_empty();
+                for host in &victims {
+                    let _ = self.shared.cluster.kill_datanode(host);
+                }
+                self.shared.log_fault(
+                    kind,
+                    0,
+                    applied,
+                    format!(
+                        "client{} killed {:?} at byte {}",
+                        self.idx, victims, self.total_bytes
+                    ),
+                );
+            }
+            _ => unreachable!("validated: only cooperative kinds reach workers"),
+        }
+    }
+
+    /// Writes `data`, firing any byte-offset triggers exactly when the
+    /// stream's cumulative byte count crosses them.
+    fn write_with_triggers(
+        &mut self,
+        stream: &mut DfsOutputStream,
+        data: &[u8],
+    ) -> DfsResult<()> {
+        const CHUNK: usize = 16 * 1024;
+        let mut off = 0usize;
+        while off < data.len() {
+            let mut take = (data.len() - off).min(CHUNK);
+            if let Some((at, _)) = self.triggers.front() {
+                if *at > self.total_bytes {
+                    take = take.min((*at - self.total_bytes) as usize);
+                }
+            }
+            stream.write(&data[off..off + take])?;
+            off += take;
+            self.total_bytes += take as u64;
+            self.stats.bytes_written += take as u64;
+            while self
+                .triggers
+                .front()
+                .is_some_and(|(at, _)| *at <= self.total_bytes)
+            {
+                let (_, kind) = self.triggers.pop_front().expect("front checked");
+                self.execute_cooperative(&kind, Some(stream));
+            }
+        }
+        Ok(())
+    }
+
+}
+
+fn run_worker(
+    shared: &Shared,
+    cfg: &SoakConfig,
+    idx: usize,
+    host: String,
+    rack: String,
+    triggers: VecDeque<(u64, FaultKind)>,
+) -> WorkerStats {
+    let mut w = Worker {
+        shared,
+        cfg,
+        idx,
+        host: host.clone(),
+        total_bytes: 0,
+        triggers,
+        stats: WorkerStats::default(),
+    };
+    let client = match shared.cluster.client_on(&host, &rack) {
+        Ok(c) => c,
+        Err(e) => {
+            w.record_error("connect", &e);
+            return w.stats;
+        }
+    };
+    let mut rng =
+        ChaCha8Rng::seed_from_u64(cfg.seed ^ ((idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    // Owned files: (path, content seed, len); rewrites refresh the seed.
+    let mut files: Vec<(String, u64, usize)> = Vec::new();
+    let mut file_no = 0u64;
+    loop {
+        match cfg.budget {
+            Budget::OpsPerClient(k) => {
+                if w.stats.ops >= k as u64 {
+                    break;
+                }
+            }
+            Budget::WallClock(_) => {
+                if shared.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+        }
+        let (lo, hi) = cfg.file_size_range;
+        let roll: f64 = rng.gen_range(0.0..1.0);
+        if files.is_empty() || roll < 0.55 {
+            // Create a new file.
+            let len = if hi > lo { rng.gen_range(lo..hi + 1) } else { lo };
+            let path = format!("/soak/c{idx}/f{file_no}");
+            let content_seed = cfg.seed ^ ((idx as u64) << 32) ^ (file_no << 8) ^ 1;
+            file_no += 1;
+            match upload(&mut w, &client, &path, content_seed, len, false) {
+                Ok(()) => {
+                    w.stats.creates += 1;
+                    files.push((path, content_seed, len));
+                }
+                Err(e) => w.record_error("create", &e),
+            }
+        } else if roll < 0.70 {
+            // Re-write an existing file with fresh content.
+            let i = rng.gen_range(0..files.len());
+            let len = if hi > lo { rng.gen_range(lo..hi + 1) } else { lo };
+            let content_seed = files[i].1 ^ 0xA5A5_5A5A ^ (w.stats.ops + 1);
+            let path = files[i].0.clone();
+            match upload(&mut w, &client, &path, content_seed, len, true) {
+                Ok(()) => {
+                    w.stats.rewrites += 1;
+                    files[i].1 = content_seed;
+                    files[i].2 = len;
+                }
+                Err(e) => w.record_error("rewrite", &e),
+            }
+        } else if roll < 0.85 {
+            let i = rng.gen_range(0..files.len());
+            let (path, _, _) = files.swap_remove(i);
+            match client.delete(&path) {
+                Ok(_) => w.stats.deletes += 1,
+                Err(e) => w.record_error("delete", &e),
+            }
+        } else {
+            let i = rng.gen_range(0..files.len());
+            let (path, content_seed, len) = files[i].clone();
+            match client.get(&path) {
+                Ok(data) => {
+                    w.stats.verifies += 1;
+                    if data != random_data(content_seed, len) {
+                        w.stats.integrity_failures += 1;
+                    }
+                }
+                Err(e) => w.record_error("verify", &e),
+            }
+        }
+        w.stats.ops += 1;
+    }
+    w.stats
+}
+
+fn upload(
+    w: &mut Worker<'_>,
+    client: &DfsClient,
+    path: &str,
+    content_seed: u64,
+    len: usize,
+    overwrite: bool,
+) -> DfsResult<()> {
+    let mut stream = client.create_with(
+        path,
+        w.cfg.mode,
+        w.cfg.config.replication as u32,
+        overwrite,
+    )?;
+    let data = random_data(content_seed, len);
+    w.write_with_triggers(&mut stream, &data)?;
+    stream.close()?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Timed-fault injector
+// ---------------------------------------------------------------------------
+
+enum TimedAction {
+    Apply(FaultKind),
+    Restore { host: String },
+}
+
+fn run_injector(shared: &Shared, mut actions: Vec<(u64, TimedAction)>) {
+    actions.sort_by_key(|(ms, _)| *ms);
+    let mut actions = actions.into_iter();
+    while let Some((at_ms, action)) = actions.next() {
+        loop {
+            if shared.stop.load(Ordering::Relaxed) {
+                // The run is winding down: skip remaining faults but
+                // still lift every pending throttle, otherwise a node
+                // stays stalled and in-flight ops crawl for minutes.
+                for (_, pending) in std::iter::once((at_ms, action)).chain(&mut actions) {
+                    if let TimedAction::Restore { host } = pending {
+                        let _ = shared.cluster.throttle_host(&host, None);
+                    }
+                }
+                return;
+            }
+            let now = shared.start.elapsed().as_millis() as u64;
+            if now >= at_ms {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis((at_ms - now).min(50)));
+        }
+        match action {
+            TimedAction::Apply(kind) => {
+                match &kind {
+                    FaultKind::DropClientLinks { client } => {
+                        shared.drop_links(&format!("client{client}"));
+                        shared.log_fault(&kind, 0, true, kind.describe());
+                    }
+                    FaultKind::DatanodeStall { datanode, for_ms } => {
+                        let host = &shared.dn_hosts[*datanode];
+                        let ok = shared
+                            .cluster
+                            .throttle_host(host, Some(Bandwidth::mbps(0.5)))
+                            .is_ok();
+                        shared.log_fault(&kind, *for_ms, ok, kind.describe());
+                    }
+                    FaultKind::SlowNodeDip {
+                        datanode,
+                        mbps,
+                        for_ms,
+                    } => {
+                        let host = &shared.dn_hosts[*datanode];
+                        let ok = shared
+                            .cluster
+                            .throttle_host(host, Some(Bandwidth::mbps(*mbps)))
+                            .is_ok();
+                        shared.log_fault(&kind, *for_ms, ok, kind.describe());
+                    }
+                    _ => unreachable!("validated: cooperative kinds never reach injector"),
+                }
+            }
+            TimedAction::Restore { host } => {
+                let _ = shared.cluster.throttle_host(&host, None);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Runs one soak profile to completion and returns the report. The
+/// caller decides what to do with violations — tests assert emptiness,
+/// the shell prints them.
+pub fn run(cfg: &SoakConfig) -> DfsResult<SoakReport> {
+    cfg.plan
+        .validate(cfg.clients, cfg.datanodes)
+        .map_err(DfsError::Internal)?;
+    let spec = cfg.build_spec();
+
+    let ring = RingBufferSink::new(cfg.ring_capacity);
+    let sampling = SamplingSink::new(ring.clone(), cfg.sample_head, cfg.sample_tail);
+    let obs = Obs::new(sampling.clone());
+    let metrics = obs.metrics().clone();
+
+    let run_start_us = Obs::now_us();
+    let cluster = MiniCluster::start_with_obs(&spec, cfg.config.clone(), cfg.seed, obs)?;
+    let dn_hosts = cluster.datanode_hosts();
+    let shared = Arc::new(Shared {
+        cluster,
+        dn_hosts,
+        start: Instant::now(),
+        stop: AtomicBool::new(false),
+        fault_log: Mutex::new(Vec::new()),
+    });
+
+    // Split the plan: byte triggers go to their worker, timed faults to
+    // the injector (plus a restore action per stall/dip).
+    let mut per_client: Vec<VecDeque<(u64, FaultKind)>> =
+        (0..cfg.clients).map(|_| VecDeque::new()).collect();
+    let mut timed: Vec<(u64, TimedAction)> = Vec::new();
+    for ev in &cfg.plan.events {
+        match &ev.trigger {
+            Trigger::AtClientBytes { client, bytes } => {
+                per_client[*client].push_back((*bytes, ev.kind.clone()));
+            }
+            Trigger::AtMs(ms) => {
+                match &ev.kind {
+                    FaultKind::DatanodeStall { datanode, for_ms }
+                    | FaultKind::SlowNodeDip {
+                        datanode, for_ms, ..
+                    } => {
+                        timed.push((
+                            ms + for_ms,
+                            TimedAction::Restore {
+                                host: format!("dn{datanode}"),
+                            },
+                        ));
+                    }
+                    _ => {}
+                }
+                timed.push((*ms, TimedAction::Apply(ev.kind.clone())));
+            }
+        }
+    }
+    for q in &mut per_client {
+        q.make_contiguous().sort_by_key(|(b, _)| *b);
+    }
+
+    let mut handles = Vec::with_capacity(cfg.clients);
+    for (idx, triggers) in per_client.into_iter().enumerate() {
+        let shared = shared.clone();
+        let cfg = cfg.clone();
+        let host = format!("client{idx}");
+        let rack = spec
+            .hosts
+            .iter()
+            .find(|h| h.name == host)
+            .map(|h| h.rack.clone())
+            .expect("spec has soak client hosts");
+        handles.push(std::thread::spawn(move || {
+            run_worker(&shared, &cfg, idx, host, rack, triggers)
+        }));
+    }
+    let injector = (!timed.is_empty()).then(|| {
+        let shared = shared.clone();
+        std::thread::spawn(move || run_injector(&shared, timed))
+    });
+
+    // Monitor: drain the ring incrementally each window, check
+    // invariants live, record per-window stats.
+    let mut checker = Checker::new(cfg, run_start_us);
+    let mut windows: Vec<WindowStats> = Vec::new();
+    let mut cursor: Option<u64> = None;
+    let mut events_seen: u64 = 0;
+    let mut window_start = 0u64;
+    let mut faults_seen = 0usize;
+    let window_ms = cfg.window.as_millis().max(1) as u64;
+    // One-shot: cleared once it fires so the window loop keeps its
+    // normal cadence while workers drain their last op.
+    let mut deadline = match cfg.budget {
+        Budget::WallClock(d) => Some(shared.start + d),
+        Budget::OpsPerClient(_) => None,
+    };
+    loop {
+        // Sleep in slices so worker completion and deadlines are
+        // noticed promptly.
+        let window_end_at = shared.start + Duration::from_millis(window_start + window_ms);
+        let workers_done = loop {
+            let done = handles.iter().all(|h| h.is_finished());
+            let now = Instant::now();
+            if done || now >= window_end_at || deadline.is_some_and(|d| now >= d) {
+                break done;
+            }
+            let until = window_end_at.min(deadline.unwrap_or(window_end_at));
+            std::thread::sleep(until.saturating_duration_since(now).min(Duration::from_millis(25)));
+        };
+
+        if workers_done {
+            // The last window closes after join + flush below, so every
+            // remaining event lands in it deterministically.
+            break;
+        }
+
+        let faults_snapshot = shared.fault_log.lock().clone();
+        let fresh = match cursor {
+            None => ring.snapshot(),
+            Some(c) => ring.snapshot_after(c),
+        };
+        if let Some(last) = fresh.last() {
+            cursor = Some(last.seq);
+        }
+        events_seen += fresh.len() as u64;
+        checker.ingest(&fresh, &faults_snapshot);
+        checker.check_gauges(&metrics);
+        let now_ms = shared.start.elapsed().as_millis() as u64;
+        let faults_in_window = faults_snapshot
+            .iter()
+            .skip(faults_seen)
+            .filter(|f| f.applied)
+            .count() as u64;
+        faults_seen = faults_snapshot.len();
+        windows.push(checker.close_window(windows.len(), window_start, now_ms, faults_in_window));
+        window_start = now_ms;
+
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            shared.stop.store(true, Ordering::Relaxed);
+            deadline = None;
+        }
+    }
+    shared.stop.store(true, Ordering::Relaxed);
+    let workers: Vec<WorkerStats> = handles
+        .into_iter()
+        .map(|h| h.join().unwrap_or_default())
+        .collect();
+    if let Some(inj) = injector {
+        let _ = inj.join();
+    }
+
+    // Final flush: release sampled tails of streams that never closed,
+    // drain everything left, and close the last window over it.
+    sampling.flush();
+    let faults_snapshot = shared.fault_log.lock().clone();
+    let fresh = match cursor {
+        None => ring.snapshot(),
+        Some(c) => ring.snapshot_after(c),
+    };
+    events_seen += fresh.len() as u64;
+    checker.ingest(&fresh, &faults_snapshot);
+    checker.check_gauges(&metrics);
+    {
+        let now_ms = shared.start.elapsed().as_millis() as u64;
+        let faults_in_window = faults_snapshot
+            .iter()
+            .skip(faults_seen)
+            .filter(|f| f.applied)
+            .count() as u64;
+        windows.push(checker.close_window(windows.len(), window_start, now_ms, faults_in_window));
+    }
+
+    for w in &workers {
+        if w.integrity_failures > 0 {
+            checker.violations.push(format!(
+                "{} read-back integrity failures",
+                w.integrity_failures
+            ));
+        }
+    }
+
+    // End-of-run overlap check on the assembled (sampled) trace: under
+    // load, SMARTH must show ≥ 2 simultaneous pipelines somewhere.
+    let assembled = TraceAssembler::assemble(&ring.snapshot());
+    let max_client_overlap = assembled
+        .clients
+        .iter()
+        .map(|c| c.max_concurrent)
+        .max()
+        .unwrap_or(0);
+    let committed = metrics.blocks_committed.get();
+    let cap = cfg.config.max_pipelines(cfg.datanodes);
+    if cfg.mode == WriteMode::Smarth
+        && cap > 1
+        && committed >= (cfg.clients as u64) * 3
+        && max_client_overlap < 2
+    {
+        checker.violations.push(format!(
+            "no pipeline overlap under load: {committed} committed blocks, peak concurrency {max_client_overlap}"
+        ));
+    }
+
+    let elapsed_ms = shared.start.elapsed().as_millis() as u64;
+    let mut recoveries = [0u64; CAUSES];
+    for (i, c) in RecoveryCause::ALL.iter().enumerate() {
+        recoveries[i] = metrics.recoveries(*c);
+    }
+    let report = SoakReport {
+        id: format!("soak-{}", cfg.seed),
+        seed: cfg.seed,
+        elapsed_ms,
+        windows,
+        violations: checker.violations,
+        plan: cfg.plan.clone(),
+        fault_log: faults_snapshot,
+        workers,
+        blocks_committed: committed,
+        bytes_written: metrics.bytes_written.get(),
+        fnfa_received: metrics.fnfa_received.get(),
+        recoveries,
+        max_concurrent_pipelines: metrics.concurrent_pipelines.high_water(),
+        max_buffered_bytes: metrics.datanode_buffered_bytes.high_water(),
+        max_client_overlap,
+        events_seen,
+        events_sampled_out: sampling.sampled_out(),
+        events_evicted: ring.dropped(),
+    };
+
+    // Orderly teardown: get the cluster back out of the Arc now that
+    // every thread holding it has been joined.
+    match Arc::try_unwrap(shared) {
+        Ok(shared) => shared.cluster.shutdown(),
+        Err(_) => {} // a straggler clone keeps it alive; Drop cleans up
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_generation_is_deterministic() {
+        let a = FaultPlan::generate(7, 6, 9, 4_000, 5);
+        let b = FaultPlan::generate(7, 6, 9, 4_000, 5);
+        assert_eq!(a, b);
+        assert_eq!(
+            a.to_json().to_string_compact(),
+            b.to_json().to_string_compact()
+        );
+        let c = FaultPlan::generate(8, 6, 9, 4_000, 5);
+        assert_ne!(a, c, "different seed must change the plan");
+        // Events are timed, sorted, and inside the middle of the run.
+        let mut last = 0;
+        for ev in &a.events {
+            match ev.trigger {
+                Trigger::AtMs(ms) => {
+                    assert!(ms >= last && ms >= 600 && ms <= 3_400);
+                    last = ms;
+                }
+                _ => panic!("generated plans are timed"),
+            }
+        }
+        a.validate(6, 9).unwrap();
+    }
+
+    #[test]
+    fn fault_plan_validation_catches_shape_errors() {
+        let bad = FaultPlan {
+            seed: 0,
+            events: vec![FaultEvent {
+                trigger: Trigger::AtMs(10),
+                kind: FaultKind::DropOwnLinks,
+            }],
+        };
+        assert!(bad.validate(2, 3).is_err(), "cooperative kind needs byte trigger");
+
+        let bad = FaultPlan {
+            seed: 0,
+            events: vec![FaultEvent {
+                trigger: Trigger::AtClientBytes { client: 5, bytes: 1 },
+                kind: FaultKind::KillPipelineNodes { nodes: 1 },
+            }],
+        };
+        assert!(bad.validate(2, 3).is_err(), "client index out of range");
+
+        let bad = FaultPlan {
+            seed: 0,
+            events: vec![FaultEvent {
+                trigger: Trigger::AtMs(10),
+                kind: FaultKind::DatanodeStall {
+                    datanode: 9,
+                    for_ms: 100,
+                },
+            }],
+        };
+        assert!(bad.validate(2, 3).is_err(), "datanode index out of range");
+    }
+
+    #[test]
+    fn deterministic_profile_shape() {
+        let cfg = SoakConfig::deterministic(42);
+        assert_eq!(cfg.clients, 1);
+        assert_eq!(cfg.config.max_pipelines_override, Some(1));
+        cfg.plan.validate(cfg.clients, cfg.datanodes).unwrap();
+        // Byte triggers land mid-block (256 KiB blocks).
+        for ev in &cfg.plan.events {
+            if let Trigger::AtClientBytes { bytes, .. } = ev.trigger {
+                assert_ne!(bytes % (256 * 1024), 0, "trigger must land mid-block");
+            }
+        }
+    }
+
+    #[test]
+    fn attribution_windows() {
+        let cfg = SoakConfig::smoke(1);
+        let mut checker = Checker::new(&cfg, 0);
+        let faults = vec![AppliedFault {
+            at_ms: 1_000,
+            until_ms: 1_000,
+            desc: "drop".into(),
+            applied: true,
+            class: FaultClass::Disconnect,
+        }];
+        assert!(checker.attributable(RecoveryCause::ConnectionLost, 1_010, &faults));
+        assert!(checker.attributable(RecoveryCause::NestedFailure, 2_000, &faults));
+        assert!(
+            !checker.attributable(RecoveryCause::ConnectionLost, 900, &faults),
+            "recovery before the fault is not explained by it"
+        );
+        assert!(
+            !checker.attributable(RecoveryCause::ConnectionLost, 1_000 + cfg.grace_ms + 1, &faults),
+            "recovery long after the fault is not explained"
+        );
+        assert!(!checker.attributable(RecoveryCause::NamenodeError, 1_010, &faults));
+        // Ack timeouts get the extra event-timeout slack.
+        assert!(checker.attributable(
+            RecoveryCause::AckTimeout,
+            1_000 + checker.timeout_ms + 10,
+            &faults
+        ));
+        checker.violation("x".into());
+        let w = checker.close_window(0, 0, 100, 1);
+        assert_eq!(w.violations, 1);
+        assert_eq!(checker.win_violations, 0, "window counters reset");
+    }
+}

@@ -81,6 +81,12 @@ pub struct DfsConfig {
     /// Recovery attempts per pipeline incident (Algorithm 3's retry
     /// budget) before the stream gives up.
     pub max_recovery_attempts: u32,
+    /// Explicit bucket upper bounds (µs, strictly ascending) for the
+    /// FNFA→next-allocation latency histogram. `None` keeps power-of-two
+    /// buckets, which are fine at paper scale (latencies spread over
+    /// milliseconds..seconds) but collapse at test scale where nearly
+    /// every sample lands in one or two buckets.
+    pub fnfa_latency_buckets_us: Option<Vec<u64>>,
 }
 
 impl Default for DfsConfig {
@@ -112,6 +118,7 @@ impl DfsConfig {
             socket_buffer: ByteSize::kib(256),
             pipeline_event_timeout: SimDuration::from_secs(60),
             max_recovery_attempts: 5,
+            fnfa_latency_buckets_us: None,
         }
     }
 
@@ -140,7 +147,18 @@ impl DfsConfig {
             // A hung test pipeline should fail fast, not after a minute.
             pipeline_event_timeout: SimDuration::from_secs(5),
             max_recovery_attempts: 5,
+            fnfa_latency_buckets_us: Some(Self::test_scale_fnfa_buckets()),
         }
+    }
+
+    /// Default FNFA-latency bucket bounds for test/soak scale: fine µs
+    /// resolution through the sub-millisecond range the emulator
+    /// actually produces, then decade steps up to 10 s.
+    pub fn test_scale_fnfa_buckets() -> Vec<u64> {
+        vec![
+            50, 100, 200, 350, 500, 750, 1_000, 1_500, 2_500, 5_000, 10_000, 25_000, 50_000,
+            100_000, 250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
+        ]
     }
 
     /// Packets per block (the paper's B/P; 1024 at paper scale).
@@ -183,6 +201,14 @@ impl DfsConfig {
         }
         if self.max_recovery_attempts == 0 {
             return Err("max_recovery_attempts must be at least 1".into());
+        }
+        if let Some(bounds) = &self.fnfa_latency_buckets_us {
+            if bounds.is_empty() {
+                return Err("fnfa_latency_buckets_us must be non-empty when set".into());
+            }
+            if !bounds.windows(2).all(|w| w[0] < w[1]) {
+                return Err("fnfa_latency_buckets_us must be strictly ascending".into());
+            }
         }
         Ok(())
     }
@@ -364,6 +390,24 @@ impl ClusterSpec {
         self
     }
 
+    /// Adds `n` extra client hosts named `client0..clientN-1`, spread
+    /// round-robin across the spec's racks — the multi-client soak
+    /// topology. The original `client` host is kept.
+    #[must_use]
+    pub fn with_extra_clients(mut self, n: usize, instance: InstanceType) -> Self {
+        let racks = self.racks();
+        for i in 0..n {
+            self.hosts.push(HostSpec {
+                name: format!("client{i}"),
+                role: HostRole::Client,
+                instance,
+                rack: racks[i % racks.len()].clone(),
+                nic_throttle: None,
+            });
+        }
+        self
+    }
+
     /// Throttles the NICs of the first `k` datanodes (both directions),
     /// reproducing the bandwidth-contention scenario of §V-B.2.
     #[must_use]
@@ -482,6 +526,38 @@ mod tests {
         let mut c = DfsConfig::test_scale();
         c.max_recovery_attempts = 0;
         assert!(c.validate().is_err());
+
+        let mut c = DfsConfig::test_scale();
+        c.fnfa_latency_buckets_us = Some(vec![100, 100]);
+        assert!(c.validate().is_err(), "non-ascending bounds must fail");
+
+        let mut c = DfsConfig::test_scale();
+        c.fnfa_latency_buckets_us = Some(Vec::new());
+        assert!(c.validate().is_err(), "empty bounds must fail");
+    }
+
+    #[test]
+    fn fnfa_bucket_defaults_per_scale() {
+        // Paper scale keeps pow-2 buckets; test scale gets explicit
+        // ascending µs bounds that validate.
+        assert!(DfsConfig::paper_scale().fnfa_latency_buckets_us.is_none());
+        let t = DfsConfig::test_scale();
+        let bounds = t.fnfa_latency_buckets_us.as_ref().unwrap();
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn extra_clients_spread_across_racks() {
+        let spec = ClusterSpec::homogeneous(InstanceType::Large).with_extra_clients(4, InstanceType::Large);
+        let clients: Vec<_> = spec
+            .hosts
+            .iter()
+            .filter(|h| h.role == HostRole::Client)
+            .collect();
+        assert_eq!(clients.len(), 5); // original + 4
+        assert!(clients.iter().any(|h| h.name == "client3"));
+        assert!(clients.iter().any(|h| h.rack == "rack-b"));
     }
 
     #[test]

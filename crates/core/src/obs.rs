@@ -51,14 +51,21 @@ pub enum RecoveryCause {
     ConnectionLost,
     /// The namenode rejected an operation mid-write.
     NamenodeError,
+    /// An additional replica holder was lost *while a recovery for the
+    /// same block was already in progress* (probe found it unreachable,
+    /// or its replica copy failed mid-rebuild). Kept distinct from the
+    /// original cause so fault-injection accounting balances: one
+    /// incident per failed node, not one per recovery invocation.
+    NestedFailure,
 }
 
 impl RecoveryCause {
-    pub const ALL: [RecoveryCause; 4] = [
+    pub const ALL: [RecoveryCause; 5] = [
         RecoveryCause::AckTimeout,
         RecoveryCause::DatanodeError,
         RecoveryCause::ConnectionLost,
         RecoveryCause::NamenodeError,
+        RecoveryCause::NestedFailure,
     ];
 
     pub fn name(self) -> &'static str {
@@ -67,6 +74,7 @@ impl RecoveryCause {
             RecoveryCause::DatanodeError => "datanode_error",
             RecoveryCause::ConnectionLost => "connection_lost",
             RecoveryCause::NamenodeError => "namenode_error",
+            RecoveryCause::NestedFailure => "nested_failure",
         }
     }
 
@@ -76,6 +84,7 @@ impl RecoveryCause {
             RecoveryCause::DatanodeError => 1,
             RecoveryCause::ConnectionLost => 2,
             RecoveryCause::NamenodeError => 3,
+            RecoveryCause::NestedFailure => 4,
         }
     }
 }
@@ -163,11 +172,14 @@ pub enum ObsEvent {
         block: BlockId,
         bytes: u64,
     },
-    /// Pipeline recovery began (Algorithms 3/4).
+    /// Pipeline recovery began (Algorithms 3/4). `nested` marks an
+    /// incident discovered while another recovery of the same block was
+    /// already running (second fault mid-recovery).
     RecoveryStarted {
         block: BlockId,
         attempt: u32,
         cause: RecoveryCause,
+        nested: bool,
     },
     /// One step of an ongoing recovery (probe, replica copy, rebuild…).
     RecoveryStep { block: BlockId, step: String },
@@ -258,10 +270,12 @@ impl ObsEvent {
                 block,
                 attempt,
                 cause,
+                nested,
             } => obj
                 .field("block", block.raw())
                 .field("attempt", *attempt)
-                .field("cause", cause.name()),
+                .field("cause", cause.name())
+                .field("nested", *nested),
             ObsEvent::RecoveryStep { block, step } => obj
                 .field("block", block.raw())
                 .field("step", step.as_str()),
@@ -392,6 +406,21 @@ impl RingBufferSink {
     /// Copies out the retained records, oldest first.
     pub fn snapshot(&self) -> Vec<EventRecord> {
         self.buf.lock().iter().cloned().collect()
+    }
+
+    /// Copies out only the retained records with `seq > after`, oldest
+    /// first. Together with [`EventRecord::seq`] this gives callers an
+    /// incremental-export cursor: keep the last seq you saw and ask for
+    /// everything newer, instead of re-snapshotting the whole ring.
+    /// Records evicted before the call are gone either way — compare
+    /// [`RingBufferSink::dropped`] across calls to detect gaps.
+    pub fn snapshot_after(&self, after: u64) -> Vec<EventRecord> {
+        self.buf
+            .lock()
+            .iter()
+            .filter(|r| r.seq > after)
+            .cloned()
+            .collect()
     }
 
     /// Number of records evicted due to capacity.
@@ -558,6 +587,94 @@ impl EventSink for FanoutSink {
     }
 }
 
+/// Head/tail sampling of interior packet traffic, per block lifecycle.
+///
+/// At soak scale the per-packet-batch ack events dominate the stream by
+/// orders of magnitude and blow any bounded capture (a [`RingBufferSink`]
+/// ends up holding nothing but the most recent acks, evicting the
+/// lifecycle events the trace assembler actually needs). This wrapper
+/// passes every lifecycle event through untouched — allocation, open,
+/// FNFA, close, recovery spans, placement — and for each block keeps
+/// only the first `head` and last `tail` [`ObsEvent::PacketBatchAcked`]
+/// records, releasing the buffered tail when the block's pipeline
+/// closes. Whole-block timelines survive; interior hops are sampled.
+pub struct SamplingSink {
+    inner: Arc<dyn EventSink>,
+    head: usize,
+    tail: usize,
+    blocks: Mutex<std::collections::HashMap<BlockId, BlockSampler>>,
+    sampled_out: AtomicU64,
+}
+
+#[derive(Default)]
+struct BlockSampler {
+    head_seen: usize,
+    tail: VecDeque<EventRecord>,
+}
+
+impl SamplingSink {
+    pub fn new(inner: Arc<dyn EventSink>, head: usize, tail: usize) -> Arc<Self> {
+        Arc::new(SamplingSink {
+            inner,
+            head,
+            tail,
+            blocks: Mutex::new(std::collections::HashMap::new()),
+            sampled_out: AtomicU64::new(0),
+        })
+    }
+
+    /// Interior packet records dropped by sampling so far.
+    pub fn sampled_out(&self) -> u64 {
+        self.sampled_out.load(Ordering::Relaxed)
+    }
+
+    /// Releases buffered tails for blocks whose pipeline never closed
+    /// (stream abandoned mid-write). Call once at end of capture.
+    pub fn flush(&self) {
+        let drained: Vec<BlockSampler> = {
+            let mut blocks = self.blocks.lock();
+            blocks.drain().map(|(_, s)| s).collect()
+        };
+        for sampler in drained {
+            for rec in sampler.tail {
+                self.inner.emit(&rec);
+            }
+        }
+    }
+}
+
+impl EventSink for SamplingSink {
+    fn emit(&self, record: &EventRecord) {
+        match &record.event {
+            ObsEvent::PacketBatchAcked { block, .. } => {
+                let mut blocks = self.blocks.lock();
+                let sampler = blocks.entry(*block).or_default();
+                if sampler.head_seen < self.head {
+                    sampler.head_seen += 1;
+                    drop(blocks);
+                    self.inner.emit(record);
+                } else {
+                    sampler.tail.push_back(record.clone());
+                    if sampler.tail.len() > self.tail {
+                        sampler.tail.pop_front();
+                        self.sampled_out.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            ObsEvent::PipelineClosed { block, .. } => {
+                let sampler = self.blocks.lock().remove(block);
+                if let Some(sampler) = sampler {
+                    for rec in sampler.tail {
+                        self.inner.emit(&rec);
+                    }
+                }
+                self.inner.emit(record);
+            }
+            _ => self.inner.emit(record),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Metrics
 // ---------------------------------------------------------------------------
@@ -629,11 +746,19 @@ impl Gauge {
 /// `[2^i, 2^(i+1))` (bucket 0 additionally holds 0).
 const HISTOGRAM_BUCKETS: usize = 40;
 
-/// Lock-free histogram over `u64` samples with power-of-two buckets.
-/// Forty buckets cover 1 µs .. ~12 days when samples are microseconds.
+/// Lock-free histogram over `u64` samples. Default bucketing is
+/// power-of-two (forty buckets cover 1 µs .. ~12 days when samples are
+/// microseconds); [`Histogram::configure_bounds`] swaps in explicit
+/// ascending bucket upper bounds for scales where exponential buckets
+/// collapse — at unit-test scale nearly every FNFA→allocation latency
+/// lands in two pow-2 buckets and quantiles degenerate.
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    /// Explicit inclusive upper bounds, set at most once before use;
+    /// bucket `i` counts values `<= bounds[i]`, with one implicit
+    /// overflow bucket past the last bound.
+    bounds: OnceLock<Vec<u64>>,
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
@@ -643,6 +768,7 @@ impl Default for Histogram {
     fn default() -> Self {
         Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            bounds: OnceLock::new(),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
@@ -651,7 +777,7 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    fn bucket_for(value: u64) -> usize {
+    fn pow2_bucket_for(value: u64) -> usize {
         if value == 0 {
             0
         } else {
@@ -659,8 +785,46 @@ impl Histogram {
         }
     }
 
+    /// Replaces power-of-two bucketing with explicit ascending upper
+    /// bounds. First call wins (returns `false` thereafter), and must
+    /// happen before samples arrive — already-observed samples keep
+    /// their pow-2 bucket. At most `HISTOGRAM_BUCKETS - 1` bounds; one
+    /// bucket is reserved for overflow past the last bound.
+    pub fn configure_bounds(&self, bounds: Vec<u64>) -> bool {
+        assert!(!bounds.is_empty(), "histogram bounds must be non-empty");
+        assert!(
+            bounds.len() < HISTOGRAM_BUCKETS,
+            "at most {} histogram bounds",
+            HISTOGRAM_BUCKETS - 1
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        self.bounds.set(bounds).is_ok()
+    }
+
+    /// The configured explicit bounds, if any.
+    pub fn bounds(&self) -> Option<&[u64]> {
+        self.bounds.get().map(Vec::as_slice)
+    }
+
+    fn bucket_for(&self, value: u64) -> usize {
+        match self.bounds.get() {
+            Some(bounds) => bounds.partition_point(|&ub| ub < value),
+            None => Self::pow2_bucket_for(value),
+        }
+    }
+
+    fn bucket_upper_bound(&self, bucket: usize) -> u64 {
+        match self.bounds.get() {
+            Some(bounds) => bounds.get(bucket).copied().unwrap_or(u64::MAX),
+            None => pow2_upper_bound(bucket),
+        }
+    }
+
     pub fn observe(&self, value: u64) {
-        self.buckets[Self::bucket_for(value)].fetch_add(1, Ordering::Relaxed);
+        self.buckets[self.bucket_for(value)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
@@ -699,7 +863,7 @@ impl Histogram {
         for (i, bucket) in self.buckets.iter().enumerate() {
             seen += bucket.load(Ordering::Relaxed);
             if seen >= rank {
-                return upper_bound(i).min(self.max());
+                return self.bucket_upper_bound(i).min(self.max());
             }
         }
         self.max()
@@ -717,7 +881,7 @@ impl Histogram {
     }
 }
 
-fn upper_bound(bucket: usize) -> u64 {
+fn pow2_upper_bound(bucket: usize) -> u64 {
     if bucket + 1 >= 64 {
         u64::MAX
     } else {
@@ -746,7 +910,7 @@ pub struct Metrics {
     /// FNFA events received by clients.
     pub fnfa_received: Counter,
     /// Recoveries by cause, indexed per `RecoveryCause::index`.
-    recoveries: [Counter; 4],
+    recoveries: [Counter; 5],
     /// Exploration swaps performed by Algorithm 2.
     pub exploration_swaps: Counter,
     /// Placement decisions taken with speed records available.
@@ -1009,10 +1173,128 @@ mod tests {
         // p100 is capped at the observed max, not the bucket bound.
         assert_eq!(h.quantile(1.0), 1000);
         // Bucket assignment: exact powers of two land in their own bucket.
-        assert_eq!(Histogram::bucket_for(0), 0);
-        assert_eq!(Histogram::bucket_for(1), 0);
-        assert_eq!(Histogram::bucket_for(2), 1);
-        assert_eq!(Histogram::bucket_for(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(Histogram::pow2_bucket_for(0), 0);
+        assert_eq!(Histogram::pow2_bucket_for(1), 0);
+        assert_eq!(Histogram::pow2_bucket_for(2), 1);
+        assert_eq!(Histogram::pow2_bucket_for(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_explicit_bounds_sharpen_quantiles() {
+        let h = Histogram::default();
+        assert!(h.configure_bounds(vec![100, 250, 500, 1000, 2500]));
+        assert!(!h.configure_bounds(vec![1, 2]), "first configuration wins");
+        assert_eq!(h.bounds(), Some(&[100u64, 250, 500, 1000, 2500][..]));
+        for v in [80u64, 90, 200, 210, 220, 400, 9999] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        // Median sample (210) sits in the (100, 250] bucket; with pow-2
+        // buckets the same data would report 255.
+        assert_eq!(h.quantile(0.5), 250);
+        // Overflow past the last bound is capped at the observed max.
+        assert_eq!(h.quantile(1.0), 9999);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        Histogram::default().configure_bounds(vec![10, 5]);
+    }
+
+    #[test]
+    fn sampling_sink_keeps_lifecycle_and_bounds_packets() {
+        let ring = RingBufferSink::new(4096);
+        let sampling = SamplingSink::new(ring.clone(), 2, 3);
+        let obs = Obs::new(sampling.clone());
+        let block = BlockId(9);
+        obs.emit(ObsEvent::PipelineOpened {
+            block,
+            targets: vec![DatanodeId(1)],
+        });
+        for i in 0..20 {
+            obs.emit(ObsEvent::PacketBatchAcked {
+                block,
+                acked_seq: i,
+                packets: 1,
+            });
+        }
+        // A different block's recovery events pass through untouched.
+        obs.emit(ObsEvent::RecoveryStarted {
+            block: BlockId(10),
+            attempt: 1,
+            cause: RecoveryCause::ConnectionLost,
+            nested: false,
+        });
+        obs.emit(ObsEvent::PipelineClosed {
+            block,
+            committed: true,
+        });
+        let records = ring.snapshot();
+        let acks: Vec<u64> = records
+            .iter()
+            .filter_map(|r| match &r.event {
+                ObsEvent::PacketBatchAcked { acked_seq, .. } => Some(*acked_seq),
+                _ => None,
+            })
+            .collect();
+        // Head 2 + tail 3 of the 20 interior acks survive, in order.
+        assert_eq!(acks, vec![0, 1, 17, 18, 19]);
+        assert_eq!(sampling.sampled_out(), 15);
+        // Lifecycle events all present, close emitted after the tail.
+        assert!(matches!(
+            records.last().unwrap().event,
+            ObsEvent::PipelineClosed { .. }
+        ));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.event, ObsEvent::RecoveryStarted { .. })));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.event, ObsEvent::PipelineOpened { .. })));
+    }
+
+    #[test]
+    fn sampling_sink_flush_releases_unclosed_tails() {
+        let ring = RingBufferSink::new(64);
+        let sampling = SamplingSink::new(ring.clone(), 1, 2);
+        let obs = Obs::new(sampling.clone());
+        for i in 0..5 {
+            obs.emit(ObsEvent::PacketBatchAcked {
+                block: BlockId(7),
+                acked_seq: i,
+                packets: 1,
+            });
+        }
+        // Head of 1 passed through; the stream never closed, so the
+        // 2-deep tail is still buffered until flush.
+        assert_eq!(ring.snapshot().len(), 1);
+        sampling.flush();
+        let acks: Vec<u64> = ring
+            .snapshot()
+            .iter()
+            .filter_map(|r| match &r.event {
+                ObsEvent::PacketBatchAcked { acked_seq, .. } => Some(*acked_seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acks, vec![0, 3, 4]);
+        assert_eq!(sampling.sampled_out(), 2);
+    }
+
+    #[test]
+    fn ring_buffer_snapshot_after_is_a_cursor() {
+        let ring = RingBufferSink::new(16);
+        let obs = Obs::new(ring.clone());
+        for i in 0..5 {
+            obs.emit(sample_event(i));
+        }
+        let all = ring.snapshot();
+        let cursor = all[2].seq;
+        let newer = ring.snapshot_after(cursor);
+        assert_eq!(newer.len(), 2);
+        assert!(newer.iter().all(|r| r.seq > cursor));
+        assert!(ring.snapshot_after(all.last().unwrap().seq).is_empty());
     }
 
     #[test]

@@ -29,6 +29,9 @@ use std::collections::BTreeMap;
 pub struct RecoverySpan {
     pub attempt: u32,
     pub cause: RecoveryCause,
+    /// Incident discovered while another recovery of the same block was
+    /// already in progress (second fault mid-recovery).
+    pub nested: bool,
     pub start_us: u64,
     /// `None` while the recovery never reported a conclusion.
     pub end_us: Option<u64>,
@@ -286,10 +289,16 @@ impl TraceAssembler {
                     tl.ack_batches += 1;
                     tl.packets_acked += packets;
                 }
-                ObsEvent::RecoveryStarted { attempt, cause, .. } => {
+                ObsEvent::RecoveryStarted {
+                    attempt,
+                    cause,
+                    nested,
+                    ..
+                } => {
                     tl.recoveries.push(RecoverySpan {
                         attempt: *attempt,
                         cause: *cause,
+                        nested: *nested,
                         start_us: t,
                         end_us: None,
                         success: None,
@@ -497,6 +506,7 @@ pub fn to_chrome_trace(report: &TraceReport) -> Value {
                 tid,
                 ObjectBuilder::new()
                     .field("cause", r.cause.name())
+                    .field("nested", r.nested)
                     .field("success", r.success.unwrap_or(false))
                     .field("steps", r.steps.len() as u64)
                     .build(),
@@ -550,7 +560,7 @@ mod tests {
             rec(8, 110, 1, ObsEvent::BlockReceived { datanode: DatanodeId(2), block: b1, bytes: 640 }),
             // Pipelines overlap in [80, 120).
             rec(9, 120, 1, ObsEvent::PipelineClosed { block: b1, committed: true }),
-            rec(10, 130, 2, ObsEvent::RecoveryStarted { block: b2, attempt: 1, cause: RecoveryCause::AckTimeout }),
+            rec(10, 130, 2, ObsEvent::RecoveryStarted { block: b2, attempt: 1, cause: RecoveryCause::AckTimeout, nested: false }),
             rec(11, 135, 2, ObsEvent::RecoveryStep { block: b2, step: "probe".into() }),
             rec(12, 150, 2, ObsEvent::RecoveryFinished { block: b2, success: true }),
             rec(13, 200, 2, ObsEvent::PipelineClosed { block: b2, committed: true }),

@@ -238,6 +238,19 @@ impl BlockStore {
         self.replicas.lock().len()
     }
 
+    /// Ids of replicas still being written (RBW) — the blocks whose
+    /// pipelines are in flight through this datanode right now.
+    pub fn rbw_blocks(&self) -> Vec<BlockId> {
+        let map = self.replicas.lock();
+        let mut v: Vec<BlockId> = map
+            .iter()
+            .filter(|(_, r)| !r.finalized)
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort();
+        v
+    }
+
     /// Ids of finalized replicas (block-report support).
     pub fn finalized_blocks(&self) -> Vec<ExtendedBlock> {
         let map = self.replicas.lock();

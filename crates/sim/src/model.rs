@@ -833,6 +833,9 @@ pub fn simulate_upload(scenario: &SimScenario) -> SimResult {
 /// upload start, not wall time.
 pub fn simulate_upload_with_obs(scenario: &SimScenario, obs: Obs) -> SimResult {
     scenario.config.validate().expect("invalid config");
+    if let Some(bounds) = &scenario.config.fnfa_latency_buckets_us {
+        obs.metrics().fnfa_to_allocation_us.configure_bounds(bounds.clone());
+    }
     assert!(
         scenario.file_size.as_u64() > 0,
         "file size must be positive"

@@ -175,3 +175,98 @@ fn namenode_replica_accounting_after_recovery() {
     assert_eq!(client.get("/acct/f.bin").unwrap(), data);
     cluster.shutdown();
 }
+
+#[test]
+fn second_fault_during_recovery_attributed_as_nested() {
+    // Regression: a replica holder lost *while recovery for the same
+    // block is already running* used to be folded into the original
+    // incident's cause. The two incidents must surface as two
+    // separately-attributed recoveries: the original cause plus a
+    // distinct `nested_failure`.
+    use smarth::core::obs::{Obs, RecoveryCause, RingBufferSink};
+    use smarth::core::trace::TraceAssembler;
+
+    let mut spec = ClusterSpec::homogeneous(InstanceType::Large);
+    spec.hosts.retain(|h| {
+        h.role != smarth::core::HostRole::DataNode
+            || h.name
+                .strip_prefix("dn")
+                .and_then(|s| s.parse::<usize>().ok())
+                .is_some_and(|i| i < 8)
+    });
+    spec.link_latency = SimDuration::ZERO;
+    let sink = RingBufferSink::new(65_536);
+    let obs = Obs::new(sink.clone());
+    let cluster = MiniCluster::start_with_obs(&spec, fast_config(), 59, obs).unwrap();
+    let client = cluster.client().unwrap();
+    let data = random_data(67, 1_500_000);
+    let mut stream = client.create("/nested/f.bin", WriteMode::Smarth).unwrap();
+    stream.write(&data[..400_000]).unwrap();
+
+    // Find one in-flight block with at least two RBW replica holders and
+    // kill both at once: the first death starts the recovery, the second
+    // is discovered by the recovery's own replica probe.
+    let victims = {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let mut holders: std::collections::HashMap<_, Vec<String>> =
+                std::collections::HashMap::new();
+            for h in cluster.datanode_hosts() {
+                for b in cluster.datanode(&h).unwrap().store().rbw_blocks() {
+                    holders.entry(b).or_default().push(h.clone());
+                }
+            }
+            if let Some((_, hosts)) = holders.into_iter().find(|(_, v)| v.len() >= 2) {
+                break hosts;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no block ever had two in-flight replicas"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    };
+    cluster.kill_datanode(&victims[0]).unwrap();
+    cluster.kill_datanode(&victims[1]).unwrap();
+
+    stream.write(&data[400_000..]).unwrap();
+    let stats = stream.close().unwrap();
+    assert!(
+        stats.recoveries >= 2,
+        "both deaths must be accounted, got {}",
+        stats.recoveries
+    );
+
+    let m = cluster.obs().metrics();
+    let nested = m.recoveries(RecoveryCause::NestedFailure);
+    let original = m.recoveries(RecoveryCause::ConnectionLost)
+        + m.recoveries(RecoveryCause::DatanodeError)
+        + m.recoveries(RecoveryCause::AckTimeout);
+    assert!(
+        nested >= 1,
+        "mid-recovery death must be attributed as nested_failure \
+         (nested={nested}, original={original})"
+    );
+    assert!(
+        original >= 1,
+        "the triggering incident must keep its own cause \
+         (nested={nested}, original={original})"
+    );
+
+    // The assembled trace carries the distinction per span.
+    let report = TraceAssembler::assemble(&sink.snapshot());
+    let spans: Vec<_> = report
+        .blocks
+        .iter()
+        .flat_map(|b| b.recoveries.iter())
+        .collect();
+    assert!(spans.iter().any(|r| r.nested));
+    assert!(spans.iter().any(|r| !r.nested));
+    assert!(spans
+        .iter()
+        .filter(|r| r.nested)
+        .all(|r| r.cause == RecoveryCause::NestedFailure));
+
+    assert_eq!(client.get("/nested/f.bin").unwrap(), data);
+    cluster.shutdown();
+}

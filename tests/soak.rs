@@ -1,0 +1,133 @@
+//! Tier-1 soak-harness tests: a deterministic replay profile whose
+//! per-window recovery-cause counts must be bit-identical across runs
+//! (including a mid-recovery second fault attributed separately as
+//! `nested_failure`), and a short multi-client churn smoke with a
+//! generated fault plan. The sustained profile is opt-in via
+//! `SMARTH_SOAK_LONG=1` so tier-1 stays fast.
+
+use smarth::cluster::soak::{self, SoakConfig};
+use smarth::core::obs::RecoveryCause;
+
+fn slot(cause: RecoveryCause) -> usize {
+    RecoveryCause::ALL
+        .iter()
+        .position(|c| *c == cause)
+        .unwrap()
+}
+
+#[test]
+fn deterministic_profile_replays_exactly() {
+    // Two runs of the byte-triggered single-client profile must agree
+    // window-by-window on recovery-cause counts: the whole fault plan —
+    // a cable pull mid-block, then a double datanode kill mid-block —
+    // fires at exact byte offsets, not wall-clock times.
+    let a = soak::run(&SoakConfig::deterministic(71)).unwrap();
+    let b = soak::run(&SoakConfig::deterministic(71)).unwrap();
+
+    assert_eq!(a.violations, Vec::<String>::new(), "\n{}", a.render());
+    assert_eq!(b.violations, Vec::<String>::new(), "\n{}", b.render());
+
+    let causes = |r: &soak::SoakReport| -> Vec<[u64; 5]> {
+        r.windows.iter().map(|w| w.recoveries).collect()
+    };
+    assert_eq!(
+        causes(&a),
+        causes(&b),
+        "same seed, same fault plan, same per-window recovery-cause counts\nrun A:\n{}\nrun B:\n{}",
+        a.render(),
+        b.render()
+    );
+    assert_eq!(a.plan, b.plan);
+
+    // The plan injects exactly one connection loss (the cable pull) and
+    // one double kill whose second death lands *during* the recovery of
+    // the first — so causes must be attributed distinctly: two
+    // connection-lost recoveries plus one nested failure.
+    assert_eq!(
+        a.recoveries[slot(RecoveryCause::ConnectionLost)],
+        2,
+        "\n{}",
+        a.render()
+    );
+    assert_eq!(
+        a.recoveries[slot(RecoveryCause::NestedFailure)],
+        1,
+        "\n{}",
+        a.render()
+    );
+    assert_eq!(a.recoveries[slot(RecoveryCause::AckTimeout)], 0);
+    assert_eq!(a.recoveries[slot(RecoveryCause::NamenodeError)], 0);
+
+    // Churn completed and every read-back matched.
+    let w = &a.workers[0];
+    assert_eq!(w.ops, 6);
+    assert_eq!(w.integrity_failures, 0);
+    assert_eq!(w.op_errors, 0, "errors: {:?}", w.errors);
+    assert!(a.blocks_committed >= 6, "\n{}", a.render());
+}
+
+#[test]
+fn multi_client_churn_smoke_holds_invariants() {
+    let cfg = SoakConfig::smoke(29);
+    let report = soak::run(&cfg).unwrap();
+
+    assert_eq!(
+        report.violations,
+        Vec::<String>::new(),
+        "\n{}",
+        report.render()
+    );
+    assert!(
+        report.blocks_committed > 0 && report.bytes_written > 0,
+        "\n{}",
+        report.render()
+    );
+    // All six clients made progress.
+    assert_eq!(report.workers.len(), 6);
+    assert!(report.workers.iter().all(|w| w.ops > 0));
+    assert!(report.workers.iter().all(|w| w.integrity_failures == 0));
+    // The generated plan is replayable: regenerating from the same seed
+    // gives the same schedule, a different seed a different one.
+    assert_eq!(
+        report.plan,
+        soak::FaultPlan::generate(29, cfg.clients, cfg.datanodes, 3_500, 4)
+    );
+    assert_ne!(
+        report.plan,
+        soak::FaultPlan::generate(30, cfg.clients, cfg.datanodes, 3_500, 4)
+    );
+    // The harness produced a report file via the figures plumbing's
+    // results convention.
+    let dir = std::env::temp_dir().join("smarth-soak-test");
+    let path = report.save(&dir).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let parsed = smarth::core::json::parse(&text).unwrap();
+    assert_eq!(parsed.get("seed").as_u64(), Some(29));
+    assert!(text.contains("\"windows\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sustained_profile_long_soak() {
+    // Opt-in long profile: `SMARTH_SOAK_LONG=1 cargo test --test soak`.
+    if std::env::var("SMARTH_SOAK_LONG").map(|v| v == "1") != Ok(true) {
+        eprintln!("skipping long soak (set SMARTH_SOAK_LONG=1 to run)");
+        return;
+    }
+    let secs = std::env::var("SMARTH_SOAK_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60);
+    let report = soak::run(&SoakConfig::sustained(24, secs, 3)).unwrap();
+    println!("{}", report.render());
+    assert_eq!(
+        report.violations,
+        Vec::<String>::new(),
+        "\n{}",
+        report.render()
+    );
+    assert!(report.blocks_committed > 0);
+    report
+        .save(std::path::Path::new("results"))
+        .expect("report written");
+}
