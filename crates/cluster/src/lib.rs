@@ -8,11 +8,13 @@
 //! write protocols, speed learning and fault tolerance — is tested here.
 
 pub mod mini;
+pub mod replay;
 pub mod soak;
 pub mod workload;
 
 pub use mini::MiniCluster;
-pub use soak::{FaultEvent, FaultKind, FaultPlan, SoakConfig, SoakReport, Trigger};
+pub use replay::{replay_file, replay_json, ReplayOutcome};
+pub use soak::{Budget, FaultEvent, FaultKind, FaultPlan, SoakConfig, SoakReport, Trigger};
 pub use workload::{random_data, summarize, UploadSummary, UploadWorkload};
 
 #[cfg(test)]

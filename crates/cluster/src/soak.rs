@@ -38,14 +38,14 @@ use smarth_core::config::{
     ClusterSpec, DfsConfig, HostRole, HostSpec, InstanceType, WriteMode,
 };
 use smarth_core::error::{DfsError, DfsResult};
-use smarth_core::ids::BlockId;
+use smarth_core::ids::{BlockId, DatanodeId};
 use smarth_core::json::{ObjectBuilder, Value};
 use smarth_core::obs::{
     EventRecord, Obs, ObsEvent, RecoveryCause, RingBufferSink, SamplingSink,
 };
 use smarth_core::trace::TraceAssembler;
 use smarth_core::units::{Bandwidth, SimDuration};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -160,6 +160,36 @@ impl FaultKind {
         }
         .build()
     }
+
+    fn from_json(v: &Value) -> Result<Self, String> {
+        let u = |key: &str| {
+            v.get(key)
+                .as_u64()
+                .ok_or_else(|| format!("fault kind: missing or invalid `{key}`"))
+        };
+        match v.get("type").as_str() {
+            Some("drop_own_links") => Ok(FaultKind::DropOwnLinks),
+            Some("kill_pipeline_nodes") => Ok(FaultKind::KillPipelineNodes {
+                nodes: u("nodes")? as usize,
+            }),
+            Some("drop_client_links") => Ok(FaultKind::DropClientLinks {
+                client: u("client")? as usize,
+            }),
+            Some("datanode_stall") => Ok(FaultKind::DatanodeStall {
+                datanode: u("datanode")? as usize,
+                for_ms: u("for_ms")?,
+            }),
+            Some("slow_node_dip") => Ok(FaultKind::SlowNodeDip {
+                datanode: u("datanode")? as usize,
+                mbps: v
+                    .get("mbps")
+                    .as_f64()
+                    .ok_or_else(|| "fault kind: missing `mbps`".to_string())?,
+                for_ms: u("for_ms")?,
+            }),
+            other => Err(format!("fault kind: unknown type {other:?}")),
+        }
+    }
 }
 
 /// Broad effect class, used to attribute recovery causes to faults.
@@ -194,6 +224,25 @@ impl FaultEvent {
             .field("trigger", trig)
             .field("kind", self.kind.to_json())
             .build()
+    }
+
+    fn from_json(v: &Value) -> Result<Self, String> {
+        let t = v.get("trigger");
+        let trigger = if let Some(ms) = t.get("at_ms").as_u64() {
+            Trigger::AtMs(ms)
+        } else {
+            match (t.get("client").as_u64(), t.get("bytes").as_u64()) {
+                (Some(client), Some(bytes)) => Trigger::AtClientBytes {
+                    client: client as usize,
+                    bytes,
+                },
+                _ => return Err("fault event: unrecognized trigger shape".into()),
+            }
+        };
+        Ok(FaultEvent {
+            trigger,
+            kind: FaultKind::from_json(v.get("kind"))?,
+        })
     }
 }
 
@@ -309,6 +358,23 @@ impl FaultPlan {
             )
             .build()
     }
+
+    /// Inverse of [`FaultPlan::to_json`]; round-trips exactly, which is
+    /// what makes saved soak reports replayable.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let seed = v
+            .get("seed")
+            .as_u64()
+            .ok_or_else(|| "plan: missing `seed`".to_string())?;
+        let events = v
+            .get("events")
+            .as_array()
+            .ok_or_else(|| "plan: missing `events`".to_string())?
+            .iter()
+            .map(FaultEvent::from_json)
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(FaultPlan { seed, events })
+    }
 }
 
 /// One fault as actually executed (or skipped), relative to run start.
@@ -320,6 +386,10 @@ pub struct AppliedFault {
     pub until_ms: u64,
     pub desc: String,
     pub applied: bool,
+    /// Datanode hosts the fault directly hit (killed / stalled /
+    /// dipped). Empty for link drops, whose victims are client-side
+    /// links rather than datanodes — those keep window-only attribution.
+    pub victims: Vec<String>,
     class: FaultClass,
 }
 
@@ -330,6 +400,10 @@ impl AppliedFault {
             .field("until_ms", self.until_ms)
             .field("desc", self.desc.as_str())
             .field("applied", self.applied)
+            .field(
+                "victims",
+                Value::Array(self.victims.iter().map(|v| Value::from(v.as_str())).collect()),
+            )
             .build()
     }
 }
@@ -531,6 +605,135 @@ impl SoakConfig {
             self.derived_pipeline_bound() * self.config.datanode_client_buffer.as_u64() * 2
         })
     }
+
+    /// Serializes everything needed to re-run this profile. The embedded
+    /// [`DfsConfig`] is captured as deviations from
+    /// [`DfsConfig::test_scale`] (the base every soak constructor starts
+    /// from), not field-by-field.
+    pub fn to_json(&self) -> Value {
+        let budget = match &self.budget {
+            Budget::WallClock(d) => ObjectBuilder::new()
+                .field("wall_clock_ms", d.as_millis() as u64)
+                .build(),
+            Budget::OpsPerClient(k) => ObjectBuilder::new()
+                .field("ops_per_client", *k as u64)
+                .build(),
+        };
+        let opt_u64 = |v: Option<u64>| v.map(Value::from).unwrap_or(Value::Null);
+        ObjectBuilder::new()
+            .field("clients", self.clients as u64)
+            .field("datanodes", self.datanodes as u64)
+            .field("seed", self.seed)
+            .field("budget", budget)
+            .field("window_ms", self.window.as_millis() as u64)
+            .field(
+                "mode",
+                match self.mode {
+                    WriteMode::Smarth => "smarth",
+                    WriteMode::Hdfs => "hdfs",
+                },
+            )
+            .field(
+                "file_size_range",
+                Value::Array(vec![
+                    Value::from(self.file_size_range.0 as u64),
+                    Value::from(self.file_size_range.1 as u64),
+                ]),
+            )
+            .field("ring_capacity", self.ring_capacity as u64)
+            .field("sample_head", self.sample_head as u64)
+            .field("sample_tail", self.sample_tail as u64)
+            .field("max_buffered_bytes", opt_u64(self.max_buffered_bytes))
+            .field(
+                "max_concurrent_pipelines",
+                opt_u64(self.max_concurrent_pipelines),
+            )
+            .field("strict_fnfa", self.strict_fnfa)
+            .field("grace_ms", self.grace_ms)
+            .field(
+                "cross_rack_mbps",
+                self.cross_rack_mbps.map(Value::from).unwrap_or(Value::Null),
+            )
+            .field(
+                "max_pipelines_override",
+                opt_u64(self.config.max_pipelines_override.map(|n| n as u64)),
+            )
+            .field(
+                "pipeline_event_timeout_ms",
+                self.config.pipeline_event_timeout.0 / 1_000_000,
+            )
+            .field(
+                "speed_half_life_ms",
+                opt_u64(self.config.speed_half_life.map(|d| d.0 / 1_000_000)),
+            )
+            .field("plan", self.plan.to_json())
+            .build()
+    }
+
+    /// Inverse of [`SoakConfig::to_json`]: rebuilds a profile from the
+    /// `"config"` echo in a saved soak report, so any run can be
+    /// replayed verbatim.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let u = |key: &str| {
+            v.get(key)
+                .as_u64()
+                .ok_or_else(|| format!("config: missing or invalid `{key}`"))
+        };
+        let budget = {
+            let b = v.get("budget");
+            if let Some(ms) = b.get("wall_clock_ms").as_u64() {
+                Budget::WallClock(Duration::from_millis(ms))
+            } else if let Some(k) = b.get("ops_per_client").as_u64() {
+                Budget::OpsPerClient(k as usize)
+            } else {
+                return Err("config: unrecognized budget shape".into());
+            }
+        };
+        let mode = match v.get("mode").as_str() {
+            Some("smarth") => WriteMode::Smarth,
+            Some("hdfs") => WriteMode::Hdfs,
+            other => return Err(format!("config: unknown mode {other:?}")),
+        };
+        let range = v.get("file_size_range");
+        let file_size_range = match (range.idx(0).as_u64(), range.idx(1).as_u64()) {
+            (Some(lo), Some(hi)) => (lo as usize, hi as usize),
+            _ => return Err("config: invalid `file_size_range`".into()),
+        };
+        let mut config = DfsConfig::test_scale();
+        config.max_pipelines_override = v
+            .get("max_pipelines_override")
+            .as_u64()
+            .map(|n| n as usize);
+        if let Some(ms) = v.get("pipeline_event_timeout_ms").as_u64() {
+            config.pipeline_event_timeout = SimDuration::from_millis(ms);
+        }
+        config.speed_half_life = v
+            .get("speed_half_life_ms")
+            .as_u64()
+            .map(SimDuration::from_millis);
+        Ok(SoakConfig {
+            clients: u("clients")? as usize,
+            datanodes: u("datanodes")? as usize,
+            seed: u("seed")?,
+            budget,
+            window: Duration::from_millis(u("window_ms")?),
+            mode,
+            file_size_range,
+            plan: FaultPlan::from_json(v.get("plan"))?,
+            config,
+            ring_capacity: u("ring_capacity")? as usize,
+            sample_head: u("sample_head")? as usize,
+            sample_tail: u("sample_tail")? as usize,
+            max_buffered_bytes: v.get("max_buffered_bytes").as_u64(),
+            max_concurrent_pipelines: v.get("max_concurrent_pipelines").as_u64(),
+            strict_fnfa: v
+                .get("strict_fnfa")
+                .as_bool()
+                .ok_or_else(|| "config: missing `strict_fnfa`".to_string())?,
+            grace_ms: u("grace_ms")?,
+            cross_rack_mbps: v.get("cross_rack_mbps").as_f64(),
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -593,6 +796,9 @@ pub struct WorkerStats {
 pub struct SoakReport {
     pub id: String,
     pub seed: u64,
+    /// The profile that produced this report, echoed in full so the
+    /// report alone is enough to replay the run (`replay` command).
+    pub config: SoakConfig,
     pub elapsed_ms: u64,
     pub windows: Vec<WindowStats>,
     pub violations: Vec<String>,
@@ -654,6 +860,7 @@ impl SoakReport {
         ObjectBuilder::new()
             .field("id", self.id.as_str())
             .field("seed", self.seed)
+            .field("config", self.config.to_json())
             .field("elapsed_ms", self.elapsed_ms)
             .field("plan", self.plan.to_json())
             .field(
@@ -753,6 +960,10 @@ struct BlockState {
     fnfa: u64,
     recoveries: u64,
     committed: bool,
+    /// Every datanode host this block's pipelines have included
+    /// (allocation targets plus recovery replacements) — the causal side
+    /// of fault attribution.
+    targets: BTreeSet<String>,
 }
 
 struct Checker {
@@ -762,6 +973,9 @@ struct Checker {
     run_start_us: u64,
     concurrent_bound: u64,
     buffered_bound: u64,
+    /// Datanode id → fabric host name, for matching a recovering
+    /// block's pipeline against a fault's victim hosts.
+    dn_hosts: BTreeMap<DatanodeId, String>,
     blocks: BTreeMap<BlockId, BlockState>,
     violations: Vec<String>,
     // Current-window accumulators, reset by `close_window`.
@@ -772,7 +986,7 @@ struct Checker {
 }
 
 impl Checker {
-    fn new(cfg: &SoakConfig, run_start_us: u64) -> Self {
+    fn new(cfg: &SoakConfig, run_start_us: u64, dn_hosts: BTreeMap<DatanodeId, String>) -> Self {
         Checker {
             strict_fnfa: cfg.strict_fnfa && cfg.mode == WriteMode::Smarth,
             grace_ms: cfg.grace_ms,
@@ -780,6 +994,7 @@ impl Checker {
             run_start_us,
             concurrent_bound: cfg.concurrent_bound(),
             buffered_bound: cfg.buffered_bound(),
+            dn_hosts,
             blocks: BTreeMap::new(),
             violations: Vec::new(),
             win_recoveries: [0; CAUSES],
@@ -787,6 +1002,14 @@ impl Checker {
             win_fnfa: 0,
             win_violations: 0,
         }
+    }
+
+    fn note_targets(&mut self, block: BlockId, targets: &[DatanodeId]) {
+        let hosts: Vec<String> = targets
+            .iter()
+            .filter_map(|id| self.dn_hosts.get(id).cloned())
+            .collect();
+        self.blocks.entry(block).or_default().targets.extend(hosts);
     }
 
     fn violation(&mut self, msg: String) {
@@ -800,9 +1023,21 @@ impl Checker {
         at_us.saturating_sub(self.run_start_us) / 1_000
     }
 
-    /// Is a recovery with this cause at `t_ms` explained by a fault that
-    /// was recently active?
-    fn attributable(&self, cause: RecoveryCause, t_ms: u64, faults: &[AppliedFault]) -> bool {
+    /// Is a recovery of `block` with this cause at `t_ms` explained by a
+    /// fault that was recently active? Attribution is causal where it
+    /// can be: a fault that names datanode victims only explains
+    /// recoveries of blocks whose pipeline actually included one of
+    /// those victims. `AckTimeout` keeps the pure time-window fallback —
+    /// a stalled node's back-pressure starves acks on pipelines that
+    /// never touch the stalled host.
+    fn attributable(
+        &self,
+        cause: RecoveryCause,
+        t_ms: u64,
+        block: BlockId,
+        faults: &[AppliedFault],
+    ) -> bool {
+        let targets = self.blocks.get(&block).map(|b| &b.targets);
         faults.iter().filter(|f| f.applied).any(|f| {
             let slack = match cause {
                 // Timeouts surface up to one event-timeout after the
@@ -817,13 +1052,28 @@ impl Checker {
                 RecoveryCause::AckTimeout => true,
                 RecoveryCause::NamenodeError => false,
             };
-            compatible && t_ms >= f.at_ms && t_ms <= f.until_ms + slack
+            if !(compatible && t_ms >= f.at_ms && t_ms <= f.until_ms + slack) {
+                return false;
+            }
+            if cause == RecoveryCause::AckTimeout || f.victims.is_empty() {
+                return true;
+            }
+            match targets {
+                Some(t) => f.victims.iter().any(|v| t.contains(v)),
+                // Allocation events for this block were evicted from the
+                // ring before we saw them; fall back to the window.
+                None => true,
+            }
         })
     }
 
     fn ingest(&mut self, records: &[EventRecord], faults: &[AppliedFault]) {
         for r in records {
             match &r.event {
+                ObsEvent::BlockAllocated { block, targets, .. }
+                | ObsEvent::PipelineOpened { block, targets } => {
+                    self.note_targets(*block, targets);
+                }
                 ObsEvent::FnfaReceived { block, .. } => {
                     self.win_fnfa += 1;
                     let st = self.blocks.entry(*block).or_default();
@@ -845,7 +1095,7 @@ impl Checker {
                     self.blocks.entry(*block).or_default().recoveries += 1;
                     self.win_recoveries[cause_slot(*cause)] += 1;
                     let t_ms = self.rel_ms(r.at_us);
-                    if !self.attributable(*cause, t_ms, faults) {
+                    if !self.attributable(*cause, t_ms, *block, faults) {
                         self.violation(format!(
                             "unattributed recovery: block {} cause {} at {} ms has no \
                              matching injected fault",
@@ -925,13 +1175,21 @@ struct Shared {
 }
 
 impl Shared {
-    fn log_fault(&self, kind: &FaultKind, until_extra_ms: u64, applied: bool, detail: String) {
+    fn log_fault(
+        &self,
+        kind: &FaultKind,
+        until_extra_ms: u64,
+        applied: bool,
+        detail: String,
+        victims: Vec<String>,
+    ) {
         let at_ms = self.start.elapsed().as_millis() as u64;
         self.fault_log.lock().push(AppliedFault {
             at_ms,
             until_ms: at_ms + until_extra_ms,
             desc: detail,
             applied,
+            victims,
             class: kind.class(),
         });
     }
@@ -971,13 +1229,14 @@ impl<'a> Worker<'a> {
                     0,
                     true,
                     format!("client{} dropped own links at byte {}", self.idx, self.total_bytes),
+                    Vec::new(),
                 );
             }
             FaultKind::KillPipelineNodes { nodes } => {
                 let targets = stream
                     .map(|s| s.current_target_hosts())
                     .unwrap_or_default();
-                let victims: Vec<&String> = targets.iter().take(*nodes).collect();
+                let victims: Vec<String> = targets.into_iter().take(*nodes).collect();
                 let applied = !victims.is_empty();
                 for host in &victims {
                     let _ = self.shared.cluster.kill_datanode(host);
@@ -990,6 +1249,7 @@ impl<'a> Worker<'a> {
                         "client{} killed {:?} at byte {}",
                         self.idx, victims, self.total_bytes
                     ),
+                    victims,
                 );
             }
             _ => unreachable!("validated: only cooperative kinds reach workers"),
@@ -1182,27 +1442,27 @@ fn run_injector(shared: &Shared, mut actions: Vec<(u64, TimedAction)>) {
                 match &kind {
                     FaultKind::DropClientLinks { client } => {
                         shared.drop_links(&format!("client{client}"));
-                        shared.log_fault(&kind, 0, true, kind.describe());
+                        shared.log_fault(&kind, 0, true, kind.describe(), Vec::new());
                     }
                     FaultKind::DatanodeStall { datanode, for_ms } => {
-                        let host = &shared.dn_hosts[*datanode];
+                        let host = shared.dn_hosts[*datanode].clone();
                         let ok = shared
                             .cluster
-                            .throttle_host(host, Some(Bandwidth::mbps(0.5)))
+                            .throttle_host(&host, Some(Bandwidth::mbps(0.5)))
                             .is_ok();
-                        shared.log_fault(&kind, *for_ms, ok, kind.describe());
+                        shared.log_fault(&kind, *for_ms, ok, kind.describe(), vec![host]);
                     }
                     FaultKind::SlowNodeDip {
                         datanode,
                         mbps,
                         for_ms,
                     } => {
-                        let host = &shared.dn_hosts[*datanode];
+                        let host = shared.dn_hosts[*datanode].clone();
                         let ok = shared
                             .cluster
-                            .throttle_host(host, Some(Bandwidth::mbps(*mbps)))
+                            .throttle_host(&host, Some(Bandwidth::mbps(*mbps)))
                             .is_ok();
-                        shared.log_fault(&kind, *for_ms, ok, kind.describe());
+                        shared.log_fault(&kind, *for_ms, ok, kind.describe(), vec![host]);
                     }
                     _ => unreachable!("validated: cooperative kinds never reach injector"),
                 }
@@ -1298,7 +1558,12 @@ pub fn run(cfg: &SoakConfig) -> DfsResult<SoakReport> {
 
     // Monitor: drain the ring incrementally each window, check
     // invariants live, record per-window stats.
-    let mut checker = Checker::new(cfg, run_start_us);
+    let dn_ids: BTreeMap<DatanodeId, String> = shared
+        .dn_hosts
+        .iter()
+        .filter_map(|h| shared.cluster.datanode(h).map(|d| (d.id(), h.clone())))
+        .collect();
+    let mut checker = Checker::new(cfg, run_start_us, dn_ids);
     let mut windows: Vec<WindowStats> = Vec::new();
     let mut cursor: Option<u64> = None;
     let mut events_seen: u64 = 0;
@@ -1425,6 +1690,7 @@ pub fn run(cfg: &SoakConfig) -> DfsResult<SoakReport> {
     let report = SoakReport {
         id: format!("soak-{}", cfg.seed),
         seed: cfg.seed,
+        config: cfg.clone(),
         elapsed_ms,
         windows,
         violations: checker.violations,
@@ -1531,34 +1797,123 @@ mod tests {
     #[test]
     fn attribution_windows() {
         let cfg = SoakConfig::smoke(1);
-        let mut checker = Checker::new(&cfg, 0);
+        let mut checker = Checker::new(&cfg, 0, BTreeMap::new());
+        let blk = BlockId(7);
         let faults = vec![AppliedFault {
             at_ms: 1_000,
             until_ms: 1_000,
             desc: "drop".into(),
             applied: true,
+            victims: Vec::new(),
             class: FaultClass::Disconnect,
         }];
-        assert!(checker.attributable(RecoveryCause::ConnectionLost, 1_010, &faults));
-        assert!(checker.attributable(RecoveryCause::NestedFailure, 2_000, &faults));
+        assert!(checker.attributable(RecoveryCause::ConnectionLost, 1_010, blk, &faults));
+        assert!(checker.attributable(RecoveryCause::NestedFailure, 2_000, blk, &faults));
         assert!(
-            !checker.attributable(RecoveryCause::ConnectionLost, 900, &faults),
+            !checker.attributable(RecoveryCause::ConnectionLost, 900, blk, &faults),
             "recovery before the fault is not explained by it"
         );
         assert!(
-            !checker.attributable(RecoveryCause::ConnectionLost, 1_000 + cfg.grace_ms + 1, &faults),
+            !checker.attributable(
+                RecoveryCause::ConnectionLost,
+                1_000 + cfg.grace_ms + 1,
+                blk,
+                &faults
+            ),
             "recovery long after the fault is not explained"
         );
-        assert!(!checker.attributable(RecoveryCause::NamenodeError, 1_010, &faults));
+        assert!(!checker.attributable(RecoveryCause::NamenodeError, 1_010, blk, &faults));
         // Ack timeouts get the extra event-timeout slack.
         assert!(checker.attributable(
             RecoveryCause::AckTimeout,
             1_000 + checker.timeout_ms + 10,
+            blk,
             &faults
         ));
         checker.violation("x".into());
         let w = checker.close_window(0, 0, 100, 1);
         assert_eq!(w.violations, 1);
         assert_eq!(checker.win_violations, 0, "window counters reset");
+    }
+
+    #[test]
+    fn attribution_is_causal_for_victim_faults() {
+        let cfg = SoakConfig::smoke(1);
+        let dn_hosts: BTreeMap<DatanodeId, String> = (0..4u32)
+            .map(|i| (DatanodeId(i), format!("dn{i}")))
+            .collect();
+        let mut checker = Checker::new(&cfg, 0, dn_hosts);
+        // Block 1's pipeline runs through dn0..dn2; block 2 through dn3.
+        checker.note_targets(BlockId(1), &[DatanodeId(0), DatanodeId(1), DatanodeId(2)]);
+        checker.note_targets(BlockId(2), &[DatanodeId(3)]);
+        let faults = vec![AppliedFault {
+            at_ms: 1_000,
+            until_ms: 1_000,
+            desc: "kill dn1".into(),
+            applied: true,
+            victims: vec!["dn1".into()],
+            class: FaultClass::Disconnect,
+        }];
+        assert!(
+            checker.attributable(RecoveryCause::ConnectionLost, 1_010, BlockId(1), &faults),
+            "victim dn1 sits in block 1's pipeline"
+        );
+        assert!(
+            !checker.attributable(RecoveryCause::ConnectionLost, 1_010, BlockId(2), &faults),
+            "block 2 never touched dn1: the kill cannot explain its recovery"
+        );
+        assert!(
+            checker.attributable(RecoveryCause::AckTimeout, 1_010, BlockId(2), &faults),
+            "ack timeouts keep the window-only fallback (cross-pipeline back-pressure)"
+        );
+        assert!(
+            checker.attributable(RecoveryCause::ConnectionLost, 1_010, BlockId(99), &faults),
+            "unknown block (allocation events evicted) falls back to the window"
+        );
+    }
+
+    #[test]
+    fn fault_plan_round_trips_through_json() {
+        let plan = SoakConfig::deterministic(42).plan;
+        let back = FaultPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(plan, back);
+        let generated = FaultPlan::generate(7, 6, 9, 4_000, 5);
+        let back = FaultPlan::from_json(&generated.to_json()).unwrap();
+        assert_eq!(generated, back);
+    }
+
+    #[test]
+    fn soak_config_round_trips_through_json() {
+        for cfg in [
+            SoakConfig::deterministic(42),
+            SoakConfig::smoke(7),
+            SoakConfig::sustained(4, 30, 9),
+        ] {
+            let back = SoakConfig::from_json(&cfg.to_json()).unwrap();
+            assert_eq!(back.clients, cfg.clients);
+            assert_eq!(back.datanodes, cfg.datanodes);
+            assert_eq!(back.seed, cfg.seed);
+            assert_eq!(back.budget, cfg.budget);
+            assert_eq!(back.window, cfg.window);
+            assert_eq!(back.mode, cfg.mode);
+            assert_eq!(back.file_size_range, cfg.file_size_range);
+            assert_eq!(back.plan, cfg.plan);
+            assert_eq!(back.strict_fnfa, cfg.strict_fnfa);
+            assert_eq!(back.grace_ms, cfg.grace_ms);
+            assert_eq!(back.cross_rack_mbps, cfg.cross_rack_mbps);
+            assert_eq!(
+                back.config.max_pipelines_override,
+                cfg.config.max_pipelines_override
+            );
+            assert_eq!(
+                back.config.pipeline_event_timeout,
+                cfg.config.pipeline_event_timeout
+            );
+            // Round-tripping again is the identity on the JSON itself.
+            assert_eq!(
+                back.to_json().to_string_compact(),
+                cfg.to_json().to_string_compact()
+            );
+        }
     }
 }

@@ -87,6 +87,12 @@ pub struct DfsConfig {
     /// milliseconds..seconds) but collapse at test scale where nearly
     /// every sample lands in one or two buckets.
     pub fnfa_latency_buckets_us: Option<Vec<u64>>,
+    /// Half-life for namenode speed records. `Some(t)`: a record loses
+    /// half its weight every `t` without a fresh report, so a datanode
+    /// that stalled and recovered re-earns its ranking instead of
+    /// coasting on the pre-stall estimate. `None` keeps records forever
+    /// (the paper's behaviour).
+    pub speed_half_life: Option<SimDuration>,
 }
 
 impl Default for DfsConfig {
@@ -119,6 +125,7 @@ impl DfsConfig {
             pipeline_event_timeout: SimDuration::from_secs(60),
             max_recovery_attempts: 5,
             fnfa_latency_buckets_us: None,
+            speed_half_life: None,
         }
     }
 
@@ -148,6 +155,7 @@ impl DfsConfig {
             pipeline_event_timeout: SimDuration::from_secs(5),
             max_recovery_attempts: 5,
             fnfa_latency_buckets_us: Some(Self::test_scale_fnfa_buckets()),
+            speed_half_life: None,
         }
     }
 
@@ -208,6 +216,11 @@ impl DfsConfig {
             }
             if !bounds.windows(2).all(|w| w[0] < w[1]) {
                 return Err("fnfa_latency_buckets_us must be strictly ascending".into());
+            }
+        }
+        if let Some(hl) = self.speed_half_life {
+            if hl <= SimDuration::ZERO {
+                return Err("speed_half_life must be positive".into());
             }
         }
         Ok(())

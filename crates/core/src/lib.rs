@@ -15,6 +15,7 @@
 
 pub mod checksum;
 pub mod config;
+pub mod conformance;
 pub mod costmodel;
 pub mod error;
 pub mod ids;
@@ -30,6 +31,9 @@ pub mod units;
 pub mod wire;
 
 pub use config::{ClusterSpec, DfsConfig, HostRole, HostSpec, InstanceType, WriteMode};
+pub use conformance::{
+    diff_digests, diff_reports, BlockDigest, DiffVerdict, MetricDiff, ToleranceBands, TraceDigest,
+};
 pub use error::{DfsError, DfsResult};
 pub use obs::{
     EventRecord, EventSink, FanoutSink, JsonLinesSink, Metrics, NullSink, Obs, ObsEvent,

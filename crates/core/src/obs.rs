@@ -598,11 +598,20 @@ impl EventSink for FanoutSink {
 /// only the first `head` and last `tail` [`ObsEvent::PacketBatchAcked`]
 /// records, releasing the buffered tail when the block's pipeline
 /// closes. Whole-block timelines survive; interior hops are sampled.
+///
+/// [`ObsEvent::ExplorationSwap`] records get the same treatment at run
+/// granularity (each block swaps at most once, but ε-greedy swaps
+/// accumulate across blocks and dominate long SMARTH runs at paper
+/// scale): the first `head` swaps of the run pass through, the last
+/// `tail` are buffered and released by [`flush`](Self::flush), and
+/// interior swaps count into [`sampled_out`](Self::sampled_out).
 pub struct SamplingSink {
     inner: Arc<dyn EventSink>,
     head: usize,
     tail: usize,
     blocks: Mutex<std::collections::HashMap<BlockId, BlockSampler>>,
+    /// Run-level head/tail state for exploration-swap records.
+    swaps: Mutex<BlockSampler>,
     sampled_out: AtomicU64,
 }
 
@@ -619,6 +628,7 @@ impl SamplingSink {
             head,
             tail,
             blocks: Mutex::new(std::collections::HashMap::new()),
+            swaps: Mutex::new(BlockSampler::default()),
             sampled_out: AtomicU64::new(0),
         })
     }
@@ -629,7 +639,8 @@ impl SamplingSink {
     }
 
     /// Releases buffered tails for blocks whose pipeline never closed
-    /// (stream abandoned mid-write). Call once at end of capture.
+    /// (stream abandoned mid-write) plus the run-level exploration-swap
+    /// tail. Call once at end of capture.
     pub fn flush(&self) {
         let drained: Vec<BlockSampler> = {
             let mut blocks = self.blocks.lock();
@@ -639,6 +650,10 @@ impl SamplingSink {
             for rec in sampler.tail {
                 self.inner.emit(&rec);
             }
+        }
+        let swap_tail = std::mem::take(&mut self.swaps.lock().tail);
+        for rec in swap_tail {
+            self.inner.emit(&rec);
         }
     }
 }
@@ -657,6 +672,20 @@ impl EventSink for SamplingSink {
                     sampler.tail.push_back(record.clone());
                     if sampler.tail.len() > self.tail {
                         sampler.tail.pop_front();
+                        self.sampled_out.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            ObsEvent::ExplorationSwap { .. } => {
+                let mut swaps = self.swaps.lock();
+                if swaps.head_seen < self.head {
+                    swaps.head_seen += 1;
+                    drop(swaps);
+                    self.inner.emit(record);
+                } else {
+                    swaps.tail.push_back(record.clone());
+                    if swaps.tail.len() > self.tail {
+                        swaps.tail.pop_front();
                         self.sampled_out.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -1280,6 +1309,37 @@ mod tests {
             .collect();
         assert_eq!(acks, vec![0, 3, 4]);
         assert_eq!(sampling.sampled_out(), 2);
+    }
+
+    #[test]
+    fn sampling_sink_bounds_exploration_swaps() {
+        let ring = RingBufferSink::new(4096);
+        let sampling = SamplingSink::new(ring.clone(), 2, 3);
+        let obs = Obs::new(sampling.clone());
+        for i in 0..20u64 {
+            obs.emit(ObsEvent::ExplorationSwap {
+                block: BlockId(i),
+                promoted: DatanodeId(1),
+                displaced: DatanodeId(2),
+            });
+        }
+        // Head 2 passed through; tail of 3 is buffered until flush; the
+        // 15 interior swaps were dropped and counted.
+        let swaps_in = |records: &[EventRecord]| -> Vec<u64> {
+            records
+                .iter()
+                .filter_map(|r| match &r.event {
+                    ObsEvent::ExplorationSwap { block, .. } => Some(block.0),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(swaps_in(&ring.snapshot()), vec![0, 1]);
+        assert_eq!(sampling.sampled_out(), 15);
+        sampling.flush();
+        assert_eq!(swaps_in(&ring.snapshot()), vec![0, 1, 17, 18, 19]);
+        // Lifecycle close of an unrelated block does not release swaps.
+        assert_eq!(sampling.sampled_out(), 15);
     }
 
     #[test]

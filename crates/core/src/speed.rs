@@ -119,16 +119,61 @@ impl ClientSpeedTracker {
     }
 }
 
+/// Once a record decays below this rate it carries no ranking
+/// information and is dropped outright, so a long-stalled node must
+/// re-earn its entry (and `has_records_for` can flip back to the
+/// no-records fallback when everything went stale).
+const DECAY_FLOOR_BYTES_PER_SEC: f64 = 1.0;
+
 /// Namenode-side registry: the per-client speed tables built from
 /// heartbeat reports, queried by Algorithm 1.
 #[derive(Debug, Default)]
 pub struct NamenodeSpeedRegistry {
     per_client: HashMap<ClientId, BTreeMap<DatanodeId, SpeedEntry>>,
+    /// Record half-life in µs; `None` disables aging (records persist
+    /// unchanged, the paper's behaviour).
+    half_life_us: Option<u64>,
+    /// Clock of the last [`age`](Self::age) call; entries ingested since
+    /// then are treated as observed at this instant.
+    last_aged_us: u64,
 }
 
 impl NamenodeSpeedRegistry {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A registry whose records decay with the given half-life. `None`
+    /// behaves exactly like [`new`](Self::new).
+    pub fn with_half_life(half_life: Option<SimDuration>) -> Self {
+        Self {
+            half_life_us: half_life.map(|d| (d.0 / 1_000).max(1)),
+            ..Self::default()
+        }
+    }
+
+    /// Advances the registry clock to `now_us`, decaying every record by
+    /// `2^(-elapsed/half_life)`. Call before reads (`top_n`,
+    /// `records_for`, `has_records_for`) and before `ingest` so fresh
+    /// reports are not decayed by time that passed before they arrived.
+    /// No-op when aging is disabled or time did not advance; decay
+    /// composes, so calling often is safe.
+    pub fn age(&mut self, now_us: u64) {
+        let Some(half_life_us) = self.half_life_us else {
+            return;
+        };
+        if now_us <= self.last_aged_us {
+            return;
+        }
+        let elapsed = (now_us - self.last_aged_us) as f64;
+        self.last_aged_us = now_us;
+        let factor = 0.5_f64.powf(elapsed / half_life_us as f64);
+        for table in self.per_client.values_mut() {
+            for e in table.values_mut() {
+                e.bytes_per_sec *= factor;
+            }
+            table.retain(|_, e| e.bytes_per_sec >= DECAY_FLOOR_BYTES_PER_SEC);
+        }
     }
 
     /// Ingests one heartbeat's records from `client`.
@@ -323,5 +368,70 @@ mod tests {
     #[should_panic(expected = "alpha must be in (0,1]")]
     fn zero_alpha_rejected() {
         ClientSpeedTracker::new(0.0);
+    }
+
+    #[test]
+    fn aging_decays_by_half_life() {
+        let c = ClientId(1);
+        let mut reg = NamenodeSpeedRegistry::with_half_life(Some(SimDuration::from_secs(10)));
+        reg.age(0);
+        reg.ingest(c, &[SpeedRecord { datanode: dn(1), bytes_per_sec: 800.0, samples: 1 }]);
+        // One half-life: 800 → 400. Two more: 400 → 100.
+        reg.age(10_000_000);
+        assert!((reg.records_for(c)[0].1 - 400.0).abs() < 1e-6);
+        reg.age(30_000_000);
+        assert!((reg.records_for(c)[0].1 - 100.0).abs() < 1e-6);
+        // Aging composes: stepping twice equals stepping once.
+        let mut stepped = NamenodeSpeedRegistry::with_half_life(Some(SimDuration::from_secs(10)));
+        stepped.ingest(c, &[SpeedRecord { datanode: dn(1), bytes_per_sec: 800.0, samples: 1 }]);
+        stepped.age(7_000_000);
+        stepped.age(30_000_000);
+        assert!((stepped.records_for(c)[0].1 - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aging_reorders_against_fresh_reports() {
+        let c = ClientId(1);
+        let alive = vec![dn(1), dn(2)];
+        let mut reg = NamenodeSpeedRegistry::with_half_life(Some(SimDuration::from_secs(1)));
+        reg.ingest(
+            c,
+            &[
+                SpeedRecord { datanode: dn(1), bytes_per_sec: 100.0, samples: 1 },
+                SpeedRecord { datanode: dn(2), bytes_per_sec: 60.0, samples: 1 },
+            ],
+        );
+        assert_eq!(reg.top_n(c, 1, &alive, &[]), vec![dn(1)]);
+        // dn1 stalls (no fresh reports); dn2 keeps reporting. After two
+        // half-lives dn1's stale 100 decayed to 25 < dn2's fresh 60.
+        reg.age(2_000_000);
+        reg.ingest(c, &[SpeedRecord { datanode: dn(2), bytes_per_sec: 60.0, samples: 2 }]);
+        assert_eq!(reg.top_n(c, 1, &alive, &[]), vec![dn(2)]);
+        // A fresh report re-earns dn1's rank immediately.
+        reg.age(2_500_000);
+        reg.ingest(c, &[SpeedRecord { datanode: dn(1), bytes_per_sec: 90.0, samples: 2 }]);
+        assert_eq!(reg.top_n(c, 1, &alive, &[]), vec![dn(1)]);
+    }
+
+    #[test]
+    fn aging_drops_fully_stale_records() {
+        let c = ClientId(1);
+        let mut reg = NamenodeSpeedRegistry::with_half_life(Some(SimDuration::from_millis(1)));
+        reg.ingest(c, &[SpeedRecord { datanode: dn(1), bytes_per_sec: 1000.0, samples: 1 }]);
+        assert!(reg.has_records_for(c));
+        // ~50 half-lives: 1000 * 2^-50 is far below the floor — the
+        // entry is dropped and Algorithm 1 falls back to no-records mode.
+        reg.age(50_000);
+        assert!(!reg.has_records_for(c));
+        assert!(reg.records_for(c).is_empty());
+    }
+
+    #[test]
+    fn aging_disabled_keeps_records_forever() {
+        let c = ClientId(1);
+        let mut reg = NamenodeSpeedRegistry::with_half_life(None);
+        reg.ingest(c, &[SpeedRecord { datanode: dn(1), bytes_per_sec: 42.0, samples: 1 }]);
+        reg.age(u64::MAX);
+        assert_eq!(reg.records_for(c), vec![(dn(1), 42.0)]);
     }
 }

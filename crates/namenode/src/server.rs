@@ -89,12 +89,13 @@ impl NameNodeState {
         let expiry = Duration::from_secs_f64(
             config.heartbeat_interval.as_secs_f64() * config.heartbeat_expiry_multiplier as f64,
         );
+        let speed_half_life = config.speed_half_life;
         Self {
             config,
             namespace: Mutex::new(FsNamespace::new()),
             blocks: Mutex::new(BlockManager::new()),
             datanodes: Mutex::new(DatanodeManager::new(expiry)),
-            speeds: Mutex::new(NamenodeSpeedRegistry::new()),
+            speeds: Mutex::new(NamenodeSpeedRegistry::with_half_life(speed_half_life)),
             clients: Mutex::new(HashMap::new()),
             client_ids: IdGenerator::starting_at(1),
             trace_ids: IdGenerator::starting_at(1),
@@ -161,7 +162,8 @@ impl NameNodeState {
                 Vec::new(),
             ),
             WriteMode::Smarth => {
-                let speeds = self.speeds.lock();
+                let mut speeds = self.speeds.lock();
+                speeds.age(Obs::now_us());
                 let chosen = smarth_placement(
                     topo,
                     &speeds,
@@ -314,7 +316,10 @@ impl NameNodeState {
                 Ok(ClientResponse::RecoveryStamp { new_gen })
             }
             ClientRequest::ReportSpeeds { client, records } => {
-                self.speeds.lock().ingest(client, &records);
+                let mut speeds = self.speeds.lock();
+                speeds.age(Obs::now_us());
+                speeds.ingest(client, &records);
+                drop(speeds);
                 self.obs
                     .metrics()
                     .speed_records_ingested
@@ -441,7 +446,17 @@ impl NameNodeState {
     }
 
     pub fn has_speed_records(&self, client: ClientId) -> bool {
-        self.speeds.lock().has_records_for(client)
+        let mut speeds = self.speeds.lock();
+        speeds.age(Obs::now_us());
+        speeds.has_records_for(client)
+    }
+
+    /// The effective (decayed) speed records currently held for `client`
+    /// — what Algorithm 1 would consult right now.
+    pub fn speed_records(&self, client: ClientId) -> Vec<(DatanodeId, f64)> {
+        let mut speeds = self.speeds.lock();
+        speeds.age(Obs::now_us());
+        speeds.records_for(client)
     }
 
     pub fn decommission(&self, dn: DatanodeId) {

@@ -467,8 +467,33 @@ impl Sim {
             let h = &mut self.pipes[pipe].hops[hop];
             h.stored[pkt as usize] = Some(self.now);
         }
+        if is_last_pkt {
+            // The replica is fully on disk at this hop — the virtual twin
+            // of the emulator datanode's BlockReceived, so DES timelines
+            // carry the same per-hop residency spans the conformance
+            // differ joins on.
+            let p = &self.pipes[pipe];
+            let (block, ctx, datanode, bytes) =
+                (p.block, p.ctx, p.target_ids[hop], p.block_bytes);
+            self.obs.emit_virtual_traced(
+                self.vtime_us(),
+                ctx,
+                ObsEvent::BlockReceived {
+                    datanode,
+                    block,
+                    bytes,
+                },
+            );
+        }
         if hop == 0 && is_last_pkt && self.flags.fnfa_pipelining {
             let at = self.now + self.latency;
+            let p = &self.pipes[pipe];
+            let (block, ctx, datanode) = (p.block, p.ctx, p.target_ids[0]);
+            self.obs.emit_virtual_traced(
+                self.vtime_us(),
+                ctx,
+                ObsEvent::FnfaSent { datanode, block },
+            );
             self.schedule(at, Ev::Fnfa { pipe });
         }
         let down_ready =
@@ -563,6 +588,9 @@ impl Sim {
     }
 
     fn flush_speeds_if_due(&mut self) {
+        // Decay records up to the current virtual instant; called before
+        // every placement so Algorithm 1 always reads aged speeds.
+        self.registry.age(self.vtime_us());
         let elapsed = self.now.elapsed_since(self.last_speed_flush);
         if elapsed >= self.config.heartbeat_interval {
             let records = self.tracker.drain_report();
@@ -861,7 +889,7 @@ pub fn simulate_upload_with_obs(scenario: &SimScenario, obs: Obs) -> SimResult {
         });
     }
 
-    let mut registry = NamenodeSpeedRegistry::new();
+    let mut registry = NamenodeSpeedRegistry::with_half_life(scenario.config.speed_half_life);
     let mut tracker = ClientSpeedTracker::new(scenario.config.speed_ewma_alpha);
     let mut rng = ChaCha8Rng::seed_from_u64(scenario.seed);
     let mut result = None;

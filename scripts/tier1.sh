@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the release build must compile and every
+# workspace test must pass. This is the gate every PR is held to
+# (see ROADMAP.md); CI runs exactly this script so local runs and
+# the workflow can never drift apart.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q

@@ -270,3 +270,88 @@ fn second_fault_during_recovery_attributed_as_nested() {
     assert_eq!(client.get("/nested/f.bin").unwrap(), data);
     cluster.shutdown();
 }
+
+#[test]
+fn stalled_datanode_record_ages_out_and_re_earns_after_restore() {
+    // Speed-record aging (namenode side): with a half-life configured,
+    // a datanode that stops producing fresh speed reports loses its
+    // standing exponentially instead of keeping a stale record forever;
+    // once the stall lifts and it carries traffic again, a fresh report
+    // restores it at full weight.
+    let mut config = fast_config();
+    config.speed_half_life = Some(SimDuration::from_millis(100));
+    let mut spec = ClusterSpec::homogeneous(InstanceType::Large);
+    spec.hosts.retain(|h| {
+        h.role != smarth::core::HostRole::DataNode
+            || h.name
+                .strip_prefix("dn")
+                .and_then(|s| s.parse::<usize>().ok())
+                .is_some_and(|i| i < 6)
+    });
+    spec.link_latency = SimDuration::ZERO;
+    let cluster = MiniCluster::start(&spec, config, 73).unwrap();
+    let client = cluster.client().unwrap();
+
+    // Warm the registry with a multi-block SMARTH upload.
+    client
+        .put("/age/warm.bin", &random_data(1, 1_200_000), WriteMode::Smarth)
+        .unwrap();
+    client.flush_speed_report().unwrap();
+    let warm = cluster.namenode_state().speed_records(client.id());
+    assert!(!warm.is_empty(), "warm-up must leave speed records");
+    let (victim_id, warm_rate) = warm
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    let victim_host = cluster
+        .datanode_hosts()
+        .into_iter()
+        .find(|h| cluster.datanode(h).unwrap().id() == victim_id)
+        .unwrap();
+
+    // Stall the fastest recorded node. No fresh reports arrive while it
+    // crawls, so several half-lives later its record must have decayed
+    // to a fraction of the warm value (or dropped below the floor).
+    cluster
+        .throttle_host(&victim_host, Some(Bandwidth::mbps(0.5)))
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(450));
+    let aged = cluster.namenode_state().speed_records(client.id());
+    if let Some((_, decayed)) = aged.iter().find(|(d, _)| *d == victim_id) {
+        assert!(
+            *decayed < warm_rate * 0.2,
+            "4+ half-lives must shrink the record: warm {warm_rate:.0} B/s, \
+             still {decayed:.0} B/s"
+        );
+    }
+
+    // Restore the node and keep writing: as soon as it carries a
+    // pipeline hop again, the client's next report must re-earn its
+    // record at fresh (undecayed) strength.
+    cluster.throttle_host(&victim_host, None).unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(15);
+    let mut round = 0u64;
+    loop {
+        round += 1;
+        client
+            .put(
+                &format!("/age/re{round}.bin"),
+                &random_data(100 + round, 1_200_000),
+                WriteMode::Smarth,
+            )
+            .unwrap();
+        client.flush_speed_report().unwrap();
+        let records = cluster.namenode_state().speed_records(client.id());
+        if let Some((_, rate)) = records.iter().find(|(d, _)| *d == victim_id) {
+            if *rate > warm_rate * 0.25 {
+                break; // fresh report landed: record re-earned
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "restored datanode {victim_host} never re-earned its speed record"
+        );
+    }
+    cluster.shutdown();
+}

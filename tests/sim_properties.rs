@@ -3,10 +3,13 @@
 //! checked against randomly drawn configurations.
 
 use proptest::prelude::*;
+use smarth::core::conformance::TraceDigest;
+use smarth::core::obs::{Obs, RingBufferSink};
+use smarth::core::trace::TraceAssembler;
 use smarth::core::units::{Bandwidth, ByteSize};
 use smarth::core::{InstanceType, WriteMode};
 use smarth::sim::scenario::two_rack;
-use smarth::sim::simulate_upload;
+use smarth::sim::{simulate_upload, simulate_upload_with_obs};
 
 fn instance_strategy() -> impl Strategy<Value = InstanceType> {
     prop_oneof![
@@ -125,6 +128,36 @@ proptest! {
         let r2 = simulate_upload(&a);
         prop_assert_eq!(r1.upload_secs, r2.upload_secs);
         prop_assert_eq!(r1.first_node_histogram, r2.first_node_histogram);
+    }
+
+    /// Determinism extends beyond aggregates to the full event
+    /// structure: two runs of the same seeded scenario must produce
+    /// byte-identical conformance digests (block order, sizes, FNFA gap
+    /// ratios, hop residencies — everything the cross-engine comparator
+    /// consumes).
+    #[test]
+    fn seeded_determinism_extends_to_trace_digests(
+        seed in any::<u64>(),
+        mib in 64u64..256,
+    ) {
+        let digest_json = || {
+            let sink = RingBufferSink::new(65_536);
+            let obs = Obs::new(sink.clone());
+            let mut s = two_rack(
+                InstanceType::Small,
+                ByteSize::mib(mib),
+                Some(Bandwidth::mbps(80.0)),
+                WriteMode::Smarth,
+            );
+            s.seed = seed;
+            s.warmup_uploads = 0;
+            simulate_upload_with_obs(&s, obs);
+            let report = TraceAssembler::assemble(&sink.snapshot());
+            TraceDigest::from_report(&report).to_json().to_string_compact()
+        };
+        let a = digest_json();
+        let b = digest_json();
+        prop_assert_eq!(a, b, "same seed and spec must digest identically");
     }
 
     /// The pipeline cap (active datanodes / replication) holds for any
