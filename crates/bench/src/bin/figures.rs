@@ -36,7 +36,7 @@ use std::path::PathBuf;
 
 const ALL_IDS: &[&str] = &[
     "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "ablations", "ext_storage", "soak", "conformance",
+    "ablations", "ext_storage", "soak", "conformance", "throughput",
 ];
 
 /// One conformance preset run through both engines: a single-client
@@ -116,6 +116,191 @@ fn run_conformance(out_dir: &std::path::Path, quick: bool) {
     }
 }
 
+/// One measured row of the throughput baseline.
+struct ThroughputRow {
+    workload: &'static str,
+    mode: WriteMode,
+    bytes: u64,
+    secs: f64,
+}
+
+impl ThroughputRow {
+    fn mbps(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.bytes as f64 * 8.0 / 1e6 / self.secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Emulator config for the throughput baseline: test scale, but with the
+/// disk shaped to the instance NIC (376 Mbps) so the receive and flush
+/// stages genuinely contend — the disk/network mismatch regime §IV-C's
+/// first-node buffer is sized for. A serial receive→flush datanode pays
+/// both costs back to back; a staged one overlaps them.
+fn throughput_config() -> DfsConfig {
+    let mut config = DfsConfig::test_scale();
+    config.disk_bandwidth = Bandwidth::mbps(376.0);
+    config
+}
+
+/// Replication-width cluster (3 datanodes): every pipeline touches every
+/// node, so there are no idle nodes whose disk token buckets refill
+/// between blocks — the disks stay drained and the benchmark measures
+/// the sustained regime instead of burst absorption.
+fn throughput_spec() -> ClusterSpec {
+    let mut spec = ClusterSpec::homogeneous(InstanceType::Large);
+    spec.hosts.retain(|h| {
+        h.role != smarth_core::HostRole::DataNode || matches!(h.name.as_str(), "dn0" | "dn1" | "dn2")
+    });
+    spec
+}
+
+/// Single writer, one file at a time, measured by the per-upload reports.
+fn throughput_single_writer(
+    mode: WriteMode,
+    files: usize,
+    file_size: usize,
+) -> smarth_core::DfsResult<ThroughputRow> {
+    let cluster = MiniCluster::start(&throughput_spec(), throughput_config(), 42)?;
+    let workload = smarth_cluster::UploadWorkload::new(files, file_size);
+    let reports = workload.run(&cluster, mode)?;
+    let summary = smarth_cluster::summarize(&reports);
+    cluster.shutdown();
+    Ok(ThroughputRow {
+        workload: "single-writer",
+        mode,
+        bytes: summary.total_bytes,
+        secs: summary.total_secs,
+    })
+}
+
+/// Four concurrent writers on distinct client hosts, measured wall-clock
+/// from a post-warmup barrier to the last writer finishing.
+fn throughput_multi_writer(
+    mode: WriteMode,
+    files_per_writer: usize,
+    file_size: usize,
+) -> smarth_core::DfsResult<ThroughputRow> {
+    const WRITERS: usize = 4;
+    let spec = throughput_spec().with_extra_clients(WRITERS, InstanceType::Large);
+    let cluster = MiniCluster::start(&spec, throughput_config(), 42)?;
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(WRITERS + 1));
+    let results: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let host = format!("client{w}");
+                let rack = cluster
+                    .spec()
+                    .hosts
+                    .iter()
+                    .find(|h| h.name == host)
+                    .expect("extra client host exists")
+                    .rack
+                    .clone();
+                let cluster = &cluster;
+                let barrier = barrier.clone();
+                s.spawn(move || -> smarth_core::DfsResult<u64> {
+                    let client = cluster.client_on(&host, &rack)?;
+                    let warm = random_data(0xDEAD ^ w as u64, file_size.min(1 << 20));
+                    client.put(&format!("/warmup/{}/{w}", mode.name()), &warm, mode)?;
+                    client.flush_speed_report()?;
+                    barrier.wait();
+                    let mut bytes = 0u64;
+                    for i in 0..files_per_writer {
+                        let data = random_data((w * 1000 + i) as u64, file_size);
+                        client.put(&format!("/data/{}/{w}/{i}", mode.name()), &data, mode)?;
+                        bytes += data.len() as u64;
+                    }
+                    Ok(bytes)
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = std::time::Instant::now();
+        let bytes: Vec<_> = handles.into_iter().map(|h| h.join().expect("writer panicked")).collect();
+        let secs = t0.elapsed().as_secs_f64();
+        bytes.into_iter().map(|b| b.map(|b| (b, secs))).collect()
+    });
+    cluster.shutdown();
+    let mut total = 0u64;
+    let mut secs = 0.0f64;
+    for r in results {
+        let (b, s) = r?;
+        total += b;
+        secs = s;
+    }
+    Ok(ThroughputRow {
+        workload: "4-writer",
+        mode,
+        bytes: total,
+        secs,
+    })
+}
+
+/// The `throughput` id: single-writer and 4-writer saturation workloads
+/// on both protocols, through the threaded emulator. Writes
+/// `BENCH_throughput.json` at the current directory (the repo root when
+/// run via `cargo run`) so later PRs have a recorded trajectory to beat,
+/// plus the usual `results/throughput.{csv,json}` table.
+fn run_throughput(out_dir: &std::path::Path, quick: bool) {
+    let (files, file_size, mw_files, mw_size) = if quick {
+        (2, 2 * 1024 * 1024, 2, 1024 * 1024)
+    } else {
+        (6, 4 * 1024 * 1024, 4, 2 * 1024 * 1024)
+    };
+    let mut rows: Vec<ThroughputRow> = Vec::new();
+    for mode in [WriteMode::Hdfs, WriteMode::Smarth] {
+        match throughput_single_writer(mode, files, file_size) {
+            Ok(row) => rows.push(row),
+            Err(e) => eprintln!("throughput single-writer {} failed: {e}", mode.name()),
+        }
+        match throughput_multi_writer(mode, mw_files, mw_size) {
+            Ok(row) => rows.push(row),
+            Err(e) => eprintln!("throughput 4-writer {} failed: {e}", mode.name()),
+        }
+    }
+
+    let mut table = Table::new(
+        "throughput",
+        "write-path saturation throughput (emulator, test scale, disk ≈ NIC)",
+        &["workload", "mode", "bytes", "secs", "Mbps"],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.workload.to_string(),
+            r.mode.name().to_string(),
+            r.bytes.to_string(),
+            format!("{:.3}", r.secs),
+            format!("{:.1}", r.mbps()),
+        ]);
+    }
+    table.note("disk token bucket shaped to 376 Mbps so receive/flush stages contend");
+    print!("{}", table.render());
+    if let Err(e) = table.save(out_dir) {
+        eprintln!("  failed to save throughput table: {e}");
+    }
+
+    let json = smarth_core::json::Value::Array(
+        rows.iter()
+            .map(|r| {
+                smarth_core::json::ObjectBuilder::new()
+                    .field("workload", r.workload)
+                    .field("mode", r.mode.name())
+                    .field("bytes", r.bytes)
+                    .field("secs", r.secs)
+                    .field("mbps", r.mbps())
+                    .build()
+            })
+            .collect(),
+    );
+    match std::fs::write("BENCH_throughput.json", json.to_string_pretty() + "\n") {
+        Ok(()) => println!("  saved BENCH_throughput.json\n"),
+        Err(e) => eprintln!("  failed to write BENCH_throughput.json: {e}"),
+    }
+}
+
 fn generate(id: &str, opts: FigureOpts) -> Option<Vec<Table>> {
     Some(match id {
         "table1" => vec![figures::table1()],
@@ -179,6 +364,12 @@ fn main() {
             // Paired emulator + DES runs with a cross-engine diff
             // verdict instead of a figure table.
             run_conformance(&out_dir, quick);
+            continue;
+        }
+        if id == "throughput" {
+            // Saturation benchmark on the threaded emulator; records the
+            // BENCH_throughput.json trajectory file at the repo root.
+            run_throughput(&out_dir, quick);
             continue;
         }
         let tables = generate(id, opts).expect("ids validated above");

@@ -77,6 +77,13 @@ pub struct DfsOutputStream {
 
     current: Option<ActiveBlock>,
     pending: Vec<PendingPipeline>,
+    /// Fully-acked SMARTH blocks whose namenode commit has not been
+    /// sent yet. Instead of paying a dedicated `commitBlock` round
+    /// trip on the critical path between blocks, the head of this
+    /// queue rides the next `add_block` RPC as its `previous`
+    /// argument (mirroring HDFS `addBlock(previous)`); leftovers are
+    /// flushed at `close()`, the newest on `complete(last)`.
+    deferred_commits: Vec<ExtendedBlock>,
     /// Datanodes discovered dead through recovery; excluded from all
     /// future placements of this stream.
     dead: Vec<DatanodeId>,
@@ -110,6 +117,7 @@ impl DfsOutputStream {
             next_pipeline: 1,
             current: None,
             pending: Vec::new(),
+            deferred_commits: Vec::new(),
             dead: Vec::new(),
             packet_buf: Vec::new(),
             stats: StreamStats::default(),
@@ -128,6 +136,25 @@ impl DfsOutputStream {
 
     fn max_recovery_attempts(&self) -> u32 {
         self.ctx.config.max_recovery_attempts
+    }
+
+    /// Queues a fully-acked block for a piggybacked commit (see
+    /// `deferred_commits`).
+    fn defer_commit(&mut self, block: ExtendedBlock) {
+        self.deferred_commits.push(block);
+    }
+
+    /// Marks the head deferred commit as applied by the namenode.
+    /// `AddBlock` runs `update_block(previous)` before placement, so
+    /// any placement outcome — success, a short pipeline, or
+    /// `PlacementFailed` — means the commit landed. Re-sending after
+    /// other errors is safe: `update_block` is idempotent.
+    fn deferred_commit_landed(&mut self) {
+        if !self.deferred_commits.is_empty() {
+            self.deferred_commits.remove(0);
+            self.stats.blocks_committed += 1;
+            self.obs().metrics().blocks_committed.inc();
+        }
     }
 
     pub fn path(&self) -> &str {
@@ -224,7 +251,21 @@ impl DfsOutputStream {
         // (In HDFS mode finish_current_block already waited per block, so
         // `pending` is only populated in SMARTH mode.)
         self.wait_all_pending_acked()?;
-        self.ctx.rpc.complete(self.ctx.id, self.file_id, None)?;
+        // Flush commits that never found an `add_block` to ride: all
+        // but the newest go as explicit commits, the newest rides the
+        // `complete` RPC itself (HDFS `complete(last)` semantics).
+        let mut deferred = std::mem::take(&mut self.deferred_commits);
+        let last = deferred.pop();
+        for block in deferred {
+            self.ctx.rpc.commit_block(self.ctx.id, self.file_id, block)?;
+            self.stats.blocks_committed += 1;
+            self.obs().metrics().blocks_committed.inc();
+        }
+        self.ctx.rpc.complete(self.ctx.id, self.file_id, last)?;
+        if last.is_some() {
+            self.stats.blocks_committed += 1;
+            self.obs().metrics().blocks_committed.inc();
+        }
         self.closed = true;
         Ok(self.stats.clone())
     }
@@ -250,12 +291,18 @@ impl DfsOutputStream {
         let mut attempts = 0u32;
         let located = loop {
             let excluded = self.busy_and_dead();
+            // Piggyback the oldest deferred commit on this allocation
+            // rather than spending a separate RPC round trip. The
+            // recovery rebuild path below keeps `previous = None`: it
+            // must not couple a replay to unrelated commit state.
+            let previous = self.deferred_commits.first().copied();
             match self
                 .ctx
                 .rpc
-                .add_block(self.ctx.id, self.file_id, None, &excluded)
+                .add_block(self.ctx.id, self.file_id, previous, &excluded)
             {
                 Ok(lb) if lb.targets.len() < self.replication && !self.pending.is_empty() => {
+                    self.deferred_commit_landed();
                     // The namenode could only find a short pipeline
                     // because our own active pipelines occupy the rest
                     // (§IV-C). Release the allocation and wait for one
@@ -271,7 +318,10 @@ impl DfsOutputStream {
                 Ok(lb) => break lb,
                 Err(DfsError::PlacementFailed { .. }) if !self.pending.is_empty() => {
                     // Every datanode is busy in one of our pipelines —
-                    // the §IV-C limit. Wait for one to drain.
+                    // the §IV-C limit. Wait for one to drain. (The
+                    // commit still landed: the namenode applies
+                    // `previous` before attempting placement.)
+                    self.deferred_commit_landed();
                     let ev = self.wait_event()?;
                     self.process_event(ev)?;
                 }
@@ -444,16 +494,15 @@ impl DfsOutputStream {
                     // while the block is still current (it may even beat
                     // the FNFA frame, whose write races the final ack).
                     // Its completion event is already consumed, so
-                    // commit here instead of parking it in `pending`
-                    // where no further event would ever release it.
+                    // queue its commit here instead of parking it in
+                    // `pending` where no further event would ever
+                    // release it.
                     let block = ExtendedBlock::new(
                         done.pipeline.block.id,
                         done.pipeline.block.gen,
                         done.offset,
                     );
-                    self.ctx.rpc.commit_block(self.ctx.id, self.file_id, block)?;
-                    self.stats.blocks_committed += 1;
-                    self.obs().metrics().blocks_committed.inc();
+                    self.defer_commit(block);
                     self.close_pipeline(done.pipeline, true);
                 } else {
                     self.pending.push(PendingPipeline {
@@ -570,9 +619,7 @@ impl DfsOutputStream {
                         done.pipeline.block.gen,
                         done.len,
                     );
-                    self.ctx.rpc.commit_block(self.ctx.id, self.file_id, block)?;
-                    self.stats.blocks_committed += 1;
-                    self.obs().metrics().blocks_committed.inc();
+                    self.defer_commit(block);
                     self.close_pipeline(done.pipeline, true);
                 }
             }

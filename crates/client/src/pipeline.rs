@@ -59,6 +59,9 @@ struct Shared {
     acked: AtomicU64,
     /// Sequence of the packet flagged `last_in_block`, or `NO_LAST`.
     last_seq: AtomicU64,
+    /// High-water mark of `offset_in_block + payload.len()` over the
+    /// packets sent, so `bytes_sent()` never touches the `sent` mutex.
+    bytes_sent: AtomicU64,
 }
 
 /// An open block-write pipeline.
@@ -116,6 +119,7 @@ impl Pipeline {
             sent: Mutex::new(Vec::new()),
             acked: AtomicU64::new(0),
             last_seq: AtomicU64::new(NO_LAST),
+            bytes_sent: AtomicU64::new(0),
         });
 
         let responder = {
@@ -206,22 +210,27 @@ impl Pipeline {
     /// Sends one packet downstream, retaining it for possible recovery.
     /// The send blocks under bandwidth backpressure — that is the
     /// emulated network doing its job.
+    ///
+    /// Retention is cheap: `Packet::payload` is a [`bytes::Bytes`], so
+    /// the `pkt.clone()` below copies a header and bumps a refcount —
+    /// it never duplicates payload bytes.
     pub fn send_packet(&mut self, pkt: Packet) -> DfsResult<()> {
         if pkt.last_in_block {
             self.shared.last_seq.store(pkt.seq, Ordering::SeqCst);
         }
+        self.shared
+            .bytes_sent
+            .fetch_max(pkt.offset_in_block + pkt.payload.len() as u64, Ordering::SeqCst);
         self.shared.sent.lock().push(pkt.clone());
         self.obs.metrics().packets_sent.inc();
         self.obs.metrics().packets_in_flight.inc();
         send_message(&mut self.write, &pkt)
     }
 
-    /// Bytes of the block sent so far.
+    /// Bytes of the block sent so far (lock-free — the speed heartbeat
+    /// polls this while the writer thread is mid-send).
     pub fn bytes_sent(&self) -> u64 {
-        let sent = self.shared.sent.lock();
-        sent.last()
-            .map(|p| p.offset_in_block + p.payload.len() as u64)
-            .unwrap_or(0)
+        self.shared.bytes_sent.load(Ordering::SeqCst)
     }
 
     /// Packets acked so far (in-order prefix).

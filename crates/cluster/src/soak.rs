@@ -600,9 +600,13 @@ impl SoakConfig {
 
     fn buffered_bound(&self) -> u64 {
         self.max_buffered_bytes.unwrap_or_else(|| {
-            // One first-node buffer per active pipeline (§IV-C), with
-            // 2x slack for drain raggedness.
-            self.derived_pipeline_bound() * self.config.datanode_client_buffer.as_u64() * 2
+            // Every hop of an active pipeline stages up to one
+            // `datanode_client_buffer` of bytes between its receive and
+            // flush threads (the staged write path), so the bound scales
+            // with replication width, with one extra buffer of slack for
+            // drain raggedness.
+            let hops = self.config.replication as u64;
+            self.derived_pipeline_bound() * self.config.datanode_client_buffer.as_u64() * (hops + 1)
         })
     }
 

@@ -31,6 +31,20 @@ impl WriteMode {
     }
 }
 
+/// Where along the pipeline packet checksums are verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VerifyChecksumsAt {
+    /// Only the last datanode of the pipeline verifies; intermediate hops
+    /// forward packets unverified (real HDFS behaviour — corruption is
+    /// still caught before the ack chain reports success, but the
+    /// verification cost is paid once, off the forwarding hot path).
+    TailOnly,
+    /// Every hop verifies before storing/forwarding. Localizes a corrupt
+    /// link to the exact hop at the cost of `replication` verifications
+    /// per packet.
+    EveryHop,
+}
+
 /// All protocol-level tunables. Defaults mirror Hadoop 1.0.3 as described
 /// in the paper; tests override sizes downward to keep runtimes small.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,6 +107,9 @@ pub struct DfsConfig {
     /// coasting on the pre-stall estimate. `None` keeps records forever
     /// (the paper's behaviour).
     pub speed_half_life: Option<SimDuration>,
+    /// Which pipeline hops verify packet checksums (default:
+    /// [`VerifyChecksumsAt::TailOnly`], matching real HDFS).
+    pub verify_checksums_at: VerifyChecksumsAt,
 }
 
 impl Default for DfsConfig {
@@ -126,6 +143,7 @@ impl DfsConfig {
             max_recovery_attempts: 5,
             fnfa_latency_buckets_us: None,
             speed_half_life: None,
+            verify_checksums_at: VerifyChecksumsAt::TailOnly,
         }
     }
 
@@ -156,6 +174,7 @@ impl DfsConfig {
             max_recovery_attempts: 5,
             fnfa_latency_buckets_us: Some(Self::test_scale_fnfa_buckets()),
             speed_half_life: None,
+            verify_checksums_at: VerifyChecksumsAt::TailOnly,
         }
     }
 
@@ -492,6 +511,7 @@ mod tests {
         assert_eq!(c.heartbeat_interval, SimDuration::from_secs(3));
         assert_eq!(c.datanode_client_buffer, c.block_size);
         assert!((c.local_opt_threshold - 0.8).abs() < 1e-12);
+        assert_eq!(c.verify_checksums_at, VerifyChecksumsAt::TailOnly);
         c.validate().unwrap();
     }
 

@@ -30,7 +30,9 @@ pub mod trace;
 pub mod units;
 pub mod wire;
 
-pub use config::{ClusterSpec, DfsConfig, HostRole, HostSpec, InstanceType, WriteMode};
+pub use config::{
+    ClusterSpec, DfsConfig, HostRole, HostSpec, InstanceType, VerifyChecksumsAt, WriteMode,
+};
 pub use conformance::{
     diff_digests, diff_reports, BlockDigest, DiffVerdict, MetricDiff, ToleranceBands, TraceDigest,
 };

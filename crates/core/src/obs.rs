@@ -946,9 +946,15 @@ pub struct Metrics {
     pub speed_aware_placements: Counter,
     /// Speed records ingested by the namenode.
     pub speed_records_ingested: Counter,
-    /// Bytes buffered in datanode-side write buffers (first-node
-    /// buffer accounting, §IV-C).
+    /// Bytes staged between a datanode's receive and flush stages — the
+    /// §IV-C buffer that absorbs disk/network mismatch. Bounded per block
+    /// write by `DfsConfig::datanode_client_buffer`.
     pub datanode_buffered_bytes: Gauge,
+    /// Bytes queued between a datanode's receive stage and its mirror
+    /// forwarder (downstream replication backlog).
+    pub datanode_forward_bytes: Gauge,
+    /// Packets currently in datanode staging queues (flush-stage depth).
+    pub datanode_staging_packets: Gauge,
 }
 
 impl Metrics {
@@ -998,6 +1004,16 @@ impl Metrics {
             .field(
                 "datanode_buffered_bytes_high_water",
                 self.datanode_buffered_bytes.high_water(),
+            )
+            .field("datanode_forward_bytes", self.datanode_forward_bytes.get())
+            .field(
+                "datanode_forward_bytes_high_water",
+                self.datanode_forward_bytes.high_water(),
+            )
+            .field("datanode_staging_packets", self.datanode_staging_packets.get())
+            .field(
+                "datanode_staging_packets_high_water",
+                self.datanode_staging_packets.high_water(),
             )
             .build()
     }

@@ -66,6 +66,10 @@ mod tests {
 
     impl TestCluster {
         fn new(n: usize) -> Self {
+            Self::with_config(n, DfsConfig::test_scale())
+        }
+
+        fn with_config(n: usize, config: DfsConfig) -> Self {
             let fabric = Fabric::new(FabricConfig {
                 latency: Duration::ZERO,
                 socket_buffer: 64 * 1024,
@@ -73,7 +77,6 @@ mod tests {
             });
             spawn_fake_namenode(&fabric, "nn");
             fabric.add_host("client", "rack-a", Bandwidth::unlimited());
-            let config = DfsConfig::test_scale();
             let datanodes = (0..n)
                 .map(|i| {
                     let host = format!("dn{i}");
@@ -288,6 +291,69 @@ mod tests {
             .replica_info(BlockId(3))
             .unwrap();
         assert!(!finalized);
+    }
+
+    /// Sends one corrupted single-packet block down an `n`-node chain
+    /// and returns the first ack the client gets back.
+    fn write_corrupt_block(cluster: &TestCluster, n: usize, block_id: u64) -> PipelineAck {
+        let targets: Vec<_> = (0..n).map(|i| cluster.info(i)).collect();
+        let mut stream = cluster.connect_first(&targets);
+        let block = ExtendedBlock::new(BlockId(block_id), GenStamp::INITIAL, 0);
+        send_message(
+            &mut stream,
+            &DataOp::WriteBlock(WriteBlockHeader {
+                pipeline: PipelineId(1),
+                client: ClientId(1),
+                block,
+                mode: WriteMode::Hdfs,
+                targets: targets[1..].to_vec(),
+                position: 0,
+                client_buffer: cluster.config.datanode_client_buffer.as_u64(),
+                trace: TraceId::INVALID,
+                span: SpanId::INVALID,
+            }),
+        )
+        .unwrap();
+        let mut pkts = make_packets(&cluster.config, &[0x55u8; 4096]);
+        let mut corrupted = pkts.remove(0);
+        let mut raw = corrupted.payload.to_vec();
+        raw[100] ^= 0x01;
+        corrupted.payload = bytes::Bytes::from(raw);
+        send_message(&mut stream, &corrupted).unwrap();
+        recv_message(&mut stream).unwrap()
+    }
+
+    #[test]
+    fn tail_only_verification_rejects_corruption_at_last_hop() {
+        // Default mode: intermediate hops skip verification and forward
+        // as-is; the tail verifies and rejects, so the failure index in
+        // the combined ack points at the LAST pipeline position.
+        let cluster = TestCluster::new(2);
+        assert_eq!(
+            cluster.config.verify_checksums_at,
+            smarth_core::VerifyChecksumsAt::TailOnly
+        );
+        let ack = write_corrupt_block(&cluster, 2, 21);
+        assert_eq!(
+            ack.first_error(),
+            Some(1),
+            "tail-only mode must report corruption at the tail, got {ack:?}"
+        );
+    }
+
+    #[test]
+    fn every_hop_verification_rejects_corruption_at_first_hop() {
+        // Fallback mode: every hop re-verifies, so the first node already
+        // rejects the packet and the failure index is 0.
+        let mut config = DfsConfig::test_scale();
+        config.verify_checksums_at = smarth_core::VerifyChecksumsAt::EveryHop;
+        let cluster = TestCluster::with_config(2, config);
+        let ack = write_corrupt_block(&cluster, 2, 22);
+        assert_eq!(
+            ack.first_error(),
+            Some(0),
+            "every-hop mode must report corruption at the first hop, got {ack:?}"
+        );
     }
 
     #[test]

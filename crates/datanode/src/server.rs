@@ -1,19 +1,31 @@
 //! The datanode: data-transfer server, pipeline forwarding and the
 //! namenode heartbeat loop.
 //!
-//! Every inbound `WriteBlock` connection runs three cooperating threads,
-//! mirroring HDFS's BlockReceiver/PacketResponder split (§II step 3-4):
+//! Every inbound `WriteBlock` connection runs four cooperating threads —
+//! a staged pipeline, so network receive, downstream replication and
+//! disk writes genuinely overlap (§IV-C's buffer actually decouples the
+//! stages instead of sitting behind a serial loop):
 //!
-//! * the **receiver** (the connection's own thread) reads packets,
-//!   verifies CRC-32C, pays the disk token bucket, appends to the
-//!   [`BlockStore`] and hands the packet to the forwarder;
+//! * the **receiver** (the connection's own thread) only drains the
+//!   upstream socket: it reads packets, verifies CRC-32C where
+//!   `DfsConfig::verify_checksums_at` says this hop must (tail-only by
+//!   default, like real HDFS), hands the packet to the forwarder *first*
+//!   and then fans it into the bounded staging queue;
+//! * the **flusher** drains the staging queue: pays the disk token
+//!   bucket, appends to the [`BlockStore`], finalizes on the last packet
+//!   and signals the responder. The staging queue is sized from
+//!   `DfsConfig::datanode_client_buffer` (§IV-C) and tracked by the
+//!   `datanode_buffered_bytes` / `datanode_staging_packets` gauges, so
+//!   a slow disk backpressures the socket only once the buffer is full;
 //! * the **forwarder** streams packets to the next datanode through a
-//!   bounded queue whose capacity is the per-client buffer of §IV-C —
-//!   one whole block on the *first* node (so a SMARTH first node can
-//!   ingest at client speed while the cross-rack hop drains slowly),
-//!   a few packets elsewhere (store-and-forward like stock HDFS);
+//!   bounded queue (one whole block on the *first* node, a few packets
+//!   elsewhere), tracked by the `datanode_forward_bytes` gauge;
 //! * the **responder** merges the downstream ack stream with this node's
 //!   own status and sends the combined ack upstream.
+//!
+//! Flush-stage errors (disk full, store failure mid-block) surface as
+//! error acks from the flusher, so clients classify them exactly like
+//! the old serial path did (`RecoveryCause::DatanodeError`).
 //!
 //! In SMARTH mode the *first* node additionally emits the
 //! FIRST_NODE_FINISH ack (FNFA) the moment the last packet of the block
@@ -23,7 +35,7 @@ use crate::store::BlockStore;
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use smarth_core::checksum::ChunkedChecksum;
-use smarth_core::config::{DfsConfig, WriteMode};
+use smarth_core::config::{DfsConfig, VerifyChecksumsAt, WriteMode};
 use smarth_core::error::{DfsError, DfsResult};
 use smarth_core::ids::DatanodeId;
 use smarth_core::obs::{Obs, ObsEvent};
@@ -326,7 +338,7 @@ fn handle_write(
     run_write_threads(dn, &header, up_read, up_write, mirror)
 }
 
-// Receiver/forwarder/responder orchestration for one block write.
+// Receiver/flusher/forwarder/responder orchestration for one block write.
 fn run_write_threads(
     dn: &Arc<DnInner>,
     header: &WriteBlockHeader,
@@ -343,8 +355,16 @@ fn run_write_threads(
         4
     }
     .max(1);
+    // Staging between receive and flush: the §IV-C buffer, in packets.
+    let staging_packets = dn
+        .config
+        .datanode_client_buffer
+        .as_u64()
+        .max(packet)
+        .div_ceil(packet) as usize;
 
     let (fwd_tx, fwd_rx): (Sender<Packet>, Receiver<Packet>) = bounded(queue_packets);
+    let (flush_tx, flush_rx): (Sender<Packet>, Receiver<Packet>) = bounded(staging_packets);
     let (ack_tx, ack_rx): (Sender<AckSignal>, Receiver<AckSignal>) = unbounded();
 
     let (mirror_read, mirror_write) = match mirror {
@@ -361,13 +381,13 @@ fn run_write_threads(
                 for pkt in fwd_rx.iter() {
                     let n = pkt.payload.len() as u64;
                     let sent = send_message(&mut m_write, &pkt);
-                    obs.metrics().datanode_buffered_bytes.sub(n);
+                    obs.metrics().datanode_forward_bytes.sub(n);
                     if sent.is_err() {
                         // Drain so the receiver never blocks on a dead
                         // mirror; the responder reports the error.
                         for pkt in fwd_rx.iter() {
                             obs.metrics()
-                                .datanode_buffered_bytes
+                                .datanode_forward_bytes
                                 .sub(pkt.payload.len() as u64);
                         }
                         break;
@@ -376,6 +396,54 @@ fn run_write_threads(
             })
             .expect("spawn forwarder")
     });
+
+    // Flusher: drains the staging queue into the disk model and the
+    // block store, finalizes on the last packet (emitting the FNFA from
+    // the first node in SMARTH mode) and signals the responder. A flush
+    // failure is reported upstream as an error ack so the client's
+    // recovery classifies it as a datanode error, exactly like the old
+    // serial path.
+    let flusher = {
+        let dn = Arc::clone(dn);
+        let header = header.clone();
+        let up_write = Arc::clone(&up_write);
+        std::thread::Builder::new()
+            .name("dn-flusher".into())
+            .spawn(move || -> DfsResult<()> {
+                let metrics_drop = |pkt: &Packet| {
+                    let m = dn.obs.metrics();
+                    m.datanode_buffered_bytes.sub(pkt.payload.len() as u64);
+                    m.datanode_staging_packets.sub(1);
+                };
+                for pkt in flush_rx.iter() {
+                    let flushed = flush_packet(&dn, &header, &up_write, &pkt);
+                    metrics_drop(&pkt);
+                    if let Err(e) = flushed {
+                        let _ = send_ack(
+                            &up_write,
+                            &PipelineAck {
+                                kind: AckKind::Packet,
+                                seq: pkt.seq,
+                                batch: 1,
+                                statuses: vec![AckStatus::Error],
+                            },
+                        );
+                        // Unblock the receiver: drain whatever is staged.
+                        for pkt in flush_rx.iter() {
+                            metrics_drop(&pkt);
+                        }
+                        return Err(e);
+                    }
+                    let last = pkt.last_in_block;
+                    ack_tx.send((pkt.seq, last)).ok();
+                    if last {
+                        break;
+                    }
+                }
+                Ok(())
+            })
+            .expect("spawn flusher")
+    };
 
     // Responder: merges downstream acks with our own success and relays
     // upstream (§II step 4). Acks are *cumulative*: while the previous
@@ -395,6 +463,10 @@ fn run_write_threads(
                 // ours — only coverage matters.
                 let mut mirror_covered: Option<u64> = None;
                 let mut mirror_statuses: Vec<AckStatus> = Vec::new();
+                // Reused across frames: taken into each outgoing ack and
+                // reclaimed after the send, so the per-frame hot path
+                // allocates nothing once warm.
+                let mut statuses: Vec<AckStatus> = Vec::new();
                 loop {
                     let (first_seq, first_last) = match ack_rx.recv() {
                         Ok(s) => s,
@@ -413,41 +485,37 @@ fn run_write_threads(
                             Err(_) => break,
                         }
                     }
-                    let downstream: Vec<AckStatus> = match &mut mirror_read {
-                        Some(mr) => {
-                            while mirror_covered.is_none_or(|c| c < seq) {
-                                match recv_message::<PipelineAck>(mr) {
-                                    Ok(ack) => {
-                                        mirror_covered = Some(ack.seq);
-                                        let errored = ack.first_error().is_some();
-                                        mirror_statuses = ack.statuses;
-                                        if errored {
-                                            break;
-                                        }
-                                    }
-                                    Err(_) => {
-                                        mirror_statuses = vec![AckStatus::Error];
+                    if mirror_read.is_some() {
+                        let mr = mirror_read.as_mut().expect("checked above");
+                        while mirror_covered.is_none_or(|c| c < seq) {
+                            match recv_message::<PipelineAck>(mr) {
+                                Ok(ack) => {
+                                    mirror_covered = Some(ack.seq);
+                                    let errored = ack.first_error().is_some();
+                                    mirror_statuses = ack.statuses;
+                                    if errored {
                                         break;
                                     }
                                 }
+                                Err(_) => {
+                                    mirror_statuses = vec![AckStatus::Error];
+                                    break;
+                                }
                             }
-                            mirror_statuses.clone()
                         }
-                        None => Vec::new(),
-                    };
-                    let mut statuses = Vec::with_capacity(1 + downstream.len());
+                    }
+                    statuses.clear();
                     statuses.push(AckStatus::Success);
-                    statuses.extend(downstream);
+                    statuses.extend_from_slice(&mirror_statuses);
                     let ack = PipelineAck {
                         kind: AckKind::Packet,
                         seq,
                         batch,
-                        statuses,
+                        statuses: std::mem::take(&mut statuses),
                     };
-                    if send_ack(&up_write, &ack).is_err() {
-                        break;
-                    }
-                    if last {
+                    let sent = send_ack(&up_write, &ack);
+                    statuses = ack.statuses;
+                    if sent.is_err() || last {
                         break;
                     }
                 }
@@ -455,16 +523,23 @@ fn run_write_threads(
             .expect("spawn responder")
     };
 
-    // Receiver loop (this thread).
+    // Receiver loop (this thread): drain the socket, forward, stage.
+    let verify_here = match dn.config.verify_checksums_at {
+        VerifyChecksumsAt::EveryHop => true,
+        // The tail is the hop with no mirror: it verifies on behalf of
+        // the whole pipeline before the success ack chain starts.
+        VerifyChecksumsAt::TailOnly => !has_mirror,
+    };
     let result: DfsResult<()> = (|| {
         loop {
             let pkt: Packet = recv_message(&mut up_read)?;
-            // Verify before anything else (§II step 3: "verifies the
-            // packet's checksum").
-            if dn
-                .checksum
-                .first_corrupt_chunk(&pkt.payload, &pkt.checksums)
-                .is_some()
+            // Verify before ack/store (§II step 3: "verifies the packet's
+            // checksum") — on the hops the config says must pay for it.
+            if verify_here
+                && dn
+                    .checksum
+                    .first_corrupt_chunk(&pkt.payload, &pkt.checksums)
+                    .is_some()
             {
                 let _ = send_ack(
                     &up_write,
@@ -481,58 +556,37 @@ fn run_write_threads(
                 });
             }
             if has_mirror {
-                // A closed forwarder means the mirror died; the responder
+                // Forward *before* the local flush so downstream
+                // replication is never gated on this node's disk. A
+                // closed forwarder means the mirror died; the responder
                 // reports it via error acks, we just stop forwarding.
-                // Buffer accounting happens before the send: the bounded
-                // queue blocks here, and that backlog is the §IV-C buffer.
                 dn.obs
                     .metrics()
-                    .datanode_buffered_bytes
+                    .datanode_forward_bytes
                     .add(pkt.payload.len() as u64);
                 if fwd_tx.send(pkt.clone()).is_err() {
                     dn.obs
                         .metrics()
-                        .datanode_buffered_bytes
+                        .datanode_forward_bytes
                         .sub(pkt.payload.len() as u64);
                 }
             }
-            // Disk time: modelled as bucket tokens (§III-D's T_w is the
-            // per-packet constant; sustained rate is the disk bandwidth).
-            dn.disk
-                .acquire(pkt.payload.len())
-                .map_err(|_| DfsError::connection_lost("datanode stopping"))?;
-            dn.store
-                .write_packet(block.id, block.gen, pkt.offset_in_block, &pkt.payload)?;
-
+            // Stage for the flusher. Accounting happens before the send:
+            // the bounded queue blocks here once the §IV-C buffer is
+            // full, and that backlog is what backpressures the socket.
             let last = pkt.last_in_block;
-            if last {
-                let final_len = pkt.offset_in_block + pkt.payload.len() as u64;
-                let finalized = dn.store.finalize(block.id, block.gen, final_len)?;
-                // SMARTH's key move: the first node announces completion
-                // immediately (§III-A step 3).
-                if header.position == 0 && header.mode == WriteMode::Smarth {
-                    let _ = send_ack(
-                        &up_write,
-                        &PipelineAck {
-                            kind: AckKind::FirstNodeFinish,
-                            seq: pkt.seq,
-                            batch: 1,
-                            statuses: vec![AckStatus::Success],
-                        },
-                    );
-                    dn.obs.emit_traced(header.hop_ctx(), ObsEvent::FnfaSent {
-                        datanode: dn.id,
-                        block: block.id,
-                    });
-                }
-                dn.obs.emit_traced(header.hop_ctx(), ObsEvent::BlockReceived {
-                    datanode: dn.id,
-                    block: block.id,
-                    bytes: final_len,
-                });
-                dn.notify_block_received(finalized);
+            let n = pkt.payload.len() as u64;
+            let m = dn.obs.metrics();
+            m.datanode_buffered_bytes.add(n);
+            m.datanode_staging_packets.add(1);
+            if flush_tx.send(pkt).is_err() {
+                // Flusher already failed and reported upstream; its
+                // error is picked up at join below.
+                let m = dn.obs.metrics();
+                m.datanode_buffered_bytes.sub(n);
+                m.datanode_staging_packets.sub(1);
+                return Ok(());
             }
-            ack_tx.send((pkt.seq, last)).ok();
             if last {
                 break;
             }
@@ -540,15 +594,70 @@ fn run_write_threads(
         Ok(())
     })();
 
-    // Wind down: closing the forward queue lets the forwarder finish
-    // streaming buffered packets to the mirror, then exit.
+    // Wind down: closing the queues lets the flusher finish writing
+    // staged packets and the forwarder finish streaming to the mirror.
     drop(fwd_tx);
-    drop(ack_tx);
+    drop(flush_tx);
+    let flush_result = flusher.join().unwrap_or_else(|_| {
+        Err(DfsError::internal("flusher thread panicked"))
+    });
     if let Some(f) = forwarder {
         let _ = f.join();
     }
     let _ = responder.join();
-    result
+    // A flush failure is the root cause (the receiver usually dies
+    // second, with a derived connection error) — report it first.
+    match flush_result {
+        Err(e) => Err(e),
+        Ok(()) => result,
+    }
+}
+
+/// One packet through the flush stage: disk tokens, store append and —
+/// on the last packet — finalize, FNFA (first node, SMARTH) and the
+/// namenode `blockReceived` notification.
+fn flush_packet(
+    dn: &Arc<DnInner>,
+    header: &WriteBlockHeader,
+    up_write: &Mutex<WriteHalf>,
+    pkt: &Packet,
+) -> DfsResult<()> {
+    let block = header.block;
+    // Disk time: modelled as bucket tokens (§III-D's T_w is the
+    // per-packet constant; sustained rate is the disk bandwidth).
+    dn.disk
+        .acquire(pkt.payload.len())
+        .map_err(|_| DfsError::connection_lost("datanode stopping"))?;
+    dn.store
+        .write_packet(block.id, block.gen, pkt.offset_in_block, &pkt.payload)?;
+    if pkt.last_in_block {
+        let final_len = pkt.offset_in_block + pkt.payload.len() as u64;
+        let finalized = dn.store.finalize(block.id, block.gen, final_len)?;
+        // SMARTH's key move: the first node announces completion
+        // immediately (§III-A step 3).
+        if header.position == 0 && header.mode == WriteMode::Smarth {
+            let _ = send_ack(
+                up_write,
+                &PipelineAck {
+                    kind: AckKind::FirstNodeFinish,
+                    seq: pkt.seq,
+                    batch: 1,
+                    statuses: vec![AckStatus::Success],
+                },
+            );
+            dn.obs.emit_traced(header.hop_ctx(), ObsEvent::FnfaSent {
+                datanode: dn.id,
+                block: block.id,
+            });
+        }
+        dn.obs.emit_traced(header.hop_ctx(), ObsEvent::BlockReceived {
+            datanode: dn.id,
+            block: block.id,
+            bytes: final_len,
+        });
+        dn.notify_block_received(finalized);
+    }
+    Ok(())
 }
 
 fn handle_read(

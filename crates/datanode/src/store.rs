@@ -11,6 +11,7 @@ use parking_lot::Mutex;
 use smarth_core::error::{DfsError, DfsResult};
 use smarth_core::ids::{BlockId, ExtendedBlock, GenStamp};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 #[derive(Debug)]
 struct Replica {
@@ -25,14 +26,28 @@ struct Replica {
 /// fit comfortably, and the disk *timing* is modelled separately by the
 /// datanode's disk token bucket so storage latency still shows up in
 /// end-to-end numbers.
+/// The map lock is held only for id lookup/insert/remove; every
+/// per-packet operation then takes the *replica's own* lock, so packet
+/// writes to different blocks never serialize on one node-wide mutex.
+/// Lock order is always map → replica; nothing locks a replica first.
 #[derive(Debug, Default)]
 pub struct BlockStore {
-    replicas: Mutex<HashMap<BlockId, Replica>>,
+    replicas: Mutex<HashMap<BlockId, Arc<Mutex<Replica>>>>,
 }
 
 impl BlockStore {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Clones out the shared handle for one replica, releasing the map
+    /// lock before the caller touches replica state.
+    fn replica(&self, block: BlockId) -> DfsResult<Arc<Mutex<Replica>>> {
+        self.replicas
+            .lock()
+            .get(&block)
+            .cloned()
+            .ok_or(DfsError::UnknownBlock(block))
     }
 
     /// Creates an RBW replica.
@@ -48,30 +63,37 @@ impl BlockStore {
     pub fn create_rbw(&self, block: BlockId, gen: GenStamp) -> DfsResult<()> {
         let mut map = self.replicas.lock();
         if let Some(existing) = map.get(&block) {
-            if existing.finalized && existing.gen >= gen {
+            let mut rep = existing.lock();
+            if rep.finalized && rep.gen >= gen {
                 return Err(DfsError::internal(format!(
                     "replica {block} already finalized"
                 )));
             }
-            if existing.gen > gen {
+            if rep.gen > gen {
                 return Err(DfsError::StaleGeneration {
                     block,
-                    expected: existing.gen.raw(),
+                    expected: rep.gen.raw(),
                     got: gen.raw(),
                 });
             }
-            if existing.gen == gen {
+            if rep.gen == gen {
                 // Resume the recovered replica in place.
                 return Ok(());
             }
+            // Newer generation: reset in place so concurrent holders of
+            // this replica handle observe the restart.
+            rep.gen = gen;
+            rep.data = Vec::new();
+            rep.finalized = false;
+            return Ok(());
         }
         map.insert(
             block,
-            Replica {
+            Arc::new(Mutex::new(Replica {
                 gen,
                 data: Vec::new(),
                 finalized: false,
-            },
+            })),
         );
         Ok(())
     }
@@ -86,8 +108,8 @@ impl BlockStore {
         offset: u64,
         payload: &[u8],
     ) -> DfsResult<()> {
-        let mut map = self.replicas.lock();
-        let rep = map.get_mut(&block).ok_or(DfsError::UnknownBlock(block))?;
+        let rep = self.replica(block)?;
+        let mut rep = rep.lock();
         if rep.gen != gen {
             return Err(DfsError::StaleGeneration {
                 block,
@@ -127,8 +149,8 @@ impl BlockStore {
 
     /// Finalizes a replica at the given length.
     pub fn finalize(&self, block: BlockId, gen: GenStamp, len: u64) -> DfsResult<ExtendedBlock> {
-        let mut map = self.replicas.lock();
-        let rep = map.get_mut(&block).ok_or(DfsError::UnknownBlock(block))?;
+        let rep = self.replica(block)?;
+        let mut rep = rep.lock();
         if rep.gen != gen {
             return Err(DfsError::StaleGeneration {
                 block,
@@ -154,8 +176,8 @@ impl BlockStore {
         new_gen: GenStamp,
         new_len: u64,
     ) -> DfsResult<ExtendedBlock> {
-        let mut map = self.replicas.lock();
-        let rep = map.get_mut(&block).ok_or(DfsError::UnknownBlock(block))?;
+        let rep = self.replica(block)?;
+        let mut rep = rep.lock();
         if new_gen < rep.gen {
             return Err(DfsError::StaleGeneration {
                 block,
@@ -177,13 +199,12 @@ impl BlockStore {
 
     /// Current state of a replica: `(block, finalized)`.
     pub fn replica_info(&self, block: BlockId) -> Option<(ExtendedBlock, bool)> {
-        let map = self.replicas.lock();
-        map.get(&block).map(|r| {
-            (
-                ExtendedBlock::new(block, r.gen, r.data.len() as u64),
-                r.finalized,
-            )
-        })
+        let rep = self.replicas.lock().get(&block).cloned()?;
+        let r = rep.lock();
+        Some((
+            ExtendedBlock::new(block, r.gen, r.data.len() as u64),
+            r.finalized,
+        ))
     }
 
     /// Reads a range of a replica. Only finalized replicas of the right
@@ -195,8 +216,8 @@ impl BlockStore {
         offset: u64,
         len: u64,
     ) -> DfsResult<Vec<u8>> {
-        let map = self.replicas.lock();
-        let rep = map.get(&block).ok_or(DfsError::UnknownBlock(block))?;
+        let rep = self.replica(block)?;
+        let rep = rep.lock();
         if rep.gen != gen {
             return Err(DfsError::StaleGeneration {
                 block,
@@ -230,7 +251,7 @@ impl BlockStore {
         self.replicas
             .lock()
             .values()
-            .map(|r| r.data.len() as u64)
+            .map(|r| r.lock().data.len() as u64)
             .sum()
     }
 
@@ -244,7 +265,7 @@ impl BlockStore {
         let map = self.replicas.lock();
         let mut v: Vec<BlockId> = map
             .iter()
-            .filter(|(_, r)| !r.finalized)
+            .filter(|(_, r)| !r.lock().finalized)
             .map(|(id, _)| *id)
             .collect();
         v.sort();
@@ -256,8 +277,11 @@ impl BlockStore {
         let map = self.replicas.lock();
         let mut v: Vec<ExtendedBlock> = map
             .iter()
-            .filter(|(_, r)| r.finalized)
-            .map(|(id, r)| ExtendedBlock::new(*id, r.gen, r.data.len() as u64))
+            .filter_map(|(id, r)| {
+                let r = r.lock();
+                r.finalized
+                    .then(|| ExtendedBlock::new(*id, r.gen, r.data.len() as u64))
+            })
             .collect();
         v.sort_by_key(|b| b.id);
         v

@@ -12,6 +12,7 @@
 
 use parking_lot::{Condvar, Mutex};
 use smarth_core::units::Bandwidth;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 #[derive(Debug)]
@@ -31,6 +32,9 @@ struct BucketState {
 pub struct TokenBucket {
     state: Mutex<BucketState>,
     available: Condvar,
+    /// Number of times an `acquire` had to sleep waiting for tokens.
+    /// Observable so tests can assert the uncontended path never waits.
+    waits: AtomicU64,
 }
 
 /// Error returned when a bucket is closed while a caller waits on it.
@@ -57,6 +61,7 @@ impl TokenBucket {
                 closed: false,
             }),
             available: Condvar::new(),
+            waits: AtomicU64::new(0),
         }
     }
 
@@ -77,9 +82,32 @@ impl TokenBucket {
     /// Blocks until `n` bytes of tokens are available, then consumes
     /// them. Returns `Err(BucketClosed)` if the bucket is closed before
     /// the tokens could be granted.
+    ///
+    /// When the bucket already holds enough tokens the grant happens in
+    /// one shot — a single refill and subtraction under the lock, with
+    /// no sleep bookkeeping touched.
     pub fn acquire(&self, n: usize) -> Result<(), BucketClosed> {
         let mut st = self.state.lock();
+        // Uncontended fast path: grant in one shot when tokens suffice.
+        if st.closed {
+            return Err(BucketClosed);
+        }
+        if !st.rate.is_finite() {
+            return Ok(());
+        }
+        Self::refill(&mut st, Instant::now());
+        let need = n as f64;
+        if st.tokens >= need {
+            st.tokens -= need;
+            return Ok(());
+        }
         loop {
+            // Sleep roughly until the deficit refills; cap the wait so
+            // rate changes and close() are noticed promptly.
+            let deficit = need - st.tokens;
+            let wait = Duration::from_secs_f64((deficit / st.rate).clamp(0.000_05, 0.01));
+            self.waits.fetch_add(1, Ordering::Relaxed);
+            self.available.wait_for(&mut st, wait);
             if st.closed {
                 return Err(BucketClosed);
             }
@@ -87,17 +115,17 @@ impl TokenBucket {
                 return Ok(());
             }
             Self::refill(&mut st, Instant::now());
-            let need = n as f64;
             if st.tokens >= need {
                 st.tokens -= need;
                 return Ok(());
             }
-            // Sleep roughly until the deficit refills; cap the wait so
-            // rate changes and close() are noticed promptly.
-            let deficit = need - st.tokens;
-            let wait = Duration::from_secs_f64((deficit / st.rate).clamp(0.000_05, 0.01));
-            self.available.wait_for(&mut st, wait);
         }
+    }
+
+    /// How many times any `acquire` on this bucket has slept waiting for
+    /// tokens. Stays zero as long as every acquire hits the fast path.
+    pub fn waits(&self) -> u64 {
+        self.waits.load(Ordering::Relaxed)
     }
 
     /// Non-blocking acquire; true when tokens were consumed.
@@ -214,6 +242,21 @@ mod tests {
         let elapsed = start.elapsed().as_secs_f64();
         assert!(elapsed > 0.06, "sharing too fast: {elapsed}");
         assert!(elapsed < 0.4, "sharing too slow: {elapsed}");
+    }
+
+    #[test]
+    fn uncontended_acquire_never_sleeps() {
+        // The burst floor guarantees a fresh bucket holds ≥ 64 KiB, so a
+        // single 64 KiB acquire must take the one-shot fast path.
+        let b = TokenBucket::new(Bandwidth::mib_per_sec(1.0));
+        b.acquire(64 * 1024).unwrap();
+        assert_eq!(b.waits(), 0, "uncontended acquire slept");
+
+        // And once drained, the slow path does record its sleeps.
+        let b = TokenBucket::new(Bandwidth::mib_per_sec(1.0));
+        b.acquire(64 * 1024).unwrap();
+        b.acquire(16 * 1024).unwrap();
+        assert!(b.waits() > 0, "contended acquire should have waited");
     }
 
     #[test]

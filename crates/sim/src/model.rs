@@ -167,6 +167,12 @@ struct Hop {
     fwd_busy: bool,
     /// Bytes received but not yet fully forwarded (forward buffer).
     queue_bytes: u64,
+    /// Bytes received but not yet on disk — the staging queue between
+    /// the emulator datanode's receive and flush stages. Bounded by
+    /// `datanode_client_buffer`, so a slow disk pushes back on the
+    /// upstream sender exactly like the bounded flush channel does in
+    /// the emulated write path.
+    disk_queue_bytes: u64,
     waiting_credit: bool,
 }
 
@@ -323,6 +329,15 @@ impl Sim {
         (t_egress, t_ingress, t_ingress + self.latency)
     }
 
+    /// Whether `size` more bytes would overflow the hop's receive→flush
+    /// staging queue. Mirrors the emulator's bounded flush channel: the
+    /// bound is `datanode_client_buffer` at every hop, and an empty
+    /// queue always admits one packet.
+    fn staging_full(&self, pipe: usize, hop: usize, size: u64) -> bool {
+        let occ = self.pipes[pipe].hops[hop].disk_queue_bytes;
+        occ > 0 && occ + size > self.config.datanode_client_buffer.as_u64()
+    }
+
     // -- event handlers ----------------------------------------------------
 
     fn on_client_send(&mut self, pipe: usize) {
@@ -358,6 +373,15 @@ impl Sim {
                 return;
             }
         }
+        // Credit on the first node's receive→flush staging queue: the
+        // emulator bounds bytes waiting for disk by
+        // `datanode_client_buffer`, so a saturated disk stalls the
+        // sender. An empty queue always admits one packet (the bounded
+        // channel's minimum capacity of one).
+        if self.staging_full(pipe, 0, size) {
+            self.pipes[pipe].waiting_credit = true;
+            return;
+        }
         let (egress_free, _chain_done, arrival) =
             self.transmit(self.client_host, target0, self.now, size);
         self.pipes[pipe].next_send += 1;
@@ -379,6 +403,7 @@ impl Sim {
             if hop + 1 < n_hops {
                 h.queue_bytes += size;
             }
+            h.disk_queue_bytes += size;
         }
         // Disk: rate-limited write plus the fixed per-packet T_w.
         let disk_done = self.hosts[host]
@@ -419,6 +444,12 @@ impl Sim {
                 self.pipes[pipe].hops[hop].waiting_credit = true;
                 return;
             }
+        }
+        // Credit at the next hop's receive→flush staging queue — every
+        // hop (including the tail) bounds bytes awaiting disk.
+        if self.staging_full(pipe, hop + 1, size) {
+            self.pipes[pipe].hops[hop].waiting_credit = true;
+            return;
         }
         let earliest = if arrived_at > self.now { arrived_at } else { self.now };
         let (_egress_free, chain_done, arrival) = self.transmit(src, dst, earliest, size);
@@ -463,9 +494,23 @@ impl Sim {
     fn on_stored(&mut self, pipe: usize, hop: usize, pkt: u64) {
         let n_hops = self.pipes[pipe].hops.len();
         let is_last_pkt = pkt + 1 == self.pipes[pipe].packets;
+        let size = self.pipes[pipe].pkt_size(pkt);
         {
             let h = &mut self.pipes[pipe].hops[hop];
             h.stored[pkt as usize] = Some(self.now);
+            h.disk_queue_bytes = h.disk_queue_bytes.saturating_sub(size);
+        }
+        // Staging space freed — wake the upstream sender if it stalled
+        // on this hop's flush backlog. The rescheduled handler rechecks
+        // both the forward-buffer and staging credits before sending.
+        if hop == 0 {
+            if self.pipes[pipe].waiting_credit {
+                self.pipes[pipe].waiting_credit = false;
+                self.schedule_now(Ev::ClientSend { pipe });
+            }
+        } else if self.pipes[pipe].hops[hop - 1].waiting_credit {
+            self.pipes[pipe].hops[hop - 1].waiting_credit = false;
+            self.schedule_now(Ev::Forward { pipe, hop: hop - 1 });
         }
         if is_last_pkt {
             // The replica is fully on disk at this hop — the virtual twin
@@ -705,6 +750,7 @@ impl Sim {
                 fwd_next: 0,
                 fwd_busy: false,
                 queue_bytes: 0,
+                disk_queue_bytes: 0,
                 waiting_credit: false,
             })
             .collect();

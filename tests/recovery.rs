@@ -272,6 +272,94 @@ fn second_fault_during_recovery_attributed_as_nested() {
 }
 
 #[test]
+fn flush_stage_fault_surfaces_as_error_ack_and_recovers() {
+    // The staged write path moves disk writes onto a dedicated flusher
+    // thread. A flush-stage failure (here: the RBW replica vanishing
+    // under the flusher, so its next `write_packet` fails) must surface
+    // as an error ack on the existing ack stream — driving the client's
+    // normal recovery causes — not as a silent stall or a bare socket
+    // drop with no attribution.
+    use smarth::core::obs::{Obs, RecoveryCause, RingBufferSink};
+    use smarth::core::trace::TraceAssembler;
+
+    let mut spec = ClusterSpec::homogeneous(InstanceType::Large);
+    spec.hosts.retain(|h| {
+        h.role != smarth::core::HostRole::DataNode
+            || h.name
+                .strip_prefix("dn")
+                .and_then(|s| s.parse::<usize>().ok())
+                .is_some_and(|i| i < 6)
+    });
+    spec.link_latency = SimDuration::ZERO;
+    let sink = RingBufferSink::new(65_536);
+    let obs = Obs::new(sink.clone());
+    let cluster = MiniCluster::start_with_obs(&spec, fast_config(), 83, obs).unwrap();
+    let client = cluster.client().unwrap();
+    let data = random_data(91, 1_000_000);
+
+    let mut stream = client.create("/flush/fault.bin", WriteMode::Smarth).unwrap();
+    // Stay inside the first 256 KiB block so it cannot finalize before
+    // the fault lands: more packets for this block are still to come.
+    stream.write(&data[..100_000]).unwrap();
+
+    // Yank an in-flight RBW replica out from under a datanode's flusher.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    'found: loop {
+        for h in cluster.datanode_hosts() {
+            let store = cluster.datanode(&h).unwrap().store();
+            if let Some(block) = store.rbw_blocks().into_iter().next() {
+                assert!(store.remove(block), "rbw replica vanished before removal");
+                break 'found;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no in-flight replica appeared"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    // The rest of the block hits the gutted store: its flusher fails,
+    // acks the error upstream, and the client pipeline recovers.
+    stream.write(&data[100_000..]).unwrap();
+    let stats = stream.close().unwrap();
+    assert!(
+        stats.recoveries >= 1,
+        "flush fault must trigger a recovery, got {}",
+        stats.recoveries
+    );
+
+    // The incident carries a cause the recovery machinery already knows:
+    // the error ack yields datanode_error; the connection teardown that
+    // follows may be observed first on some interleavings.
+    let m = cluster.obs().metrics();
+    let attributed = m.recoveries(RecoveryCause::DatanodeError)
+        + m.recoveries(RecoveryCause::ConnectionLost)
+        + m.recoveries(RecoveryCause::AckTimeout);
+    assert!(
+        attributed >= 1,
+        "flush fault must be attributed to an existing recovery cause"
+    );
+
+    // Every recovery span in the assembled trace must be balanced: the
+    // incident reported a conclusion, not a dangling start.
+    let report = TraceAssembler::assemble(&sink.snapshot());
+    let spans: Vec<_> = report
+        .blocks
+        .iter()
+        .flat_map(|b| b.recoveries.iter())
+        .collect();
+    assert!(!spans.is_empty(), "trace must carry the recovery span");
+    assert!(
+        spans.iter().all(|r| r.end_us.is_some()),
+        "unbalanced recovery span in trace: {spans:?}"
+    );
+
+    assert_eq!(client.get("/flush/fault.bin").unwrap(), data);
+    cluster.shutdown();
+}
+
+#[test]
 fn stalled_datanode_record_ages_out_and_re_earns_after_restore() {
     // Speed-record aging (namenode side): with a half-life configured,
     // a datanode that stops producing fresh speed reports loses its

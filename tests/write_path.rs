@@ -1,0 +1,90 @@
+//! Integration tests for the staged datanode write path: the bounded
+//! receive→flush staging queue and its `datanode_buffered_bytes`
+//! accounting under a disk that cannot keep up with the network.
+
+use smarth::cluster::{random_data, MiniCluster};
+use smarth::core::units::{Bandwidth, ByteSize};
+use smarth::core::{ClusterSpec, DfsConfig, InstanceType, SimDuration, WriteMode};
+
+fn small_spec(datanodes: usize) -> ClusterSpec {
+    let mut spec = ClusterSpec::homogeneous(InstanceType::Large);
+    spec.hosts.retain(|h| {
+        h.role != smarth::core::HostRole::DataNode
+            || h.name
+                .strip_prefix("dn")
+                .and_then(|s| s.parse::<usize>().ok())
+                .is_some_and(|i| i < datanodes)
+    });
+    spec.link_latency = SimDuration::ZERO;
+    spec
+}
+
+#[test]
+fn stalled_disk_plateaus_staging_at_configured_buffer() {
+    // The receiver drains the socket into a staging queue sized from
+    // `datanode_client_buffer`; the flusher drains it at disk speed.
+    // With the disk far slower than the NIC the queue must fill to the
+    // configured bound — and no further: the bound is what turns a slow
+    // disk into socket backpressure instead of unbounded memory.
+    const BUFFER: u64 = 64 * 1024;
+    const PACKET: u64 = 16 * 1024;
+
+    let mut config = DfsConfig::test_scale();
+    // Single-hop pipelines so exactly one staging queue is live and the
+    // global gauge reads a single node's occupancy.
+    config.replication = 1;
+    config.datanode_client_buffer = ByteSize::bytes(BUFFER);
+    // ~250 KB/s against an effectively unthrottled NIC: the 256 KiB
+    // block outlasts the 64 KiB disk-token burst, so the flusher stalls
+    // while the receiver keeps staging.
+    config.disk_bandwidth = Bandwidth::mbps(2.0);
+
+    let cluster = MiniCluster::start(&small_spec(2), config, 11).unwrap();
+    let client = cluster.client().unwrap();
+    let data = random_data(5, 256 * 1024); // exactly one block
+    client.put("/wp/plateau.bin", &data, WriteMode::Hdfs).unwrap();
+
+    let m = cluster.obs().metrics();
+    let hw = m.datanode_buffered_bytes.high_water();
+    assert!(
+        hw >= BUFFER - PACKET,
+        "staging never built up to the bound: high water {hw} B"
+    );
+    // Add/sub bookkeeping straddles the channel send, so a reader can
+    // transiently observe up to two extra in-flight packets.
+    assert!(
+        hw <= BUFFER + 2 * PACKET,
+        "staging exceeded the configured buffer: high water {hw} B > {BUFFER} B"
+    );
+    assert_eq!(
+        m.datanode_buffered_bytes.get(),
+        0,
+        "staging must drain to zero after the upload"
+    );
+    assert_eq!(client.get("/wp/plateau.bin").unwrap(), data);
+    cluster.shutdown();
+}
+
+#[test]
+fn fast_disk_keeps_staging_shallow() {
+    // Control experiment: with the disk faster than the NIC the staging
+    // queue never approaches its bound — the flusher keeps up.
+    let mut config = DfsConfig::test_scale();
+    config.replication = 1;
+    config.datanode_client_buffer = ByteSize::bytes(256 * 1024);
+    config.disk_bandwidth = Bandwidth::unlimited();
+
+    let cluster = MiniCluster::start(&small_spec(2), config, 13).unwrap();
+    let client = cluster.client().unwrap();
+    let data = random_data(7, 256 * 1024);
+    client.put("/wp/shallow.bin", &data, WriteMode::Hdfs).unwrap();
+
+    let m = cluster.obs().metrics();
+    let hw = m.datanode_buffered_bytes.high_water();
+    assert!(
+        hw < 256 * 1024,
+        "unlimited disk should never fill the staging bound: high water {hw} B"
+    );
+    assert_eq!(m.datanode_buffered_bytes.get(), 0);
+    cluster.shutdown();
+}
