@@ -36,7 +36,7 @@ use std::path::PathBuf;
 
 const ALL_IDS: &[&str] = &[
     "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-    "ablations", "ext_storage", "soak", "conformance", "throughput",
+    "ablations", "ext_storage", "soak", "conformance", "throughput", "read-throughput",
 ];
 
 /// One conformance preset run through both engines: a single-client
@@ -46,6 +46,7 @@ fn paired_conformance_reports(
     instance: InstanceType,
     upload_bytes: usize,
     seed: u64,
+    read_back: bool,
 ) -> smarth_core::DfsResult<(TraceReport, TraceReport)> {
     let mut spec = ClusterSpec::homogeneous(instance);
     spec.cross_rack_throttle = Some(Bandwidth::mbps(300.0));
@@ -59,6 +60,9 @@ fn paired_conformance_reports(
     let client = cluster.client()?;
     let data = random_data(seed, upload_bytes);
     client.put("/conformance/a.bin", &data, WriteMode::Smarth)?;
+    if read_back {
+        client.get("/conformance/a.bin")?;
+    }
     cluster.shutdown();
     let emulator = TraceAssembler::assemble(&sink.snapshot());
 
@@ -72,24 +76,33 @@ fn paired_conformance_reports(
     );
     scenario.seed = seed;
     scenario.warmup_uploads = 0;
+    scenario.read_back = read_back;
     simulate_upload_with_obs(&scenario, obs);
     let sim = TraceAssembler::assemble(&sink.snapshot());
     Ok((emulator, sim))
 }
 
 fn run_conformance(out_dir: &std::path::Path, quick: bool) {
-    let presets: &[(&str, InstanceType, usize)] = if quick {
-        &[("large", InstanceType::Large, 2 * 1024 * 1024)]
+    // (preset, instance, bytes, read-back): the `read` preset does a
+    // put + full read-back on both engines, so the digests carry read
+    // admission and the diff checks it block-by-block.
+    let presets: &[(&str, InstanceType, usize, bool)] = if quick {
+        &[
+            ("large", InstanceType::Large, 2 * 1024 * 1024, false),
+            ("read", InstanceType::Medium, 2 * 1024 * 1024, true),
+        ]
     } else {
         &[
-            ("small", InstanceType::Small, 1024 * 1024),
-            ("medium", InstanceType::Medium, 2 * 1024 * 1024 + 512 * 1024),
-            ("large", InstanceType::Large, 5 * 1024 * 1024),
+            ("small", InstanceType::Small, 1024 * 1024, false),
+            ("medium", InstanceType::Medium, 2 * 1024 * 1024 + 512 * 1024, false),
+            ("large", InstanceType::Large, 5 * 1024 * 1024, false),
+            ("read", InstanceType::Medium, 2 * 1024 * 1024, true),
         ]
     };
-    for (name, instance, bytes) in presets {
+    for (name, instance, bytes, read_back) in presets {
         let id = format!("conformance_{name}");
-        let (emulator, sim) = match paired_conformance_reports(*instance, *bytes, 0xC0F0) {
+        let (emulator, sim) = match paired_conformance_reports(*instance, *bytes, 0xC0F0, *read_back)
+        {
             Ok(pair) => pair,
             Err(e) => {
                 eprintln!("{id}: paired run failed: {e}");
@@ -301,6 +314,119 @@ fn run_throughput(out_dir: &std::path::Path, quick: bool) {
     }
 }
 
+/// Cluster for the read baseline: the 3-DN throughput shape with every
+/// datanode NIC throttled well below the client's, so a whole-block
+/// read from one replica is source-bound and striping across the
+/// replica set has headroom to win.
+fn read_throughput_spec() -> ClusterSpec {
+    let mut spec = throughput_spec();
+    for h in &mut spec.hosts {
+        if h.role == smarth_core::HostRole::DataNode {
+            h.nic_throttle = Some(Bandwidth::mbps(150.0));
+        }
+    }
+    spec
+}
+
+/// Writes one multi-block file, warms the speed registry, then times
+/// `repeats` full striped reads with `read_stripes = stripes`.
+fn read_throughput_run(
+    workload: &'static str,
+    stripes: usize,
+    repeats: usize,
+    file_size: usize,
+) -> smarth_core::DfsResult<ThroughputRow> {
+    let mut config = throughput_config();
+    config.read_stripes = stripes;
+    let cluster = MiniCluster::start(&read_throughput_spec(), config, 42)?;
+    let client = cluster.client()?;
+    let data = random_data(0x5EED, file_size);
+    client.put("/read/baseline.bin", &data, WriteMode::Smarth)?;
+    client.flush_speed_report()?;
+    // Warm read: source speeds observed, not yet timed.
+    let warm = client.get("/read/baseline.bin")?;
+    assert_eq!(warm, data, "read must return the written bytes");
+    let t0 = std::time::Instant::now();
+    let mut bytes = 0u64;
+    for _ in 0..repeats {
+        bytes += client.get("/read/baseline.bin")?.len() as u64;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    cluster.shutdown();
+    Ok(ThroughputRow {
+        workload,
+        mode: WriteMode::Smarth,
+        bytes,
+        secs,
+    })
+}
+
+/// The `read-throughput` id: sequential (1 stripe) vs striped (config
+/// default) whole-file reads on the shaped 3-DN cluster, through the
+/// threaded emulator. Writes `BENCH_read_throughput.json` beside the
+/// write baseline.
+fn run_read_throughput(out_dir: &std::path::Path, quick: bool) {
+    let (repeats, file_size) = if quick {
+        (3, 2 * 1024 * 1024)
+    } else {
+        (6, 6 * 1024 * 1024)
+    };
+    let striped_stripes = DfsConfig::test_scale().read_stripes;
+    let runs: [(&'static str, usize); 2] =
+        [("sequential", 1), ("striped", striped_stripes)];
+    let mut rows: Vec<ThroughputRow> = Vec::new();
+    for (workload, stripes) in runs {
+        match read_throughput_run(workload, stripes, repeats, file_size) {
+            Ok(row) => rows.push(row),
+            Err(e) => eprintln!("read-throughput {workload} failed: {e}"),
+        }
+    }
+
+    let mut table = Table::new(
+        "read-throughput",
+        "read-path throughput: sequential vs striped (emulator, shaped 3-DN cluster)",
+        &["workload", "mode", "bytes", "secs", "Mbps"],
+    );
+    for r in &rows {
+        table.row(vec![
+            r.workload.to_string(),
+            r.mode.name().to_string(),
+            r.bytes.to_string(),
+            format!("{:.3}", r.secs),
+            format!("{:.1}", r.mbps()),
+        ]);
+    }
+    table.note("datanode NICs throttled to 150 Mbps so one-source reads are source-bound");
+    print!("{}", table.render());
+    if let Err(e) = table.save(out_dir) {
+        eprintln!("  failed to save read-throughput table: {e}");
+    }
+    if let [seq, striped] = &rows[..] {
+        println!(
+            "  striped/sequential speedup: {:.2}x\n",
+            striped.mbps() / seq.mbps()
+        );
+    }
+
+    let json = smarth_core::json::Value::Array(
+        rows.iter()
+            .map(|r| {
+                smarth_core::json::ObjectBuilder::new()
+                    .field("workload", r.workload)
+                    .field("mode", r.mode.name())
+                    .field("bytes", r.bytes)
+                    .field("secs", r.secs)
+                    .field("mbps", r.mbps())
+                    .build()
+            })
+            .collect(),
+    );
+    match std::fs::write("BENCH_read_throughput.json", json.to_string_pretty() + "\n") {
+        Ok(()) => println!("  saved BENCH_read_throughput.json\n"),
+        Err(e) => eprintln!("  failed to write BENCH_read_throughput.json: {e}"),
+    }
+}
+
 fn generate(id: &str, opts: FigureOpts) -> Option<Vec<Table>> {
     Some(match id {
         "table1" => vec![figures::table1()],
@@ -370,6 +496,12 @@ fn main() {
             // Saturation benchmark on the threaded emulator; records the
             // BENCH_throughput.json trajectory file at the repo root.
             run_throughput(&out_dir, quick);
+            continue;
+        }
+        if id == "read-throughput" {
+            // Read-path baseline (sequential vs striped); records
+            // BENCH_read_throughput.json beside the write baseline.
+            run_read_throughput(&out_dir, quick);
             continue;
         }
         let tables = generate(id, opts).expect("ids validated above");

@@ -2,19 +2,18 @@
 //! 3-second speed-report heartbeat (§III-B), stream creation and the
 //! `put`/`get` convenience paths used by every example and benchmark.
 
+use crate::istream::{DfsInputStream, SalvageReport};
 use crate::ostream::{DfsOutputStream, StreamStats};
 use crate::rpc::NamenodeClient;
 use parking_lot::Mutex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use smarth_core::checksum::ChunkedChecksum;
 use smarth_core::config::{DfsConfig, WriteMode};
 use smarth_core::error::{DfsError, DfsResult};
 use smarth_core::ids::ClientId;
 use smarth_core::obs::Obs;
-use smarth_core::proto::{DataOp, DataReply, FileStatus, LocatedBlock, Packet};
+use smarth_core::proto::FileStatus;
 use smarth_core::speed::ClientSpeedTracker;
-use smarth_core::wire::{recv_message, send_message};
 use smarth_fabric::Fabric;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -228,134 +227,30 @@ impl DfsClient {
         })
     }
 
-    /// Reads a whole file back, verifying checksums, trying replicas in
-    /// namenode order and failing over on dead nodes.
+    /// Opens a file for reading: block layout and speed-ordered replica
+    /// sets resolved once, striped/readahead reads over them.
+    pub fn open(&self, path: &str) -> DfsResult<DfsInputStream> {
+        DfsInputStream::open(Arc::clone(&self.ctx), path)
+    }
+
+    /// Reads a whole file back, verifying checksums, striping each block
+    /// across its replica set and failing over on dead, stalled or
+    /// corrupt replicas.
     pub fn get(&self, path: &str) -> DfsResult<Vec<u8>> {
-        let info = self
-            .ctx
-            .rpc
-            .file_info(path)?
-            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
-        if info.is_dir {
-            return Err(DfsError::IsADirectory(path.to_string()));
-        }
-        let blocks = self.ctx.rpc.block_locations(path)?;
-        let mut out = Vec::with_capacity(info.len as usize);
-        for lb in &blocks {
-            out.extend(self.read_block(lb)?);
-        }
-        if out.len() as u64 != info.len {
-            return Err(DfsError::internal(format!(
-                "read {} bytes, expected {}",
-                out.len(),
-                info.len
-            )));
-        }
-        Ok(out)
+        self.open(path)?.read_all()
     }
 
     /// Reads `len` bytes starting at `offset` — a positional read
     /// (`pread`) touching only the blocks that overlap the range.
     pub fn get_range(&self, path: &str, offset: u64, len: u64) -> DfsResult<Vec<u8>> {
-        let info = self
-            .ctx
-            .rpc
-            .file_info(path)?
-            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
-        if info.is_dir {
-            return Err(DfsError::IsADirectory(path.to_string()));
-        }
-        if offset.checked_add(len).is_none_or(|end| end > info.len) {
-            return Err(DfsError::internal(format!(
-                "range {offset}+{len} out of bounds for {path} ({} bytes)",
-                info.len
-            )));
-        }
-        let blocks = self.ctx.rpc.block_locations(path)?;
-        let mut out = Vec::with_capacity(len as usize);
-        let mut block_start = 0u64;
-        for lb in &blocks {
-            let block_end = block_start + lb.block.len;
-            let want_start = offset.max(block_start);
-            let want_end = (offset + len).min(block_end);
-            if want_start < want_end {
-                let within = self.read_block_range(
-                    lb,
-                    want_start - block_start,
-                    want_end - want_start,
-                )?;
-                out.extend(within);
-            }
-            block_start = block_end;
-            if block_start >= offset + len {
-                break;
-            }
-        }
-        if out.len() as u64 != len {
-            return Err(DfsError::internal(format!(
-                "ranged read returned {} of {len} bytes",
-                out.len()
-            )));
-        }
-        Ok(out)
+        self.open(path)?.read_range(offset, len)
     }
 
-    fn read_block(&self, lb: &LocatedBlock) -> DfsResult<Vec<u8>> {
-        self.read_block_range(lb, 0, lb.block.len)
-    }
-
-    fn read_block_range(
-        &self,
-        lb: &LocatedBlock,
-        offset: u64,
-        len: u64,
-    ) -> DfsResult<Vec<u8>> {
-        let csum = ChunkedChecksum::new(self.ctx.config.bytes_per_checksum);
-        let mut last_err =
-            DfsError::internal(format!("block {} has no replicas", lb.block.id));
-        for target in &lb.targets {
-            let attempt = (|| -> DfsResult<Vec<u8>> {
-                let mut stream = self.ctx.fabric.connect(&self.ctx.host, &target.addr)?;
-                send_message(
-                    &mut stream,
-                    &DataOp::ReadBlock {
-                        block: lb.block,
-                        offset,
-                        len,
-                    },
-                )?;
-                let expect = match recv_message::<DataReply>(&mut stream)? {
-                    DataReply::ReadOk { len: n } => n,
-                    DataReply::Error(e) => return Err(DfsError::internal(e)),
-                    other => {
-                        return Err(DfsError::internal(format!("unexpected {other:?}")))
-                    }
-                };
-                debug_assert_eq!(expect, len);
-                let mut data = Vec::with_capacity(expect as usize);
-                if expect > 0 {
-                    loop {
-                        let pkt: Packet = recv_message(&mut stream)?;
-                        if !csum.verify(&pkt.payload, &pkt.checksums) {
-                            return Err(DfsError::ChecksumMismatch {
-                                block: lb.block.id,
-                                seq: pkt.seq,
-                            });
-                        }
-                        data.extend_from_slice(&pkt.payload);
-                        if pkt.last_in_block {
-                            break;
-                        }
-                    }
-                }
-                Ok(data)
-            })();
-            match attempt {
-                Ok(data) => return Ok(data),
-                Err(e) => last_err = e,
-            }
-        }
-        Err(last_err)
+    /// Degraded read: recovers every intact block of a damaged file and
+    /// maps the unrecoverable ranges instead of erroring on the first
+    /// dead replica set.
+    pub fn get_salvage(&self, path: &str) -> DfsResult<SalvageReport> {
+        self.open(path)?.salvage()
     }
 
     pub fn file_info(&self, path: &str) -> DfsResult<Option<FileStatus>> {

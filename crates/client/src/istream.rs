@@ -1,0 +1,561 @@
+//! `DfsInputStream` — the SMARTH read path.
+//!
+//! Writes got the paper's full treatment (multi-pipeline transfer,
+//! speed-aware placement, local re-sort); this module gives reads the
+//! same first-class citizenship:
+//!
+//! * **Striped reads** — each block read is split into up to
+//!   [`DfsConfig::read_stripes`](smarth_core::config::DfsConfig) byte
+//!   ranges fetched in parallel from different replicas, sized by the
+//!   client's observed per-datanode speeds (§III-B turned around to
+//!   drive source selection instead of placement).
+//! * **Source ordering** — the namenode pre-orders each block's replica
+//!   set by the requesting client's speed registry; the client refines
+//!   that with its own fresher [`ClientSpeedTracker`] observations via
+//!   the same [`sort_infos_by`] re-sort Algorithm 2 uses on writes.
+//! * **Bounded readahead** — the next
+//!   [`DfsConfig::readahead_blocks`](smarth_core::config::DfsConfig)
+//!   blocks are fetched while the current one is being consumed.
+//! * **Deadline + failover** — every fetch attempt carries a read
+//!   deadline ([`DfsConfig::read_timeout`](smarth_core::config::DfsConfig));
+//!   a stalled, corrupt, truncated or dead replica converts into a
+//!   source switch, not a hang. Corrupt replicas are reported to the
+//!   namenode so future readers stop seeing them.
+//! * **Salvage** — [`DfsInputStream::salvage`] recovers every intact
+//!   block of a damaged file and maps the holes instead of erroring on
+//!   the first dead replica set.
+
+use crate::client::ClientCtx;
+use smarth_core::checksum::ChunkedChecksum;
+use smarth_core::error::{DfsError, DfsResult};
+use smarth_core::ids::{BlockId, DatanodeId};
+use smarth_core::localopt::sort_infos_by;
+use smarth_core::obs::{ObsEvent, RecoveryCause};
+use smarth_core::proto::{DataOp, DataReply, DatanodeInfo, FileStatus, LocatedBlock, Packet};
+use smarth_core::units::{ByteSize, SimDuration};
+use smarth_core::wire::{recv_message, send_message};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A byte range of the file that could not be recovered because every
+/// replica of its block is gone or corrupt.
+#[derive(Debug, Clone)]
+pub struct BlockGap {
+    pub block: BlockId,
+    /// Offset of the lost range within the file.
+    pub offset: u64,
+    pub len: u64,
+    /// The last per-replica error observed for the block.
+    pub error: String,
+}
+
+/// Outcome of a degraded read: everything that survived, plus a map of
+/// what didn't (the cs544 "recover as much data as possible" scenario).
+#[derive(Debug, Clone)]
+pub struct SalvageReport {
+    pub path: String,
+    pub file_len: u64,
+    /// Intact block contents as `(file_offset, data)`, in file order.
+    pub recovered: Vec<(u64, Vec<u8>)>,
+    /// Unrecoverable ranges, in file order.
+    pub gaps: Vec<BlockGap>,
+}
+
+impl SalvageReport {
+    pub fn recovered_bytes(&self) -> u64 {
+        self.recovered.iter().map(|(_, d)| d.len() as u64).sum()
+    }
+
+    pub fn lost_bytes(&self) -> u64 {
+        self.gaps.iter().map(|g| g.len).sum()
+    }
+
+    /// True when nothing was lost — the salvage is a normal full read.
+    pub fn is_complete(&self) -> bool {
+        self.gaps.is_empty()
+    }
+}
+
+/// A readable handle on one file: block layout resolved once at open,
+/// then striped/readahead reads over it.
+pub struct DfsInputStream {
+    ctx: Arc<ClientCtx>,
+    path: String,
+    info: FileStatus,
+    blocks: Vec<LocatedBlock>,
+}
+
+impl DfsInputStream {
+    pub(crate) fn open(ctx: Arc<ClientCtx>, path: &str) -> DfsResult<Self> {
+        let info = ctx
+            .rpc
+            .file_info(path)?
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        if info.is_dir {
+            return Err(DfsError::IsADirectory(path.to_string()));
+        }
+        let blocks = ctx.rpc.block_locations(ctx.id, path)?;
+        Ok(Self {
+            ctx,
+            path: path.to_string(),
+            info,
+            blocks,
+        })
+    }
+
+    pub fn len(&self) -> u64 {
+        self.info.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.info.len == 0
+    }
+
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The block layout resolved at open time, replica sets in namenode
+    /// speed order (diagnostics and fault-targeting in tests).
+    pub fn block_layout(&self) -> &[LocatedBlock] {
+        &self.blocks
+    }
+
+    /// Reads the whole file, striping each block across its replicas and
+    /// prefetching ahead of consumption.
+    pub fn read_all(&self) -> DfsResult<Vec<u8>> {
+        let windows: Vec<(usize, u64, u64)> = self
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, lb)| (i, 0, lb.block.len))
+            .collect();
+        let parts = self.read_windows(&windows)?;
+        let mut out = Vec::with_capacity(self.info.len as usize);
+        for p in parts {
+            out.extend_from_slice(&p);
+        }
+        if out.len() as u64 != self.info.len {
+            return Err(DfsError::internal(format!(
+                "read {} bytes, expected {}",
+                out.len(),
+                self.info.len
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Positional read (`pread`) of `len` bytes at `offset`, touching
+    /// only the overlapping blocks.
+    pub fn read_range(&self, offset: u64, len: u64) -> DfsResult<Vec<u8>> {
+        if offset.checked_add(len).is_none_or(|end| end > self.info.len) {
+            return Err(DfsError::OutOfRange {
+                path: self.path.clone(),
+                offset,
+                len,
+                file_len: self.info.len,
+            });
+        }
+        let mut windows = Vec::new();
+        let mut block_start = 0u64;
+        for (i, lb) in self.blocks.iter().enumerate() {
+            let block_end = block_start + lb.block.len;
+            let want_start = offset.max(block_start);
+            let want_end = (offset + len).min(block_end);
+            if want_start < want_end {
+                windows.push((i, want_start - block_start, want_end - want_start));
+            }
+            block_start = block_end;
+            if block_start >= offset + len {
+                break;
+            }
+        }
+        let parts = self.read_windows(&windows)?;
+        let mut out = Vec::with_capacity(len as usize);
+        for p in parts {
+            out.extend_from_slice(&p);
+        }
+        if out.len() as u64 != len {
+            return Err(DfsError::internal(format!(
+                "ranged read returned {} of {len} bytes",
+                out.len()
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Degraded read: recovers every block that still has an intact
+    /// replica and records a [`BlockGap`] for each one that doesn't,
+    /// instead of failing the whole read.
+    pub fn salvage(&self) -> DfsResult<SalvageReport> {
+        let mut recovered = Vec::new();
+        let mut gaps = Vec::new();
+        let mut block_start = 0u64;
+        for lb in &self.blocks {
+            match self.read_block_striped(lb, 0, lb.block.len) {
+                Ok(data) => recovered.push((block_start, data)),
+                Err(e) => gaps.push(BlockGap {
+                    block: lb.block.id,
+                    offset: block_start,
+                    len: lb.block.len,
+                    error: e.to_string(),
+                }),
+            }
+            block_start += lb.block.len;
+        }
+        Ok(SalvageReport {
+            path: self.path.clone(),
+            file_len: self.info.len,
+            recovered,
+            gaps,
+        })
+    }
+
+    /// Runs the given `(block_index, offset, len)` windows through the
+    /// striped fetcher, keeping up to `readahead_blocks` windows in
+    /// flight beyond the one being joined. Results come back in window
+    /// order; the first failure aborts the read.
+    fn read_windows(&self, windows: &[(usize, u64, u64)]) -> DfsResult<Vec<Vec<u8>>> {
+        let readahead = self.ctx.config.readahead_blocks;
+        let mut out = Vec::with_capacity(windows.len());
+        std::thread::scope(|s| -> DfsResult<()> {
+            let mut pending = VecDeque::new();
+            let mut next = 0usize;
+            for i in 0..windows.len() {
+                while next < windows.len() && next <= i + readahead {
+                    let (bi, off, wlen) = windows[next];
+                    let lb = &self.blocks[bi];
+                    pending.push_back(s.spawn(move || self.read_block_striped(lb, off, wlen)));
+                    next += 1;
+                }
+                let handle = pending.pop_front().expect("window spawned before join");
+                let data = handle
+                    .join()
+                    .map_err(|_| DfsError::internal("read worker panicked"))??;
+                out.push(data);
+            }
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Reads `[offset, offset+len)` of one block, split into parallel
+    /// range stripes across its replica set with per-stripe failover.
+    fn read_block_striped(&self, lb: &LocatedBlock, offset: u64, len: u64) -> DfsResult<Vec<u8>> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        if lb.targets.is_empty() {
+            return Err(DfsError::internal(format!(
+                "block {} has no live replicas",
+                lb.block.id
+            )));
+        }
+        // Namenode registry order, refined by the client's own fresher
+        // observations — the read-side analogue of Algorithm 2's local
+        // re-sort.
+        let mut targets = lb.targets.clone();
+        let mut order: Vec<DatanodeId> = targets.iter().map(|t| t.id).collect();
+        self.ctx.tracker.lock().sort_descending(&mut order);
+        sort_infos_by(&mut targets, &order);
+
+        let stripes = self.ctx.config.read_stripes.clamp(1, targets.len());
+        let cuts = self.stripe_cuts(&targets, stripes, len);
+        self.ctx.obs.emit(ObsEvent::ReadStarted {
+            client: self.ctx.id,
+            block: lb.block.id,
+            sources: targets.iter().map(|t| t.id).collect(),
+            stripes: stripes as u64,
+        });
+
+        let results: Vec<DfsResult<Vec<u8>>> = std::thread::scope(|s| {
+            let targets = &targets;
+            let handles: Vec<_> = (0..stripes)
+                .map(|i| {
+                    let start = offset + cuts[i];
+                    let slen = cuts[i + 1] - cuts[i];
+                    s.spawn(move || self.fetch_stripe(lb, targets, i, start, slen))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err(DfsError::internal("stripe worker panicked")))
+                })
+                .collect()
+        });
+        let mut data = Vec::with_capacity(len as usize);
+        for r in results {
+            data.extend_from_slice(&r?);
+        }
+        Ok(data)
+    }
+
+    /// Splits `len` bytes into `stripes` contiguous cuts weighted by the
+    /// locally observed speed of each stripe's primary source (unknown
+    /// sources weigh as the mean of the known ones).
+    fn stripe_cuts(&self, targets: &[DatanodeInfo], stripes: usize, len: u64) -> Vec<u64> {
+        let speeds: Vec<Option<f64>> = {
+            let tracker = self.ctx.tracker.lock();
+            targets[..stripes]
+                .iter()
+                .map(|t| tracker.speed_of(t.id).map(|b| b.as_bytes_per_sec()))
+                .collect()
+        };
+        let known: Vec<f64> = speeds.iter().flatten().copied().filter(|s| *s > 0.0).collect();
+        let mean = if known.is_empty() {
+            1.0
+        } else {
+            known.iter().sum::<f64>() / known.len() as f64
+        };
+        let weights: Vec<f64> = speeds
+            .iter()
+            .map(|s| match s {
+                Some(v) if *v > 0.0 => *v,
+                _ => mean,
+            })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut cuts = Vec::with_capacity(stripes + 1);
+        cuts.push(0u64);
+        let mut acc = 0.0;
+        for w in &weights[..stripes - 1] {
+            acc += w;
+            let cut = ((acc / total) * len as f64).round() as u64;
+            // Cuts must stay monotone even under degenerate weights.
+            cuts.push(cut.clamp(*cuts.last().expect("non-empty"), len));
+        }
+        cuts.push(len);
+        cuts
+    }
+
+    /// Fetches one stripe, failing over across the replica set starting
+    /// from the stripe's assigned source.
+    fn fetch_stripe(
+        &self,
+        lb: &LocatedBlock,
+        targets: &[DatanodeInfo],
+        stripe: usize,
+        offset: u64,
+        len: u64,
+    ) -> DfsResult<Vec<u8>> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let metrics = self.ctx.obs.metrics();
+        metrics.client_read_inflight_stripes.inc();
+        let result = self.fetch_stripe_with_failover(lb, targets, stripe, offset, len);
+        metrics.client_read_inflight_stripes.dec();
+        result
+    }
+
+    fn fetch_stripe_with_failover(
+        &self,
+        lb: &LocatedBlock,
+        targets: &[DatanodeInfo],
+        stripe: usize,
+        offset: u64,
+        len: u64,
+    ) -> DfsResult<Vec<u8>> {
+        let n = targets.len();
+        let mut last_err = DfsError::internal(format!("block {} has no replicas", lb.block.id));
+        let mut prev: Option<DatanodeId> = None;
+        for k in 0..n {
+            let target = &targets[(stripe + k) % n];
+            if let Some(from) = prev {
+                self.ctx.obs.emit(ObsEvent::SourceSwitched {
+                    block: lb.block.id,
+                    from,
+                    to: target.id,
+                    reason: switch_reason(&last_err).to_string(),
+                });
+            }
+            let started = Instant::now();
+            match self.fetch_once(lb, target, offset, len) {
+                Ok(data) => {
+                    // Reads feed the same §III-B tracker as writes, so
+                    // read experience shapes future source ordering and
+                    // the next heartbeat's speed report.
+                    self.ctx.tracker.lock().observe(
+                        target.id,
+                        ByteSize(len),
+                        SimDuration::from_secs_f64(started.elapsed().as_secs_f64()),
+                    );
+                    self.ctx.obs.emit(ObsEvent::StripeFetched {
+                        block: lb.block.id,
+                        source: target.id,
+                        offset,
+                        bytes: len,
+                    });
+                    self.ctx.obs.metrics().bytes_read.add(len);
+                    return Ok(data);
+                }
+                Err(e) => {
+                    if is_corrupt_replica(&e) {
+                        self.report_bad_replica(lb, target.id);
+                    }
+                    prev = Some(target.id);
+                    last_err = e;
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    /// One connection-level attempt against one replica. Any length
+    /// disagreement — announced vs requested, or delivered vs announced —
+    /// is treated as a corrupt replica, not trusted (the old read path
+    /// only `debug_assert`ed the announced length, so release builds
+    /// accepted truncated or over-long streams).
+    fn fetch_once(
+        &self,
+        lb: &LocatedBlock,
+        target: &DatanodeInfo,
+        offset: u64,
+        len: u64,
+    ) -> DfsResult<Vec<u8>> {
+        let csum = ChunkedChecksum::new(self.ctx.config.bytes_per_checksum);
+        let mut stream = self.ctx.fabric.connect(&self.ctx.host, &target.addr)?;
+        // Reads must never hang on a stalled datanode: every frame of
+        // this attempt shares one deadline, and blowing it converts into
+        // source failover at the caller.
+        let deadline = Instant::now()
+            + Duration::from_secs_f64(self.ctx.config.read_timeout.as_secs_f64());
+        stream.set_read_deadline(Some(deadline));
+        send_message(
+            &mut stream,
+            &DataOp::ReadBlock {
+                block: lb.block,
+                offset,
+                len,
+            },
+        )?;
+        let announced = match recv_message::<DataReply>(&mut stream)? {
+            DataReply::ReadOk { len: n } => n,
+            DataReply::Error(e) => return Err(DfsError::internal(e)),
+            other => return Err(DfsError::internal(format!("unexpected {other:?}"))),
+        };
+        if announced != len {
+            return Err(DfsError::internal(format!(
+                "corrupt replica: announced {announced} bytes for a {len}-byte read of block {}",
+                lb.block.id
+            )));
+        }
+        let mut data = Vec::with_capacity(len as usize);
+        if len > 0 {
+            loop {
+                let pkt: Packet = recv_message(&mut stream)?;
+                if !csum.verify(&pkt.payload, &pkt.checksums) {
+                    return Err(DfsError::ChecksumMismatch {
+                        block: lb.block.id,
+                        seq: pkt.seq,
+                    });
+                }
+                data.extend_from_slice(&pkt.payload);
+                if data.len() as u64 > len {
+                    return Err(DfsError::internal(format!(
+                        "corrupt replica: {} bytes delivered of {len} announced for block {}",
+                        data.len(),
+                        lb.block.id
+                    )));
+                }
+                if pkt.last_in_block {
+                    break;
+                }
+            }
+        }
+        if data.len() as u64 != len {
+            return Err(DfsError::internal(format!(
+                "corrupt replica: {} bytes delivered of {len} announced for block {}",
+                data.len(),
+                lb.block.id
+            )));
+        }
+        Ok(data)
+    }
+
+    /// Tells the namenode a replica is corrupt (it drops it from
+    /// location responses and schedules re-replication accounting) and
+    /// sinks it in the local tracker so sibling stripes stop preferring
+    /// it immediately.
+    fn report_bad_replica(&self, lb: &LocatedBlock, dn: DatanodeId) {
+        self.ctx.tracker.lock().observe_rate(dn, 1.0);
+        if self
+            .ctx
+            .rpc
+            .report_bad_replica(self.ctx.id, lb.block, dn)
+            .is_err()
+        {
+            // The read itself fails over fine, but the re-replication
+            // accounting the report should have triggered did not happen
+            // — the one failure only the namenode can cause.
+            self.ctx
+                .obs
+                .metrics()
+                .record_recovery(RecoveryCause::NamenodeError);
+            self.ctx.obs.emit(ObsEvent::RecoveryStarted {
+                block: lb.block.id,
+                attempt: 1,
+                cause: RecoveryCause::NamenodeError,
+                nested: false,
+            });
+        }
+    }
+}
+
+/// Corrupt-replica classification: checksum failures and length
+/// disagreements both mean the copy itself is bad (report it), as
+/// opposed to transport errors that only mean the path is bad.
+fn is_corrupt_replica(e: &DfsError) -> bool {
+    matches!(e, DfsError::ChecksumMismatch { .. })
+        || matches!(e, DfsError::Internal(m) if m.starts_with("corrupt replica"))
+}
+
+fn switch_reason(e: &DfsError) -> &'static str {
+    match e {
+        DfsError::Timeout(_) => "timeout",
+        DfsError::ChecksumMismatch { .. } => "checksum",
+        DfsError::ConnectionLost(_) => "connection",
+        DfsError::Internal(m) if m.starts_with("corrupt replica") => "length",
+        _ => "error",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corrupt_replica_classification() {
+        assert!(is_corrupt_replica(&DfsError::ChecksumMismatch {
+            block: BlockId(1),
+            seq: 0,
+        }));
+        assert!(is_corrupt_replica(&DfsError::internal(
+            "corrupt replica: announced 5 bytes for a 6-byte read of block blk_1"
+        )));
+        assert!(!is_corrupt_replica(&DfsError::Timeout("read".into())));
+        assert!(!is_corrupt_replica(&DfsError::internal(
+            "block blk_1 has no replicas"
+        )));
+    }
+
+    #[test]
+    fn switch_reasons_are_stable_labels() {
+        assert_eq!(switch_reason(&DfsError::Timeout("x".into())), "timeout");
+        assert_eq!(
+            switch_reason(&DfsError::ChecksumMismatch {
+                block: BlockId(1),
+                seq: 2
+            }),
+            "checksum"
+        );
+        assert_eq!(
+            switch_reason(&DfsError::internal("corrupt replica: short")),
+            "length"
+        );
+        assert_eq!(switch_reason(&DfsError::SafeMode), "error");
+    }
+}

@@ -9,11 +9,13 @@
 //! surface and the 3-second speed-report heartbeat (§III-B).
 
 mod client;
+pub mod istream;
 pub mod ostream;
 pub mod pipeline;
 pub mod rpc;
 
 pub use client::{DfsClient, UploadReport};
+pub use istream::{BlockGap, DfsInputStream, SalvageReport};
 pub use ostream::{DfsOutputStream, StreamStats};
 pub use pipeline::{Pipeline, PipelineEvent, PipelineEventKind};
 pub use rpc::NamenodeClient;

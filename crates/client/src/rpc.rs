@@ -178,11 +178,30 @@ impl NamenodeClient {
         }
     }
 
-    pub fn block_locations(&self, path: &str) -> DfsResult<Vec<LocatedBlock>> {
+    pub fn block_locations(&self, client: ClientId, path: &str) -> DfsResult<Vec<LocatedBlock>> {
         match self.call(&ClientRequest::GetBlockLocations {
+            client,
             path: path.to_string(),
         })? {
             ClientResponse::BlockLocations { blocks } => Ok(blocks),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Read path: tell the namenode a replica served corrupt or truncated
+    /// data so it stops handing it out and re-replicates.
+    pub fn report_bad_replica(
+        &self,
+        client: ClientId,
+        block: ExtendedBlock,
+        datanode: DatanodeId,
+    ) -> DfsResult<()> {
+        match self.call(&ClientRequest::ReportBadReplica {
+            client,
+            block,
+            datanode,
+        })? {
+            ClientResponse::BadReplicaAck => Ok(()),
             other => Err(unexpected(other)),
         }
     }

@@ -14,7 +14,7 @@ pub mod workload;
 
 pub use mini::MiniCluster;
 pub use replay::{replay_file, replay_json, ReplayOutcome};
-pub use soak::{Budget, FaultEvent, FaultKind, FaultPlan, SoakConfig, SoakReport, Trigger};
+pub use soak::{Budget, FaultEvent, FaultKind, FaultPlan, OpMix, SoakConfig, SoakReport, Trigger};
 pub use workload::{random_data, summarize, UploadSummary, UploadWorkload};
 
 #[cfg(test)]

@@ -422,9 +422,51 @@ pub enum Budget {
     OpsPerClient(usize),
 }
 
+/// Workload operation mix: the fraction of each worker's op roll given
+/// to creates, rewrites and deletes; whatever remains is verifying
+/// reads (`get` + content check, i.e. the striped read path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    pub create: f64,
+    pub rewrite: f64,
+    pub delete: f64,
+}
+
+impl OpMix {
+    /// The historical soak mix: mostly writes, 15% verifying reads.
+    pub fn write_dominant() -> Self {
+        OpMix { create: 0.55, rewrite: 0.15, delete: 0.15 }
+    }
+
+    /// Read-dominant: 65% verifying reads over a slowly churning file
+    /// population.
+    pub fn read_heavy() -> Self {
+        OpMix { create: 0.25, rewrite: 0.05, delete: 0.05 }
+    }
+
+    /// Balanced read/write churn: 40% verifying reads.
+    pub fn mixed() -> Self {
+        OpMix { create: 0.35, rewrite: 0.15, delete: 0.10 }
+    }
+
+    /// Fraction of ops left for verifying reads.
+    pub fn read(&self) -> f64 {
+        1.0 - self.create - self.rewrite - self.delete
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let parts = [self.create, self.rewrite, self.delete];
+        if parts.iter().any(|p| !(0.0..=1.0).contains(p)) || self.read() < -1e-9 {
+            return Err(format!("op_mix fractions must be in [0,1] and sum to <= 1: {self:?}"));
+        }
+        Ok(())
+    }
+}
+
 /// Full soak profile. Build one with a constructor
 /// ([`SoakConfig::smoke`], [`SoakConfig::deterministic`],
-/// [`SoakConfig::sustained`]) and adjust fields as needed.
+/// [`SoakConfig::sustained`], [`SoakConfig::read_heavy`],
+/// [`SoakConfig::mixed`]) and adjust fields as needed.
 #[derive(Debug, Clone)]
 pub struct SoakConfig {
     pub clients: usize,
@@ -452,6 +494,9 @@ pub struct SoakConfig {
     /// Attribution slack after a fault's direct effect ends.
     pub grace_ms: u64,
     pub cross_rack_mbps: Option<f64>,
+    /// Create/rewrite/delete fractions of each worker's op roll; the
+    /// remainder is verifying striped reads.
+    pub op_mix: OpMix,
 }
 
 impl SoakConfig {
@@ -478,6 +523,7 @@ impl SoakConfig {
             strict_fnfa: false,
             grace_ms: 6_000,
             cross_rack_mbps: Some(300.0),
+            op_mix: OpMix::write_dominant(),
         }
     }
 
@@ -528,6 +574,22 @@ impl SoakConfig {
                 },
             ],
         };
+        cfg
+    }
+
+    /// Read-heavy smoke: the [`Self::smoke`] cluster and fault plan with
+    /// a read-dominant op mix, so stalls and link drops land on striped
+    /// reads (source failover) at least as often as on pipelines.
+    pub fn read_heavy(seed: u64) -> Self {
+        let mut cfg = Self::smoke(seed);
+        cfg.op_mix = OpMix::read_heavy();
+        cfg
+    }
+
+    /// Balanced read/write churn over the [`Self::sustained`] shape.
+    pub fn mixed(clients: usize, secs: u64, seed: u64) -> Self {
+        let mut cfg = Self::sustained(clients, secs, seed);
+        cfg.op_mix = OpMix::mixed();
         cfg
     }
 
@@ -659,6 +721,14 @@ impl SoakConfig {
                 self.cross_rack_mbps.map(Value::from).unwrap_or(Value::Null),
             )
             .field(
+                "op_mix",
+                ObjectBuilder::new()
+                    .field("create", self.op_mix.create)
+                    .field("rewrite", self.op_mix.rewrite)
+                    .field("delete", self.op_mix.delete)
+                    .build(),
+            )
+            .field(
                 "max_pipelines_override",
                 opt_u64(self.config.max_pipelines_override.map(|n| n as u64)),
             )
@@ -736,6 +806,27 @@ impl SoakConfig {
                 .ok_or_else(|| "config: missing `strict_fnfa`".to_string())?,
             grace_ms: u("grace_ms")?,
             cross_rack_mbps: v.get("cross_rack_mbps").as_f64(),
+            // Absent in reports saved before the mix was tunable: those
+            // runs used the historical write-dominant thresholds.
+            op_mix: {
+                let m = v.get("op_mix");
+                if m.is_null() {
+                    OpMix::write_dominant()
+                } else {
+                    let f = |key: &str| {
+                        m.get(key)
+                            .as_f64()
+                            .ok_or_else(|| format!("config: op_mix missing `{key}`"))
+                    };
+                    let mix = OpMix {
+                        create: f("create")?,
+                        rewrite: f("rewrite")?,
+                        delete: f("delete")?,
+                    };
+                    mix.validate()?;
+                    mix
+                }
+            },
         })
     }
 }
@@ -1337,8 +1428,9 @@ fn run_worker(
             }
         }
         let (lo, hi) = cfg.file_size_range;
+        let mix = cfg.op_mix;
         let roll: f64 = rng.gen_range(0.0..1.0);
-        if files.is_empty() || roll < 0.55 {
+        if files.is_empty() || roll < mix.create {
             // Create a new file.
             let len = if hi > lo { rng.gen_range(lo..hi + 1) } else { lo };
             let path = format!("/soak/c{idx}/f{file_no}");
@@ -1351,7 +1443,7 @@ fn run_worker(
                 }
                 Err(e) => w.record_error("create", &e),
             }
-        } else if roll < 0.70 {
+        } else if roll < mix.create + mix.rewrite {
             // Re-write an existing file with fresh content.
             let i = rng.gen_range(0..files.len());
             let len = if hi > lo { rng.gen_range(lo..hi + 1) } else { lo };
@@ -1365,7 +1457,7 @@ fn run_worker(
                 }
                 Err(e) => w.record_error("rewrite", &e),
             }
-        } else if roll < 0.85 {
+        } else if roll < mix.create + mix.rewrite + mix.delete {
             let i = rng.gen_range(0..files.len());
             let (path, _, _) = files.swap_remove(i);
             match client.delete(&path) {
@@ -1489,6 +1581,7 @@ pub fn run(cfg: &SoakConfig) -> DfsResult<SoakReport> {
     cfg.plan
         .validate(cfg.clients, cfg.datanodes)
         .map_err(DfsError::Internal)?;
+    cfg.op_mix.validate().map_err(DfsError::Internal)?;
     let spec = cfg.build_spec();
 
     let ring = RingBufferSink::new(cfg.ring_capacity);
@@ -1892,6 +1985,8 @@ mod tests {
             SoakConfig::deterministic(42),
             SoakConfig::smoke(7),
             SoakConfig::sustained(4, 30, 9),
+            SoakConfig::read_heavy(11),
+            SoakConfig::mixed(4, 30, 13),
         ] {
             let back = SoakConfig::from_json(&cfg.to_json()).unwrap();
             assert_eq!(back.clients, cfg.clients);
@@ -1905,6 +2000,7 @@ mod tests {
             assert_eq!(back.strict_fnfa, cfg.strict_fnfa);
             assert_eq!(back.grace_ms, cfg.grace_ms);
             assert_eq!(back.cross_rack_mbps, cfg.cross_rack_mbps);
+            assert_eq!(back.op_mix, cfg.op_mix);
             assert_eq!(
                 back.config.max_pipelines_override,
                 cfg.config.max_pipelines_override

@@ -110,6 +110,18 @@ pub struct DfsConfig {
     /// Which pipeline hops verify packet checksums (default:
     /// [`VerifyChecksumsAt::TailOnly`], matching real HDFS).
     pub verify_checksums_at: VerifyChecksumsAt,
+    /// Per-attempt deadline for one read stripe. A datanode that stalls
+    /// longer than this (the soak harness's 0.5 Mbps stall fault) is
+    /// abandoned and the stripe fails over to the next replica instead of
+    /// hanging the reader forever.
+    pub read_timeout: SimDuration,
+    /// Maximum number of parallel range stripes one block read is split
+    /// into. Clamped to the block's replica count at run time; 1 restores
+    /// the sequential single-source read.
+    pub read_stripes: usize,
+    /// How many blocks beyond the one being consumed the input stream
+    /// prefetches (bounded readahead). 0 disables readahead.
+    pub readahead_blocks: usize,
 }
 
 impl Default for DfsConfig {
@@ -144,6 +156,9 @@ impl DfsConfig {
             fnfa_latency_buckets_us: None,
             speed_half_life: None,
             verify_checksums_at: VerifyChecksumsAt::TailOnly,
+            read_timeout: SimDuration::from_secs(30),
+            read_stripes: 3,
+            readahead_blocks: 1,
         }
     }
 
@@ -175,6 +190,10 @@ impl DfsConfig {
             fnfa_latency_buckets_us: Some(Self::test_scale_fnfa_buckets()),
             speed_half_life: None,
             verify_checksums_at: VerifyChecksumsAt::TailOnly,
+            // A stalled test read should fail over fast, not after 30 s.
+            read_timeout: SimDuration::from_secs(2),
+            read_stripes: 3,
+            readahead_blocks: 1,
         }
     }
 
@@ -241,6 +260,12 @@ impl DfsConfig {
             if hl <= SimDuration::ZERO {
                 return Err("speed_half_life must be positive".into());
             }
+        }
+        if self.read_timeout <= SimDuration::ZERO {
+            return Err("read_timeout must be positive".into());
+        }
+        if self.read_stripes == 0 {
+            return Err("read_stripes must be at least 1".into());
         }
         Ok(())
     }
@@ -567,6 +592,25 @@ mod tests {
         let mut c = DfsConfig::test_scale();
         c.fnfa_latency_buckets_us = Some(Vec::new());
         assert!(c.validate().is_err(), "empty bounds must fail");
+
+        let mut c = DfsConfig::test_scale();
+        c.read_timeout = SimDuration::ZERO;
+        assert!(c.validate().is_err(), "zero read timeout must fail");
+
+        let mut c = DfsConfig::test_scale();
+        c.read_stripes = 0;
+        assert!(c.validate().is_err(), "zero read stripes must fail");
+    }
+
+    #[test]
+    fn read_knobs_default_per_scale() {
+        let paper = DfsConfig::paper_scale();
+        assert_eq!(paper.read_timeout, SimDuration::from_secs(30));
+        assert_eq!(paper.read_stripes, 3);
+        assert_eq!(paper.readahead_blocks, 1);
+        let test = DfsConfig::test_scale();
+        assert!(test.read_timeout < paper.read_timeout, "tests fail fast");
+        assert_eq!(test.read_stripes, 3);
     }
 
     #[test]

@@ -49,6 +49,12 @@ pub struct BlockDigest {
     /// pipeline span — `(finished - open) / (close - open)` per hop,
     /// sorted ascending so target-order differences don't register.
     pub hop_residency: Vec<f64>,
+    /// Striped-read admission over this block: read spans observed,
+    /// stripes announced across them, and bytes fetched. Dimensionless
+    /// (counts, not times), so directly engine-comparable.
+    pub reads: usize,
+    pub read_stripes: u64,
+    pub read_bytes: u64,
 }
 
 /// Engine-comparable summary of one [`TraceReport`].
@@ -108,6 +114,9 @@ impl TraceDigest {
                     targets: b.targets.len(),
                     recoveries: b.recoveries.len(),
                     hop_residency,
+                    reads: b.reads.len(),
+                    read_stripes: b.reads.iter().map(|r| r.stripes).sum(),
+                    read_bytes: b.reads.iter().map(|r| r.bytes).sum(),
                 }
             })
             .collect();
@@ -196,6 +205,9 @@ impl TraceDigest {
                         "hop_residency",
                         Value::Array(b.hop_residency.iter().map(|&r| Value::from(r)).collect()),
                     )
+                    .field("reads", b.reads)
+                    .field("read_stripes", b.read_stripes)
+                    .field("read_bytes", b.read_bytes)
                     .build()
             })
             .collect();
@@ -253,6 +265,11 @@ impl TraceDigest {
                         .iter()
                         .map(|r| r.as_f64().ok_or("hop residency value"))
                         .collect::<Result<_, _>>()?,
+                    // Absent in digests saved before the read path
+                    // existed — a write-only workload.
+                    reads: b.get("reads").as_u64().unwrap_or(0) as usize,
+                    read_stripes: b.get("read_stripes").as_u64().unwrap_or(0),
+                    read_bytes: b.get("read_bytes").as_u64().unwrap_or(0),
                 })
             })
             .collect::<Result<Vec<_>, &str>>()
@@ -506,6 +523,23 @@ pub fn diff_digests(
         0.0,
     ));
 
+    // Read admission is structural too: both engines must stripe every
+    // block the same way (same span count, same announced stripes, same
+    // bytes delivered) for the workloads to count as the same.
+    let read_mismatches = paired
+        .iter()
+        .filter(|(x, y)| {
+            (x.reads, x.read_stripes, x.read_bytes) != (y.reads, y.read_stripes, y.read_bytes)
+        })
+        .count() as u64;
+    metrics.push(MetricDiff::counts(
+        "read_admission_mismatches",
+        read_mismatches,
+        0,
+        0,
+        0.0,
+    ));
+
     metrics.push(MetricDiff::counts(
         "fnfa_count",
         a.fnfa_count,
@@ -695,6 +729,65 @@ mod tests {
             .failures()
             .iter()
             .any(|m| m.name == "block_size_mismatches"));
+    }
+
+    /// Appends a clean 2-stripe read-back of `block` to an event stream.
+    fn append_read(events: &mut Vec<EventRecord>, block: BlockId, virt: bool) {
+        let seq0 = events.iter().map(|r| r.seq).max().unwrap_or(0);
+        let at0 = events.iter().map(|r| r.at_us).max().unwrap_or(0);
+        let (d1, d2) = (DatanodeId(1), DatanodeId(2));
+        events.push(rec(
+            seq0 + 1,
+            at0 + 10,
+            virt,
+            ObsEvent::ReadStarted {
+                client: ClientId(1),
+                block,
+                sources: vec![d1, d2],
+                stripes: 2,
+            },
+        ));
+        events.push(rec(
+            seq0 + 2,
+            at0 + 20,
+            virt,
+            ObsEvent::StripeFetched { block, source: d1, offset: 0, bytes: 2048 },
+        ));
+        events.push(rec(
+            seq0 + 3,
+            at0 + 25,
+            virt,
+            ObsEvent::StripeFetched { block, source: d2, offset: 2048, bytes: 2048 },
+        ));
+    }
+
+    #[test]
+    fn read_admission_divergence_is_structural() {
+        // Both engines write the same two blocks; only engine A reads
+        // the first one back. That is a structural failure no band can
+        // absorb — and once B reads it identically, the diff passes
+        // with the read columns matched exactly.
+        let mut a_events = stream(1, true, 0);
+        append_read(&mut a_events, BlockId(101), true);
+        let a = TraceDigest::from_report(&TraceAssembler::assemble(&a_events));
+        assert_eq!(a.blocks[0].reads, 1);
+        assert_eq!(a.blocks[0].read_stripes, 2);
+        assert_eq!(a.blocks[0].read_bytes, 4096);
+
+        let b_events = stream(1, false, 0);
+        let b = TraceDigest::from_report(&TraceAssembler::assemble(&b_events));
+        let verdict = diff_digests("read-miss", &a, &b, ToleranceBands::default());
+        assert!(!verdict.pass);
+        assert!(verdict
+            .failures()
+            .iter()
+            .any(|m| m.name == "read_admission_mismatches"));
+
+        let mut b_events = stream(1, false, 0);
+        append_read(&mut b_events, BlockId(101), false);
+        let b = TraceDigest::from_report(&TraceAssembler::assemble(&b_events));
+        let verdict = diff_digests("read-match", &a, &b, ToleranceBands::default());
+        assert!(verdict.pass, "{}", verdict.render());
     }
 
     #[test]

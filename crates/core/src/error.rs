@@ -59,6 +59,13 @@ pub enum DfsError {
     PipelineLimit {
         limit: usize,
     },
+    /// A ranged read asked for bytes beyond the end of the file.
+    OutOfRange {
+        path: String,
+        offset: u64,
+        len: u64,
+        file_len: u64,
+    },
     /// Malformed frame on the wire.
     Codec(String),
     /// The operation timed out.
@@ -127,6 +134,15 @@ impl fmt::Display for DfsError {
             DfsError::PipelineLimit { limit } => {
                 write!(f, "pipeline limit reached (max {limit})")
             }
+            DfsError::OutOfRange {
+                path,
+                offset,
+                len,
+                file_len,
+            } => write!(
+                f,
+                "range {offset}+{len} out of bounds for {path} ({file_len} bytes)"
+            ),
             DfsError::Codec(m) => write!(f, "codec error: {m}"),
             DfsError::Timeout(m) => write!(f, "timeout: {m}"),
             DfsError::Internal(m) => write!(f, "internal error: {m}"),
@@ -156,6 +172,15 @@ mod tests {
             available: 1
         }
         .is_recoverable());
+        // An out-of-range read is a caller error, not a replica fault:
+        // failing over to another source cannot make it succeed.
+        assert!(!DfsError::OutOfRange {
+            path: "/a".into(),
+            offset: 10,
+            len: 5,
+            file_len: 12
+        }
+        .is_recoverable());
     }
 
     #[test]
@@ -170,5 +195,15 @@ mod tests {
             "stale generation for blk_9: expected gs_2, got gs_1"
         );
         assert!(DfsError::SafeMode.to_string().contains("safe mode"));
+        let oob = DfsError::OutOfRange {
+            path: "/pr/f.bin".into(),
+            offset: 640_000,
+            len: 1,
+            file_len: 640_000,
+        };
+        assert_eq!(
+            oob.to_string(),
+            "range 640000+1 out of bounds for /pr/f.bin (640000 bytes)"
+        );
     }
 }

@@ -60,7 +60,11 @@ pub fn local_optimize(
     }
 }
 
-fn sort_infos_by(targets: &mut [DatanodeInfo], order: &[DatanodeId]) {
+/// Re-orders `targets` to follow `order`, leaving ids absent from `order`
+/// at the back in their original relative order. The write path uses this
+/// inside [`local_optimize`]; the read path calls it directly to impose a
+/// speed ranking on a block's replica sources.
+pub fn sort_infos_by(targets: &mut [DatanodeInfo], order: &[DatanodeId]) {
     // `order` is normally a permutation of the target ids, but a
     // duplicated or unknown target must not take the stream down: any id
     // missing from `order` sorts after every known one, and the stable

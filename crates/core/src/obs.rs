@@ -203,6 +203,29 @@ pub enum ObsEvent {
     },
     /// The namenode ingested a client speed report (heartbeat piggyback).
     SpeedReportIngested { client: ClientId, records: u64 },
+    /// A client began reading one block, split across `stripes` parallel
+    /// range stripes over the listed sources (speed-ranked, best first).
+    ReadStarted {
+        client: ClientId,
+        block: BlockId,
+        sources: Vec<DatanodeId>,
+        stripes: u64,
+    },
+    /// One range stripe of a block read completed from a source.
+    StripeFetched {
+        block: BlockId,
+        source: DatanodeId,
+        offset: u64,
+        bytes: u64,
+    },
+    /// A read stripe abandoned its source (stall, corruption, short or
+    /// over-long payload) and failed over to another replica.
+    SourceSwitched {
+        block: BlockId,
+        from: DatanodeId,
+        to: DatanodeId,
+        reason: String,
+    },
 }
 
 impl ObsEvent {
@@ -222,6 +245,9 @@ impl ObsEvent {
             ObsEvent::ExplorationSwap { .. } => "exploration_swap",
             ObsEvent::PlacementDecision { .. } => "placement_decision",
             ObsEvent::SpeedReportIngested { .. } => "speed_report_ingested",
+            ObsEvent::ReadStarted { .. } => "read_started",
+            ObsEvent::StripeFetched { .. } => "stripe_fetched",
+            ObsEvent::SourceSwitched { .. } => "source_switched",
         }
     }
 
@@ -318,6 +344,36 @@ impl ObsEvent {
             ObsEvent::SpeedReportIngested { client, records } => obj
                 .field("client", client.raw())
                 .field("records", *records),
+            ObsEvent::ReadStarted {
+                client,
+                block,
+                sources,
+                stripes,
+            } => obj
+                .field("client", client.raw())
+                .field("block", block.raw())
+                .field("sources", ids(sources))
+                .field("stripes", *stripes),
+            ObsEvent::StripeFetched {
+                block,
+                source,
+                offset,
+                bytes,
+            } => obj
+                .field("block", block.raw())
+                .field("source", source.raw() as u64)
+                .field("offset", *offset)
+                .field("bytes", *bytes),
+            ObsEvent::SourceSwitched {
+                block,
+                from,
+                to,
+                reason,
+            } => obj
+                .field("block", block.raw())
+                .field("from", from.raw() as u64)
+                .field("to", to.raw() as u64)
+                .field("reason", reason.as_str()),
         }
     }
 
@@ -335,7 +391,10 @@ impl ObsEvent {
             | ObsEvent::RecoveryStep { block, .. }
             | ObsEvent::RecoveryFinished { block, .. }
             | ObsEvent::ExplorationSwap { block, .. }
-            | ObsEvent::PlacementDecision { block, .. } => Some(*block),
+            | ObsEvent::PlacementDecision { block, .. }
+            | ObsEvent::ReadStarted { block, .. }
+            | ObsEvent::StripeFetched { block, .. }
+            | ObsEvent::SourceSwitched { block, .. } => Some(*block),
             ObsEvent::SpeedReportIngested { .. } => None,
         }
     }
@@ -955,6 +1014,15 @@ pub struct Metrics {
     pub datanode_forward_bytes: Gauge,
     /// Packets currently in datanode staging queues (flush-stage depth).
     pub datanode_staging_packets: Gauge,
+    /// Payload bytes read back and verified by clients.
+    pub bytes_read: Counter,
+    /// Read stripes currently being fetched, across all client reads;
+    /// `high_water()` is the effective read parallelism achieved.
+    pub client_read_inflight_stripes: Gauge,
+    /// Corrupt/truncated replicas reported to the namenode by readers.
+    pub bad_replicas_reported: Counter,
+    /// Re-replications the namenode scheduled after bad-replica reports.
+    pub re_replications_scheduled: Counter,
 }
 
 impl Metrics {
@@ -1014,6 +1082,20 @@ impl Metrics {
             .field(
                 "datanode_staging_packets_high_water",
                 self.datanode_staging_packets.high_water(),
+            )
+            .field("bytes_read", self.bytes_read.get())
+            .field(
+                "client_read_inflight_stripes",
+                self.client_read_inflight_stripes.get(),
+            )
+            .field(
+                "client_read_inflight_stripes_high_water",
+                self.client_read_inflight_stripes.high_water(),
+            )
+            .field("bad_replicas_reported", self.bad_replicas_reported.get())
+            .field(
+                "re_replications_scheduled",
+                self.re_replications_scheduled.get(),
             )
             .build()
     }

@@ -270,7 +270,18 @@ pub enum ClientRequest {
         records: Vec<SpeedRecord>,
     },
     GetFileInfo { path: String },
-    GetBlockLocations { path: String },
+    /// Read path: block list plus replica locations. Carries the client
+    /// id so the namenode can order each block's sources by that
+    /// client's observed speeds (§III-B applied to reads).
+    GetBlockLocations { client: ClientId, path: String },
+    /// Read path: a reader observed a corrupt or truncated replica. The
+    /// namenode drops the replica from future location responses and
+    /// schedules re-replication accounting.
+    ReportBadReplica {
+        client: ClientId,
+        block: ExtendedBlock,
+        datanode: DatanodeId,
+    },
     /// Namespace listing (for examples/tools).
     List { path: String },
     Delete { path: String },
@@ -288,6 +299,7 @@ pub enum ClientResponse {
     Completed,
     Abandoned,
     AdditionalDatanodes { targets: Vec<DatanodeInfo> },
+    BadReplicaAck,
     RecoveryStamp { new_gen: GenStamp },
     SpeedsAck,
     FileInfo(Option<FileStatus>),
@@ -310,6 +322,7 @@ const CR_FILE_INFO: u8 = 9;
 const CR_LOCATIONS: u8 = 10;
 const CR_LIST: u8 = 11;
 const CR_DELETE: u8 = 12;
+const CR_BAD_REPLICA: u8 = 13;
 
 impl Wire for ClientRequest {
     fn encode(&self, w: &mut WireWriter) {
@@ -421,9 +434,20 @@ impl Wire for ClientRequest {
                 w.put_u8(CR_FILE_INFO);
                 w.put_str(path);
             }
-            ClientRequest::GetBlockLocations { path } => {
+            ClientRequest::GetBlockLocations { client, path } => {
                 w.put_u8(CR_LOCATIONS);
+                w.put_u64(client.raw());
                 w.put_str(path);
+            }
+            ClientRequest::ReportBadReplica {
+                client,
+                block,
+                datanode,
+            } => {
+                w.put_u8(CR_BAD_REPLICA);
+                w.put_u64(client.raw());
+                block.encode(w);
+                w.put_u32(datanode.raw());
             }
             ClientRequest::List { path } => {
                 w.put_u8(CR_LIST);
@@ -518,7 +542,15 @@ impl Wire for ClientRequest {
                 records: decode_vec(r)?,
             },
             CR_FILE_INFO => ClientRequest::GetFileInfo { path: r.get_str()? },
-            CR_LOCATIONS => ClientRequest::GetBlockLocations { path: r.get_str()? },
+            CR_LOCATIONS => ClientRequest::GetBlockLocations {
+                client: ClientId(r.get_u64()?),
+                path: r.get_str()?,
+            },
+            CR_BAD_REPLICA => ClientRequest::ReportBadReplica {
+                client: ClientId(r.get_u64()?),
+                block: ExtendedBlock::decode(r)?,
+                datanode: DatanodeId(r.get_u32()?),
+            },
             CR_LIST => ClientRequest::List { path: r.get_str()? },
             CR_DELETE => ClientRequest::Delete { path: r.get_str()? },
             x => return Err(DfsError::codec(format!("unknown ClientRequest tag {x}"))),
@@ -539,6 +571,7 @@ const CP_FILE_INFO: u8 = 9;
 const CP_LOCATIONS: u8 = 10;
 const CP_LISTING: u8 = 11;
 const CP_DELETED: u8 = 12;
+const CP_BAD_REPLICA_ACK: u8 = 13;
 const CP_ERROR: u8 = 255;
 
 impl Wire for ClientResponse {
@@ -590,6 +623,7 @@ impl Wire for ClientResponse {
                 w.put_u8(CP_DELETED);
                 w.put_bool(*existed);
             }
+            ClientResponse::BadReplicaAck => w.put_u8(CP_BAD_REPLICA_ACK),
             ClientResponse::Error(msg) => {
                 w.put_u8(CP_ERROR);
                 w.put_str(msg);
@@ -634,6 +668,7 @@ impl Wire for ClientResponse {
             CP_DELETED => ClientResponse::Deleted {
                 existed: r.get_bool()?,
             },
+            CP_BAD_REPLICA_ACK => ClientResponse::BadReplicaAck,
             CP_ERROR => ClientResponse::Error(r.get_str()?),
             x => return Err(DfsError::codec(format!("unknown ClientResponse tag {x}"))),
         })
@@ -1167,6 +1202,15 @@ mod tests {
             }],
         });
         roundtrip(ClientRequest::Delete { path: "/x".into() });
+        roundtrip(ClientRequest::GetBlockLocations {
+            client: ClientId(4),
+            path: "/data/file.bin".into(),
+        });
+        roundtrip(ClientRequest::ReportBadReplica {
+            client: ClientId(4),
+            block: ExtendedBlock::new(BlockId(77), GenStamp(2), 1 << 20),
+            datanode: DatanodeId(5),
+        });
     }
 
     #[test]
@@ -1198,6 +1242,7 @@ mod tests {
             complete: true,
         })));
         roundtrip(ClientResponse::FileInfo(None));
+        roundtrip(ClientResponse::BadReplicaAck);
         roundtrip(ClientResponse::Error("boom".into()));
     }
 

@@ -49,6 +49,24 @@ pub struct HopSpan {
     pub bytes: u64,
 }
 
+/// One client read of a block, reconstructed from
+/// `ReadStarted`/`StripeFetched`/`SourceSwitched`.
+#[derive(Debug, Clone)]
+pub struct ReadSpan {
+    pub client: ClientId,
+    pub start_us: u64,
+    /// Speed-ranked sources the read was planned over, best first.
+    pub sources: Vec<DatanodeId>,
+    /// Parallel stripes the read was split into.
+    pub stripes: u64,
+    pub stripes_fetched: u64,
+    pub bytes: u64,
+    /// Completion time of the last stripe observed so far.
+    pub last_stripe_us: Option<u64>,
+    /// Failovers to another replica (stall, corruption, bad length).
+    pub source_switches: u64,
+}
+
 /// The assembled lifecycle of one block.
 #[derive(Debug, Clone)]
 pub struct BlockTimeline {
@@ -72,6 +90,8 @@ pub struct BlockTimeline {
     pub recoveries: Vec<RecoverySpan>,
     pub ack_batches: u64,
     pub packets_acked: u64,
+    /// Read-back spans of this block (empty for write-only streams).
+    pub reads: Vec<ReadSpan>,
 }
 
 impl BlockTimeline {
@@ -92,6 +112,7 @@ impl BlockTimeline {
             recoveries: Vec::new(),
             ack_batches: 0,
             packets_acked: 0,
+            reads: Vec::new(),
         }
     }
 
@@ -316,6 +337,35 @@ impl TraceAssembler {
                         r.success = Some(*success);
                     }
                 }
+                ObsEvent::ReadStarted {
+                    client,
+                    sources,
+                    stripes,
+                    ..
+                } => {
+                    tl.reads.push(ReadSpan {
+                        client: *client,
+                        start_us: t,
+                        sources: sources.clone(),
+                        stripes: *stripes,
+                        stripes_fetched: 0,
+                        bytes: 0,
+                        last_stripe_us: None,
+                        source_switches: 0,
+                    });
+                }
+                ObsEvent::StripeFetched { bytes, .. } => {
+                    if let Some(r) = tl.reads.last_mut() {
+                        r.stripes_fetched += 1;
+                        r.bytes += bytes;
+                        r.last_stripe_us = Some(r.last_stripe_us.map_or(t, |p| p.max(t)));
+                    }
+                }
+                ObsEvent::SourceSwitched { .. } => {
+                    if let Some(r) = tl.reads.last_mut() {
+                        r.source_switches += 1;
+                    }
+                }
                 ObsEvent::ExplorationSwap { .. } | ObsEvent::SpeedReportIngested { .. } => {}
             }
         }
@@ -512,6 +562,25 @@ pub fn to_chrome_trace(report: &TraceReport) -> Value {
                     .build(),
             ));
         }
+        for r in &tl.reads {
+            // Read rows live under the *reader's* pid so read spans of a
+            // re-read file do not collide with the writer's pipeline row.
+            let end = r.last_stripe_us.unwrap_or(r.start_us);
+            events.push(complete_event(
+                format!("read {}", tl.block),
+                "read",
+                r.start_us,
+                end.saturating_sub(r.start_us),
+                r.client.raw(),
+                tid,
+                ObjectBuilder::new()
+                    .field("stripes", r.stripes)
+                    .field("stripes_fetched", r.stripes_fetched)
+                    .field("bytes", r.bytes)
+                    .field("source_switches", r.source_switches)
+                    .build(),
+            ));
+        }
     }
     events.sort_by_key(|e| e.get("ts").as_u64().unwrap_or(0));
     // The summary plus the engine-comparable digest ride along in
@@ -615,6 +684,64 @@ mod tests {
         assert_eq!(cs.overlap_pairs, 1, "spans [20,120] and [80,200] overlap");
         assert_eq!(cs.max_concurrent, 2);
         assert_eq!(cs.fnfa_to_allocation_us.count(), 1);
+    }
+
+    #[test]
+    fn read_events_assemble_into_read_spans() {
+        let block = BlockId(100);
+        let mut stream = sample_stream();
+        let base = stream.len() as u64;
+        stream.extend([
+            rec(base, 300, 1, ObsEvent::ReadStarted {
+                client: ClientId(9),
+                block,
+                sources: vec![DatanodeId(2), DatanodeId(1)],
+                stripes: 2,
+            }),
+            rec(base + 1, 320, 1, ObsEvent::SourceSwitched {
+                block,
+                from: DatanodeId(2),
+                to: DatanodeId(1),
+                reason: "timeout".into(),
+            }),
+            rec(base + 2, 340, 1, ObsEvent::StripeFetched {
+                block,
+                source: DatanodeId(1),
+                offset: 0,
+                bytes: 320,
+            }),
+            rec(base + 3, 360, 1, ObsEvent::StripeFetched {
+                block,
+                source: DatanodeId(1),
+                offset: 320,
+                bytes: 320,
+            }),
+        ]);
+        let report = TraceAssembler::assemble(&stream);
+        let tl = report.blocks.iter().find(|b| b.block == block).unwrap();
+        assert_eq!(tl.reads.len(), 1);
+        let r = &tl.reads[0];
+        assert_eq!(r.client, ClientId(9));
+        assert_eq!((r.start_us, r.last_stripe_us), (300, Some(360)));
+        assert_eq!((r.stripes, r.stripes_fetched), (2, 2));
+        assert_eq!(r.bytes, 640);
+        assert_eq!(r.source_switches, 1);
+        // The writer's summary is untouched by the read-back.
+        let cs = report.client(ClientId(1)).unwrap();
+        assert_eq!(cs.blocks, 2);
+        // Chrome export grows a "read" category under the reader's pid.
+        let json = to_chrome_trace(&report);
+        let reads: Vec<_> = json
+            .get("traceEvents")
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("cat").as_str() == Some("read"))
+            .collect();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].get("pid").as_u64(), Some(9));
+        assert_eq!(reads[0].get("args").get("bytes").as_u64(), Some(640));
+        assert_eq!(reads[0].get("dur").as_u64(), Some(60));
     }
 
     #[test]

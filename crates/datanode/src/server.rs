@@ -37,7 +37,7 @@ use parking_lot::Mutex;
 use smarth_core::checksum::ChunkedChecksum;
 use smarth_core::config::{DfsConfig, VerifyChecksumsAt, WriteMode};
 use smarth_core::error::{DfsError, DfsResult};
-use smarth_core::ids::DatanodeId;
+use smarth_core::ids::{BlockId, DatanodeId};
 use smarth_core::obs::{Obs, ObsEvent};
 use smarth_core::proto::{
     AckKind, AckStatus, DataOp, DataReply, DatanodeRequest, DatanodeResponse, Packet,
@@ -45,6 +45,7 @@ use smarth_core::proto::{
 };
 use smarth_core::wire::{recv_message, send_message};
 use smarth_fabric::{Fabric, FabricStream, ReadHalf, TokenBucket, WriteHalf};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -81,6 +82,10 @@ struct DnInner {
     nn: NnClient,
     active_transfers: AtomicU32,
     checksum: ChunkedChecksum,
+    /// Fault injection: blocks whose read payloads are flipped *after*
+    /// checksum computation — a modelled bit rot / in-flight corruption
+    /// that the client-side verify must catch.
+    read_corruption: Mutex<HashSet<BlockId>>,
     obs: Obs,
 }
 
@@ -159,6 +164,7 @@ impl DataNode {
             store: BlockStore::new(),
             nn,
             active_transfers: AtomicU32::new(0),
+            read_corruption: Mutex::new(HashSet::new()),
             obs,
         });
         let stop = Arc::new(AtomicBool::new(false));
@@ -243,6 +249,19 @@ impl DataNode {
 
     pub fn active_transfers(&self) -> u32 {
         self.inner.active_transfers.load(Ordering::Relaxed)
+    }
+
+    /// Fault injection for read-path tests: every packet this node
+    /// serves for `block` has its payload corrupted *after* checksums
+    /// are computed, so the copy looks fine locally but fails the
+    /// client-side verify — bit rot the reader must catch and report.
+    pub fn inject_read_corruption(&self, block: BlockId) {
+        self.inner.read_corruption.lock().insert(block);
+    }
+
+    /// Lifts [`Self::inject_read_corruption`] for `block`.
+    pub fn heal_read_corruption(&self, block: BlockId) {
+        self.inner.read_corruption.lock().remove(&block);
     }
 
     /// Stops server threads. Blocked I/O is released by killing the host
@@ -683,17 +702,27 @@ fn handle_read(
     let chunk = dn.config.packet_size.as_u64().max(1) as usize;
     let total = data.len();
     let payload = bytes::Bytes::from(data);
+    let corrupt = dn.read_corruption.lock().contains(&block.id);
     let mut seq = 0u64;
     let mut sent = 0usize;
     loop {
         let n = chunk.min(total - sent);
-        let part = payload.slice(sent..sent + n);
+        let mut part = payload.slice(sent..sent + n);
         let last = sent + n >= total;
+        let checksums = dn.checksum.compute(&part);
+        if corrupt && n > 0 {
+            // Injected fault: flip a bit after checksumming, so the
+            // frame self-reports as clean and only the reader's verify
+            // can catch it.
+            let mut bytes = part.to_vec();
+            bytes[0] ^= 0x80;
+            part = bytes::Bytes::from(bytes);
+        }
         let pkt = Packet {
             seq,
             offset_in_block: offset + sent as u64,
             last_in_block: last,
-            checksums: dn.checksum.compute(&part),
+            checksums,
             payload: part,
         };
         send_message(&mut stream, &pkt)?;

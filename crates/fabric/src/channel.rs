@@ -135,6 +135,60 @@ impl ByteChannel {
         Ok(())
     }
 
+    /// Like [`read_exact`](Self::read_exact), but gives up with
+    /// [`DfsError::Timeout`] once `deadline` passes without the buffer
+    /// filling. This is what lets a reader abandon a stalled datanode
+    /// (throttled to a trickle, not dead — the channel never breaks) and
+    /// fail over to another replica.
+    pub fn read_exact_deadline(&self, buf: &mut [u8], deadline: Instant) -> DfsResult<()> {
+        let mut filled = 0;
+        let mut st = self.state.lock();
+        while filled < buf.len() {
+            if let Some(reason) = &st.broken {
+                return Err(DfsError::connection_lost(reason.clone()));
+            }
+            if let Some(front) = st.front.take() {
+                let n = front.len().min(buf.len() - filled);
+                buf[filled..filled + n].copy_from_slice(&front[..n]);
+                filled += n;
+                st.buffered -= n;
+                if n < front.len() {
+                    st.front = Some(front.slice(n..));
+                }
+                self.writable.notify_all();
+                continue;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(DfsError::Timeout(format!(
+                    "read deadline after {filled} of {} bytes",
+                    buf.len()
+                )));
+            }
+            match st.queue.front() {
+                Some((ready, _)) => {
+                    if *ready <= now {
+                        let (_, chunk) = st.queue.pop_front().expect("front checked");
+                        st.front = Some(chunk);
+                    } else {
+                        let wait = (*ready - now).min(deadline - now);
+                        self.readable.wait_for(&mut st, wait);
+                    }
+                }
+                None => {
+                    if st.write_closed {
+                        return Err(DfsError::connection_lost(format!(
+                            "eof after {filled} of {} bytes",
+                            buf.len()
+                        )));
+                    }
+                    self.readable.wait_for(&mut st, deadline - now);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// True when a `read_exact` would find at least one byte without
     /// blocking on data arrival (latency may still apply).
     pub fn has_pending(&self) -> bool {
@@ -255,6 +309,39 @@ mod tests {
             "read returned before latency elapsed: {:?}",
             start.elapsed()
         );
+    }
+
+    #[test]
+    fn deadline_read_times_out_on_an_idle_channel() {
+        let c = chan(1024);
+        c.push(Bytes::from_static(b"ab")).unwrap();
+        let mut buf = [0u8; 8];
+        let start = Instant::now();
+        let err = c
+            .read_exact_deadline(&mut buf, start + Duration::from_millis(60))
+            .unwrap_err();
+        assert!(matches!(err, DfsError::Timeout(_)), "got {err:?}");
+        assert!(start.elapsed() >= Duration::from_millis(50));
+        // The two consumed bytes are gone, but fresh data still reads.
+        c.push(Bytes::from_static(b"cdefgh")).unwrap();
+        let mut rest = [0u8; 6];
+        c.read_exact(&mut rest).unwrap();
+        assert_eq!(&rest, b"cdefgh");
+    }
+
+    #[test]
+    fn deadline_read_succeeds_when_data_arrives_in_time() {
+        let c = chan(1024);
+        let c2 = Arc::clone(&c);
+        let writer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            c2.push(Bytes::from_static(b"late")).unwrap();
+        });
+        let mut buf = [0u8; 4];
+        c.read_exact_deadline(&mut buf, Instant::now() + Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(&buf, b"late");
+        writer.join().unwrap();
     }
 
     #[test]

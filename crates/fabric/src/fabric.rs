@@ -219,6 +219,7 @@ impl Fabric {
             inn: Arc::clone(&rev),
             out_buckets: fwd_buckets,
             chunk: cfg.chunk_size,
+            read_deadline: None,
         };
         let server_end = FabricStream {
             local: dst.name.clone(),
@@ -227,6 +228,7 @@ impl Fabric {
             inn: fwd,
             out_buckets: rev_buckets,
             chunk: cfg.chunk_size,
+            read_deadline: None,
         };
 
         let listeners = self.inner.listeners.lock();
@@ -358,6 +360,9 @@ pub struct FabricStream {
     inn: Arc<ByteChannel>,
     out_buckets: Vec<Arc<TokenBucket>>,
     chunk: usize,
+    /// Absolute deadline applied to every inbound read; `None` blocks
+    /// indefinitely (the default, and the write path's behaviour).
+    read_deadline: Option<std::time::Instant>,
 }
 
 impl FabricStream {
@@ -367,6 +372,14 @@ impl FabricStream {
 
     pub fn peer_host(&self) -> &str {
         &self.peer
+    }
+
+    /// Sets (or clears) the absolute deadline for subsequent reads on
+    /// this stream. A read that cannot complete by the deadline fails
+    /// with [`DfsError::Timeout`] instead of blocking forever — the
+    /// reader's escape hatch from a stalled-but-alive peer.
+    pub fn set_read_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.read_deadline = deadline;
     }
 
     /// Bytes currently queued towards the peer (diagnostics/tests).
@@ -494,7 +507,10 @@ impl FrameIo for FabricStream {
     }
 
     fn read_exact(&mut self, buf: &mut [u8]) -> DfsResult<()> {
-        self.inn.read_exact(buf)
+        match self.read_deadline {
+            Some(deadline) => self.inn.read_exact_deadline(buf, deadline),
+            None => self.inn.read_exact(buf),
+        }
     }
 }
 

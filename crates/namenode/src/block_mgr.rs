@@ -151,6 +151,15 @@ impl BlockManager {
             .ok_or(DfsError::UnknownBlock(block))
     }
 
+    /// Drops a reader-reported corrupt replica so it stops appearing in
+    /// [`Self::locations`]. Returns `true` when the replica was actually
+    /// recorded (a duplicate or stale report is a no-op).
+    pub fn remove_replica(&mut self, block: BlockId, dn: DatanodeId) -> bool {
+        self.blocks
+            .get_mut(&block)
+            .is_some_and(|rec| rec.received.remove(&dn).is_some())
+    }
+
     /// Drops a block entirely (file deleted / block abandoned).
     pub fn retire(&mut self, block: BlockId) {
         self.blocks.remove(&block);
@@ -254,6 +263,24 @@ mod tests {
         bm.block_received(dn(1), fin).unwrap();
         bm.forget_datanode(dn(0));
         assert_eq!(bm.locations(b.id), vec![dn(1)]);
+    }
+
+    #[test]
+    fn remove_replica_drops_only_the_reported_copy() {
+        let mut bm = BlockManager::new();
+        let b = bm.allocate(FileId(1), &[dn(0), dn(1), dn(2)]);
+        let fin = ExtendedBlock::new(b.id, b.gen, 10);
+        bm.block_received(dn(0), fin).unwrap();
+        bm.block_received(dn(1), fin).unwrap();
+        assert!(bm.remove_replica(b.id, dn(0)));
+        assert_eq!(bm.locations(b.id), vec![dn(1)]);
+        // Reporting the same (or an unknown) replica again is a no-op.
+        assert!(!bm.remove_replica(b.id, dn(0)));
+        assert!(!bm.remove_replica(b.id, dn(2)));
+        assert!(!bm.remove_replica(BlockId(999), dn(1)));
+        // A fresh blockReceived re-admits the datanode (re-replication).
+        bm.block_received(dn(0), fin).unwrap();
+        assert_eq!(bm.locations(b.id), vec![dn(0), dn(1)]);
     }
 
     #[test]

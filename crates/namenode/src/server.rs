@@ -333,18 +333,71 @@ impl NameNodeState {
             ClientRequest::GetFileInfo { path } => Ok(ClientResponse::FileInfo(
                 self.namespace.lock().get_file_info(&path),
             )),
-            ClientRequest::GetBlockLocations { path } => {
+            ClientRequest::GetBlockLocations { client, path } => {
                 let ns = self.namespace.lock();
                 let file = ns.resolve_file(&path)?;
                 let blocks = ns.blocks_of(file)?;
                 drop(ns);
                 let bm = self.blocks.lock();
                 let dns = self.datanodes.lock();
+                let mut speeds = self.speeds.lock();
+                speeds.age(Obs::now_us());
+                let known: HashMap<DatanodeId, f64> =
+                    speeds.records_for(client).into_iter().collect();
+                drop(speeds);
                 let located = blocks
                     .into_iter()
-                    .map(|b| LocatedBlock::untraced(b, dns.infos(&bm.locations(b.id))))
+                    .map(|b| {
+                        let mut ids = bm.locations(b.id);
+                        // §III-B applied to reads: sources this client has
+                        // observed go fastest-first; unknown-speed replicas
+                        // keep their id order after them (stable sort,
+                        // None < Some).
+                        ids.sort_by(|x, y| {
+                            known
+                                .get(y)
+                                .partial_cmp(&known.get(x))
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        });
+                        LocatedBlock::untraced(b, dns.infos(&ids))
+                    })
                     .collect();
                 Ok(ClientResponse::BlockLocations { blocks: located })
+            }
+            ClientRequest::ReportBadReplica {
+                client,
+                block,
+                datanode,
+            } => {
+                let mut bm = self.blocks.lock();
+                bm.generation(block.id)?; // unknown blocks are an error
+                let removed = bm.remove_replica(block.id, datanode);
+                let remaining = bm.replica_count(block.id);
+                let expected = bm
+                    .expected_targets(block.id)
+                    .map(|t| t.len())
+                    .unwrap_or(0);
+                drop(bm);
+                // Sink the replica in this client's speed view so future
+                // orderings stop preferring the corrupt copy even before
+                // re-replication restores it elsewhere.
+                {
+                    let mut speeds = self.speeds.lock();
+                    speeds.age(Obs::now_us());
+                    speeds.ingest(
+                        client,
+                        &[smarth_core::proto::SpeedRecord {
+                            datanode,
+                            bytes_per_sec: 1.0,
+                            samples: 1,
+                        }],
+                    );
+                }
+                self.obs.metrics().bad_replicas_reported.inc();
+                if removed && remaining < expected {
+                    self.obs.metrics().re_replications_scheduled.inc();
+                }
+                Ok(ClientResponse::BadReplicaAck)
             }
             ClientRequest::List { path } => Ok(ClientResponse::Listing {
                 entries: self.namespace.lock().list(&path)?,
@@ -722,7 +775,10 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // Locations include the confirmed replicas of block 1.
-        match st.handle_client_request(ClientRequest::GetBlockLocations { path: "/a/b.bin".into() }) {
+        match st.handle_client_request(ClientRequest::GetBlockLocations {
+            client,
+            path: "/a/b.bin".into(),
+        }) {
             ClientResponse::BlockLocations { blocks } => {
                 assert_eq!(blocks.len(), 2);
                 assert_eq!(blocks[0].targets.len(), 3);
@@ -802,7 +858,10 @@ mod tests {
             }
         }
         // The read path hands out untraced located blocks.
-        match st.handle_client_request(ClientRequest::GetBlockLocations { path: "/t.bin".into() }) {
+        match st.handle_client_request(ClientRequest::GetBlockLocations {
+            client,
+            path: "/t.bin".into(),
+        }) {
             ClientResponse::BlockLocations { blocks } => {
                 assert!(blocks.iter().all(|b| b.trace_ctx().is_none()));
             }
@@ -962,8 +1021,76 @@ mod tests {
         });
         assert!(matches!(resp, ClientResponse::Error(_)));
         let resp = st.handle_client_request(ClientRequest::GetBlockLocations {
+            client: ClientId(999),
             path: "/nope".into(),
         });
         assert!(matches!(resp, ClientResponse::Error(_)));
+        // Reporting a bad replica of an unknown block is an error too.
+        let resp = st.handle_client_request(ClientRequest::ReportBadReplica {
+            client: ClientId(999),
+            block: ExtendedBlock::new(smarth_core::ids::BlockId(424242), smarth_core::ids::GenStamp(1), 0),
+            datanode: DatanodeId(0),
+        });
+        assert!(matches!(resp, ClientResponse::Error(_)));
+    }
+
+    #[test]
+    fn block_locations_are_ordered_by_reported_speeds() {
+        let (st, dns) = state_with_datanodes(3);
+        let client = register_client(&st);
+        let file = create(&st, client, "/ord.bin", WriteMode::Hdfs);
+        let lb = match st.handle_client_request(ClientRequest::AddBlock {
+            client,
+            file_id: file,
+            previous: None,
+            excluded: vec![],
+        }) {
+            ClientResponse::BlockAllocated(lb) => lb,
+            other => panic!("unexpected {other:?}"),
+        };
+        let done = ExtendedBlock::new(lb.block.id, lb.block.gen, 100);
+        for t in &lb.targets {
+            st.handle_datanode_request(DatanodeRequest::BlockReceived { id: t.id, block: done });
+        }
+        st.handle_client_request(ClientRequest::Complete {
+            client,
+            file_id: file,
+            last: Some(done),
+        });
+        // dn2 fast, dn0 slow, dn1 unreported → expect [dn2, dn0, dn1].
+        st.handle_client_request(ClientRequest::ReportSpeeds {
+            client,
+            records: vec![
+                SpeedRecord { datanode: dns[0], bytes_per_sec: 1e3, samples: 1 },
+                SpeedRecord { datanode: dns[2], bytes_per_sec: 1e9, samples: 1 },
+            ],
+        });
+        let order = |st: &NameNodeState| -> Vec<DatanodeId> {
+            match st.handle_client_request(ClientRequest::GetBlockLocations {
+                client,
+                path: "/ord.bin".into(),
+            }) {
+                ClientResponse::BlockLocations { blocks } => {
+                    blocks[0].targets.iter().map(|t| t.id).collect()
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        assert_eq!(order(&st), vec![dns[2], dns[0], dns[1]]);
+
+        // A bad-replica report drops the fast copy from locations and
+        // counts toward re-replication accounting.
+        assert_eq!(
+            st.handle_client_request(ClientRequest::ReportBadReplica {
+                client,
+                block: done,
+                datanode: dns[2],
+            }),
+            ClientResponse::BadReplicaAck
+        );
+        let after = order(&st);
+        assert!(!after.contains(&dns[2]), "corrupt replica still served: {after:?}");
+        assert_eq!(after.len(), 2);
+        assert_eq!(st.replica_count(lb.block.id), 2);
     }
 }

@@ -73,6 +73,11 @@ pub struct SimScenario {
     /// Uploads run back to back before the measured one, to warm the
     /// speed records like a long-running cluster (0 = cold client).
     pub warmup_uploads: u32,
+    /// After the measured upload commits, read the file back with the
+    /// client's striped-read admission (one `ReadStarted` per block,
+    /// `read_stripes` range stripes across its replica set) so read
+    /// events join the same virtual-time stream the emulator emits.
+    pub read_back: bool,
 }
 
 impl SimScenario {
@@ -84,6 +89,7 @@ impl SimScenario {
             file_size,
             seed: 42,
             warmup_uploads: 1,
+            read_back: false,
         }
     }
 }
@@ -102,6 +108,9 @@ pub struct SimResult {
     /// Per-pipeline lifecycle, in block order — the raw material behind
     /// Figure 4's timeline view of overlapped transfers.
     pub timeline: Vec<PipelineTrace>,
+    /// Wall time of the striped read-back phase (`read_back` scenarios
+    /// only), from the locations RPC to the last stripe's arrival.
+    pub read_secs: Option<f64>,
 }
 
 /// Lifecycle of one block's pipeline in the simulation.
@@ -893,6 +902,80 @@ impl Sim {
             guard
         );
     }
+
+    /// Virtual-time twin of `DfsInputStream::read_all`: after the upload
+    /// commits, the client fetches every block back as `read_stripes`
+    /// range stripes across its replica set, sources ordered
+    /// fastest-first by the registry exactly like the namenode orders
+    /// `GetBlockLocations`. Stripes within a block run concurrently on
+    /// the modeled NICs (source disk → source egress → client ingress);
+    /// blocks are consumed in order, like the emulator's in-order window
+    /// join. Returns when the last stripe lands.
+    fn run_read_phase(&mut self) -> SimInstant {
+        // One locations RPC before the first byte.
+        let mut t = self
+            .finished_at
+            .expect("read phase follows a completed upload")
+            + self.config.namenode_rpc_cost;
+        let known: HashMap<DatanodeId, f64> =
+            self.registry.records_for(CLIENT).into_iter().collect();
+        for pipe in 0..self.pipes.len() {
+            let (block, bytes, mut sources) = {
+                let p = &self.pipes[pipe];
+                (p.block, p.block_bytes, p.target_ids.clone())
+            };
+            // Fastest-first, unknown-speed sources last; stable like the
+            // namenode's sort so tied sources keep pipeline order.
+            sources.sort_by(|a, b| {
+                known
+                    .get(b)
+                    .partial_cmp(&known.get(a))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let stripes = self.config.read_stripes.clamp(1, sources.len());
+            self.obs.emit_virtual(
+                t.0 / 1_000,
+                ObsEvent::ReadStarted {
+                    client: CLIENT,
+                    block,
+                    sources: sources.clone(),
+                    stripes: stripes as u64,
+                },
+            );
+            // Equal range cuts: one block's replicas sit on identical
+            // modeled NICs, which is what the client's speed-weighted
+            // cuts converge to under uniform observed speeds.
+            let mut done = t;
+            let mut offset = 0u64;
+            for (i, src) in sources.iter().take(stripes).enumerate() {
+                let cut_end = bytes * (i as u64 + 1) / stripes as u64;
+                let len = cut_end - offset;
+                if len == 0 {
+                    continue;
+                }
+                // target_ids index datanode_specs directly (minted as
+                // DatanodeId(spec index)), so raw() keys dn_hosts.
+                let host = self.dn_hosts[src.raw() as usize];
+                let off_disk = self.hosts[host].disk.reserve(t, ByteSize::bytes(len));
+                let (_egress_free, _chain_done, arrival) =
+                    self.transmit(host, self.client_host, off_disk, len);
+                self.obs.emit_virtual(
+                    arrival.0 / 1_000,
+                    ObsEvent::StripeFetched {
+                        block,
+                        source: *src,
+                        offset,
+                        bytes: len,
+                    },
+                );
+                self.obs.metrics().bytes_read.add(len);
+                done = done.max(arrival);
+                offset = cut_end;
+            }
+            t = done;
+        }
+        t
+    }
 }
 
 /// Runs one upload (plus warm-ups) and returns the measured result.
@@ -1023,11 +1106,20 @@ pub fn simulate_upload_with_obs(scenario: &SimScenario, obs: Obs) -> SimResult {
         };
         sim.run();
 
-        // Final heartbeat so warm-up knowledge reaches the registry.
+        // Final heartbeat so warm-up knowledge reaches the registry —
+        // before the read phase, which orders sources by that registry.
         let records = sim.tracker.drain_report();
         if !records.is_empty() {
             sim.registry.ingest(CLIENT, &records);
         }
+
+        let read_secs = if scenario.read_back && round == scenario.warmup_uploads {
+            let upload_done = sim.finished_at.expect("run() asserts completion");
+            let read_done = sim.run_read_phase();
+            Some(SimDuration(read_done.0 - upload_done.0).as_secs_f64())
+        } else {
+            None
+        };
         registry = sim.registry;
         tracker = sim.tracker;
 
@@ -1058,6 +1150,7 @@ pub fn simulate_upload_with_obs(scenario: &SimScenario, obs: Obs) -> SimResult {
                 first_node_histogram: sim.first_node_histogram,
                 explored_swaps: sim.explored_swaps,
                 timeline,
+                read_secs,
             });
         }
     }

@@ -24,6 +24,18 @@ fn paired_reports(
     upload_bytes: usize,
     seed: u64,
 ) -> (TraceReport, TraceReport) {
+    paired_reports_with_read_back(instance, upload_bytes, seed, false)
+}
+
+/// [`paired_reports`], optionally reading the file back on both engines
+/// (striped `get` on the emulator, the DES read mirror on the
+/// simulator) so the digests carry read admission too.
+fn paired_reports_with_read_back(
+    instance: InstanceType,
+    upload_bytes: usize,
+    seed: u64,
+    read_back: bool,
+) -> (TraceReport, TraceReport) {
     let mut spec = ClusterSpec::homogeneous(instance);
     // A cross-rack throttle slows the pipeline drain relative to the
     // client, so FNFA-driven overlap is robust in both engines.
@@ -39,6 +51,10 @@ fn paired_reports(
     let client = cluster.client().unwrap();
     let data = random_data(seed, upload_bytes);
     client.put("/conformance/a.bin", &data, WriteMode::Smarth).unwrap();
+    if read_back {
+        let got = client.get("/conformance/a.bin").unwrap();
+        assert_eq!(got, data, "striped read must return the written bytes");
+    }
     cluster.shutdown();
     let emulator = TraceAssembler::assemble(&sink.snapshot());
 
@@ -53,6 +69,7 @@ fn paired_reports(
     );
     scenario.seed = seed;
     scenario.warmup_uploads = 0; // the emulator client above is cold too
+    scenario.read_back = read_back;
     simulate_upload_with_obs(&scenario, obs);
     let sim = TraceAssembler::assemble(&sink.snapshot());
 
@@ -84,6 +101,31 @@ fn engines_conform_on_cluster_presets() {
             verdict.render()
         );
     }
+}
+
+#[test]
+fn engines_conform_on_reads() {
+    // The read preset: put + full read-back on both engines. Beyond the
+    // write-path bands, every paired block must show identical read
+    // admission — same span count, same announced stripes, same bytes.
+    let (emulator, sim) =
+        paired_reports_with_read_back(InstanceType::Medium, 2 * 1024 * 1024, 0xBEAD, true);
+    let a = TraceDigest::from_report(&emulator);
+    let b = TraceDigest::from_report(&sim);
+    assert!(
+        a.blocks.iter().all(|x| x.reads == 1 && x.read_stripes >= 1),
+        "emulator digest must carry one read span per block"
+    );
+    assert!(
+        a.blocks.iter().all(|x| x.read_bytes == x.bytes),
+        "each block must be read back in full"
+    );
+    let verdict = diff_digests("conformance-read", &a, &b, ToleranceBands::default());
+    assert!(
+        verdict.pass,
+        "engines diverged beyond tolerance on the read preset\n{}",
+        verdict.render()
+    );
 }
 
 #[test]

@@ -1,0 +1,336 @@
+//! Integration tests for the SMARTH read path: striped reads with full
+//! admission, typed range errors, salvage of damaged files, stalled
+//! source failover within the read timeout, and corrupt-replica
+//! reporting — including the namenode-error attribution when the
+//! report RPC itself fails.
+
+use smarth::cluster::{random_data, MiniCluster};
+use smarth::core::obs::{Obs, ObsEvent, RecoveryCause, RingBufferSink};
+use smarth::core::trace::TraceAssembler;
+use smarth::core::units::Bandwidth;
+use smarth::core::{
+    ClusterSpec, DatanodeId, DfsConfig, DfsError, HostRole, InstanceType, SimDuration, WriteMode,
+};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The homogeneous paper cluster trimmed to `dns` datanodes — read
+/// tests want small replica sets with known holders, not all nine
+/// hosts.
+fn small_spec(dns: usize) -> ClusterSpec {
+    let mut spec = ClusterSpec::homogeneous(InstanceType::Small);
+    let mut kept = 0;
+    spec.hosts.retain(|h| {
+        h.role != HostRole::DataNode || {
+            kept += 1;
+            kept <= dns
+        }
+    });
+    spec
+}
+
+/// Maps each datanode id to its fabric host name, so tests can target
+/// faults at the holder of a specific replica.
+fn hosts_by_id(cluster: &MiniCluster) -> HashMap<DatanodeId, String> {
+    cluster
+        .datanode_hosts()
+        .into_iter()
+        .map(|h| (cluster.datanode(&h).expect("host exists").id(), h))
+        .collect()
+}
+
+#[test]
+fn striped_reads_return_written_bytes_with_full_admission() {
+    let sink = RingBufferSink::new(65_536);
+    let obs = Obs::new(sink.clone());
+    let config = DfsConfig::test_scale();
+    let cluster = MiniCluster::start_with_obs(&small_spec(3), config.clone(), 7, obs).unwrap();
+    let client = cluster.client().unwrap();
+    // Three full blocks plus an uneven tail.
+    let block = config.block_size.as_u64();
+    let data = random_data(0xD1CE, 3 * block as usize + 10_001);
+    client.put("/read/plain.bin", &data, WriteMode::Smarth).unwrap();
+
+    assert_eq!(client.get("/read/plain.bin").unwrap(), data);
+
+    // pread across a block boundary returns exactly the slice.
+    let (off, len) = (block - 1234, 5678u64);
+    let got = client.get_range("/read/plain.bin", off, len).unwrap();
+    assert_eq!(got, &data[off as usize..(off + len) as usize]);
+
+    cluster.shutdown();
+    let report = TraceAssembler::assemble(&sink.snapshot());
+    // The full read plans every block over its whole replica set and
+    // the fetched stripes cover every byte exactly once.
+    let full_reads: Vec<_> = report
+        .blocks
+        .iter()
+        .filter_map(|tl| tl.reads.first())
+        .collect();
+    assert_eq!(full_reads.len(), 4, "one read span per block");
+    for span in &full_reads {
+        assert_eq!(span.sources.len(), 3, "planned over the replica set");
+        assert_eq!(span.stripes, 3);
+        assert_eq!(span.stripes_fetched, 3);
+        assert_eq!(span.source_switches, 0, "healthy reads never switch");
+    }
+    let read_bytes: u64 = full_reads.iter().map(|s| s.bytes).sum();
+    assert_eq!(read_bytes, data.len() as u64);
+}
+
+#[test]
+fn reads_past_eof_are_a_typed_out_of_range_error() {
+    let cluster = MiniCluster::start(&small_spec(3), DfsConfig::test_scale(), 11).unwrap();
+    let client = cluster.client().unwrap();
+    let data = random_data(2, 100_000);
+    client.put("/read/eof.bin", &data, WriteMode::Smarth).unwrap();
+
+    match client.get_range("/read/eof.bin", 99_990, 20).unwrap_err() {
+        DfsError::OutOfRange {
+            offset,
+            len,
+            file_len,
+            ..
+        } => assert_eq!((offset, len, file_len), (99_990, 20, 100_000)),
+        other => panic!("expected OutOfRange, got {other:?}"),
+    }
+    // offset + len overflowing u64 must classify the same way, not wrap
+    // around into an in-range read.
+    assert!(matches!(
+        client.get_range("/read/eof.bin", u64::MAX, 2).unwrap_err(),
+        DfsError::OutOfRange { .. }
+    ));
+    // The boundary itself is fine.
+    assert_eq!(
+        client.get_range("/read/eof.bin", 99_990, 10).unwrap(),
+        &data[99_990..]
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn salvage_recovers_every_intact_block_and_maps_the_gap() {
+    let config = DfsConfig::test_scale();
+    let cluster = MiniCluster::start(&small_spec(4), config.clone(), 21).unwrap();
+    let client = cluster.client().unwrap();
+    let block = config.block_size.as_u64() as usize;
+    let data = random_data(0x5A1F, 3 * block + 4096);
+    // Replication 1: each block lives on exactly one datanode, so
+    // killing one host makes its blocks fully dead without touching the
+    // rest of the file.
+    let mut stream = client
+        .create_with("/read/fragile.bin", WriteMode::Smarth, 1, false)
+        .unwrap();
+    stream.write(&data).unwrap();
+    stream.close().unwrap();
+
+    let layout: Vec<(smarth::core::BlockId, DatanodeId, u64)> = client
+        .open("/read/fragile.bin")
+        .unwrap()
+        .block_layout()
+        .iter()
+        .map(|lb| (lb.block.id, lb.targets[0].id, lb.block.len))
+        .collect();
+    let victim = layout[1].1;
+    let hosts = hosts_by_id(&cluster);
+    cluster.kill_datanode(&hosts[&victim]).unwrap();
+
+    let report = client.get_salvage("/read/fragile.bin").unwrap();
+
+    // Exactly the blocks whose sole replica sat on the killed host are
+    // gone (block 1 by construction, plus any co-located ones); every
+    // other block comes back intact at its file offset.
+    let mut expected_gaps = Vec::new();
+    let mut offset = 0u64;
+    for (id, holder, len) in &layout {
+        if *holder == victim {
+            expected_gaps.push((*id, offset, *len));
+        }
+        offset += len;
+    }
+    assert!(
+        expected_gaps.iter().any(|(id, ..)| *id == layout[1].0),
+        "the targeted block must be among the losses"
+    );
+    assert_eq!(
+        report
+            .gaps
+            .iter()
+            .map(|g| (g.block, g.offset, g.len))
+            .collect::<Vec<_>>(),
+        expected_gaps
+    );
+    assert!(!report.is_complete());
+    assert_eq!(report.file_len, data.len() as u64);
+    assert_eq!(
+        report.recovered_bytes() + report.lost_bytes(),
+        data.len() as u64
+    );
+    for (off, bytes) in &report.recovered {
+        assert_eq!(
+            bytes.as_slice(),
+            &data[*off as usize..*off as usize + bytes.len()],
+            "recovered block at {off} must match the written bytes"
+        );
+    }
+    // A plain full read of the damaged file still fails outright.
+    assert!(client.get("/read/fragile.bin").is_err());
+    cluster.shutdown();
+}
+
+#[test]
+fn stalled_source_fails_over_within_the_read_timeout() {
+    let sink = RingBufferSink::new(65_536);
+    let obs = Obs::new(sink.clone());
+    let mut config = DfsConfig::test_scale();
+    config.read_timeout = SimDuration::from_secs_f64(0.4);
+    let block = config.block_size.as_u64() as usize;
+    let cluster = MiniCluster::start_with_obs(&small_spec(3), config, 31, obs).unwrap();
+    let client = cluster.client().unwrap();
+    let data = random_data(0xAB, block); // one full block, on all three nodes
+    client.put("/read/stall.bin", &data, WriteMode::Smarth).unwrap();
+
+    // Stall one replica's NIC far below a stripe per timeout window
+    // (each ~87 KiB stripe dwarfs the fabric's 64 KiB burst floor):
+    // whichever stripe lands on it must blow the deadline and fail
+    // over instead of hanging the read.
+    let stalled = cluster.datanode_hosts()[0].clone();
+    cluster
+        .throttle_host(&stalled, Some(Bandwidth::mbps(0.02)))
+        .unwrap();
+
+    let started = Instant::now();
+    assert_eq!(client.get("/read/stall.bin").unwrap(), data);
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed.as_secs_f64() < 10.0,
+        "read should fail over, not crawl: took {elapsed:?}"
+    );
+
+    let reasons: Vec<String> = sink
+        .snapshot()
+        .iter()
+        .filter_map(|r| match &r.event {
+            ObsEvent::SourceSwitched { reason, .. } => Some(reason.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        reasons.iter().any(|r| r == "timeout"),
+        "expected a timeout-driven source switch, saw {reasons:?}"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn corrupt_replicas_are_reported_and_dropped_from_locations() {
+    let sink = RingBufferSink::new(65_536);
+    let obs = Obs::new(sink.clone());
+    let cluster =
+        MiniCluster::start_with_obs(&small_spec(3), DfsConfig::test_scale(), 41, obs.clone())
+            .unwrap();
+    let client = cluster.client().unwrap();
+    let data = random_data(0xC0, 180_000);
+    client.put("/read/bitrot.bin", &data, WriteMode::Smarth).unwrap();
+
+    let (block_id, bad) = {
+        let stream = client.open("/read/bitrot.bin").unwrap();
+        let lb = &stream.block_layout()[0];
+        (lb.block.id, lb.targets[0].id)
+    };
+    let hosts = hosts_by_id(&cluster);
+    cluster
+        .datanode(&hosts[&bad])
+        .unwrap()
+        .inject_read_corruption(block_id);
+
+    // The read catches the flipped bit client-side, reports the
+    // replica, and still returns the right bytes from the other copies.
+    assert_eq!(client.get("/read/bitrot.bin").unwrap(), data);
+    let m = obs.metrics();
+    assert!(m.bad_replicas_reported.get() >= 1, "report must reach the namenode");
+    assert!(
+        m.re_replications_scheduled.get() >= 1,
+        "dropping below the expected replica count schedules re-replication"
+    );
+
+    // The namenode stops serving the corrupt copy to future readers.
+    let stream = client.open("/read/bitrot.bin").unwrap();
+    let after: Vec<DatanodeId> = stream.block_layout()[0]
+        .targets
+        .iter()
+        .map(|t| t.id)
+        .collect();
+    assert!(!after.contains(&bad), "corrupt replica still served: {after:?}");
+    assert_eq!(after.len(), 2);
+
+    let reasons: Vec<String> = sink
+        .snapshot()
+        .iter()
+        .filter_map(|r| match &r.event {
+            ObsEvent::SourceSwitched { reason, .. } => Some(reason.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        reasons.iter().any(|r| r == "checksum"),
+        "expected a checksum-driven source switch, saw {reasons:?}"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn failed_bad_replica_report_is_attributed_to_the_namenode() {
+    let sink = RingBufferSink::new(65_536);
+    let obs = Obs::new(sink.clone());
+    let cluster =
+        MiniCluster::start_with_obs(&small_spec(3), DfsConfig::test_scale(), 43, obs.clone())
+            .unwrap();
+    let client = cluster.client().unwrap();
+    let data = random_data(0xEE, 150_000);
+    client.put("/read/orphan.bin", &data, WriteMode::Smarth).unwrap();
+
+    let stream = client.open("/read/orphan.bin").unwrap();
+    let block_id = stream.block_layout()[0].block.id;
+    let bad = stream.block_layout()[0].targets[0].id;
+    let hosts = hosts_by_id(&cluster);
+    cluster
+        .datanode(&hosts[&bad])
+        .unwrap()
+        .inject_read_corruption(block_id);
+    // Deleting the file retires its blocks namenode-side only — the
+    // datanodes keep serving an already-open stream. The corrupt-replica
+    // report is now the RPC that fails (unknown block), which is the
+    // one read-path failure only the namenode can cause.
+    assert!(client.delete("/read/orphan.bin").unwrap());
+
+    assert_eq!(stream.read_all().unwrap(), data, "failover still serves the read");
+    let m = obs.metrics();
+    assert!(
+        m.recoveries(RecoveryCause::NamenodeError) >= 1,
+        "the failed report must be attributed to the namenode"
+    );
+    assert_eq!(
+        m.bad_replicas_reported.get(),
+        0,
+        "the namenode never accepted a report for the retired block"
+    );
+
+    cluster.shutdown();
+    let report = TraceAssembler::assemble(&sink.snapshot());
+    let tl = report
+        .blocks
+        .iter()
+        .find(|b| b.block == block_id)
+        .expect("block timeline assembled");
+    assert!(
+        tl.recoveries
+            .iter()
+            .any(|r| matches!(r.cause, RecoveryCause::NamenodeError)),
+        "recovery span must carry the namenode_error cause"
+    );
+    assert!(
+        tl.reads.iter().any(|r| r.source_switches >= 1),
+        "the read span must record the source switch"
+    );
+}

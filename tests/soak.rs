@@ -108,6 +108,29 @@ fn multi_client_churn_smoke_holds_invariants() {
 }
 
 #[test]
+fn read_heavy_smoke_exercises_striped_reads_under_faults() {
+    // The read-dominant profile: ~65% of ops are full striped
+    // read-backs, with the same fault plan as the write smoke — so
+    // stalls and kills land on reads and must convert into source
+    // failover, never into integrity failures.
+    let cfg = SoakConfig::read_heavy(37);
+    let report = soak::run(&cfg).unwrap();
+
+    assert_eq!(
+        report.violations,
+        Vec::<String>::new(),
+        "\n{}",
+        report.render()
+    );
+    assert_eq!(report.config.op_mix, soak::OpMix::read_heavy());
+    assert!(report.workers.iter().all(|w| w.ops > 0));
+    assert!(report.workers.iter().all(|w| w.integrity_failures == 0));
+    // The mix survives the report's JSON round trip (replayability).
+    let back = SoakConfig::from_json(&report.config.to_json()).unwrap();
+    assert_eq!(back.op_mix, cfg.op_mix);
+}
+
+#[test]
 fn sustained_profile_long_soak() {
     // Opt-in long profile: `SMARTH_SOAK_LONG=1 cargo test --test soak`.
     if std::env::var("SMARTH_SOAK_LONG").map(|v| v == "1") != Ok(true) {
