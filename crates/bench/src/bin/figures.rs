@@ -21,6 +21,12 @@
 //! Chrome traces (`results/conformance_<preset>.{emulator,sim}.trace.json`,
 //! each with its digest embedded under `otherData.digest`) and the
 //! machine-readable verdict (`results/conformance_<preset>.diff.json`).
+//!
+//! The `bench-gate` id (not part of the default run) re-records
+//! `BENCH_throughput.json` / `BENCH_read_throughput.json` and exits
+//! nonzero if any `{workload, mode}` row regressed past the band vs the
+//! committed baselines (10%; `--quick` widens to 50% since the
+//! baselines are recorded in full mode).
 
 use smarth_bench::figures::{self, FigureOpts};
 use smarth_bench::report::Table;
@@ -427,6 +433,82 @@ fn run_read_throughput(out_dir: &std::path::Path, quick: bool) {
     }
 }
 
+/// `(workload, mode, mbps)` rows of a `BENCH_*.json` trajectory file.
+fn load_bench_rows(path: &str) -> Option<Vec<(String, String, f64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v = smarth_core::json::parse(&text).ok()?;
+    let mut rows = Vec::new();
+    for r in v.as_array()? {
+        rows.push((
+            r.get("workload").as_str()?.to_string(),
+            r.get("mode").as_str()?.to_string(),
+            r.get("mbps").as_f64()?,
+        ));
+    }
+    Some(rows)
+}
+
+/// The `bench-gate` mode: re-records both throughput baselines and
+/// fails (exit 1 from main) if any matching `{workload, mode}` row
+/// regressed more than the band vs the committed files. The committed
+/// baselines are recorded in full mode; quick mode runs smaller
+/// workloads on shared CI hardware, so its band is much wider — it
+/// catches collapses (a serialized pipeline, a lost overlap), not
+/// single-digit drift.
+fn run_bench_gate(out_dir: &std::path::Path, quick: bool) -> bool {
+    let band = if quick { 0.50 } else { 0.10 };
+    let gates: [(&str, &str); 2] = [
+        ("BENCH_throughput.json", "throughput"),
+        ("BENCH_read_throughput.json", "read-throughput"),
+    ];
+    let baselines: Vec<Option<Vec<(String, String, f64)>>> = gates
+        .iter()
+        .map(|(path, _)| load_bench_rows(path))
+        .collect();
+
+    // Re-record: these rewrite the BENCH files in place.
+    run_throughput(out_dir, quick);
+    run_read_throughput(out_dir, quick);
+
+    let mut pass = true;
+    for ((path, name), baseline) in gates.iter().zip(baselines) {
+        let Some(baseline) = baseline else {
+            println!("bench-gate {name}: no committed baseline at {path}; recorded a fresh one");
+            continue;
+        };
+        let Some(fresh) = load_bench_rows(path) else {
+            eprintln!("bench-gate {name}: fresh run produced no parseable {path}");
+            pass = false;
+            continue;
+        };
+        for (workload, mode, base_mbps) in &baseline {
+            let Some((_, _, new_mbps)) = fresh
+                .iter()
+                .find(|(w, m, _)| w == workload && m == mode)
+            else {
+                eprintln!("bench-gate {name}: row {{{workload}, {mode}}} missing from fresh run");
+                pass = false;
+                continue;
+            };
+            let floor = base_mbps * (1.0 - band);
+            let verdict = if *new_mbps < floor { "REGRESSION" } else { "ok" };
+            println!(
+                "bench-gate {name}: {workload}/{mode} {base_mbps:.1} -> {new_mbps:.1} Mbps (floor {floor:.1}): {verdict}"
+            );
+            if *new_mbps < floor {
+                pass = false;
+            }
+        }
+    }
+    println!(
+        "bench-gate: {} (band {:.0}%{})",
+        if pass { "PASS" } else { "FAIL" },
+        band * 100.0,
+        if quick { ", quick mode" } else { "" }
+    );
+    pass
+}
+
 fn generate(id: &str, opts: FigureOpts) -> Option<Vec<Table>> {
     Some(match id {
         "table1" => vec![figures::table1()],
@@ -457,9 +539,9 @@ fn main() {
         wanted.iter().map(|s| s.as_str()).collect()
     };
     for id in &ids {
-        if !ALL_IDS.contains(id) {
+        if !ALL_IDS.contains(id) && *id != "bench-gate" {
             eprintln!("unknown figure id: {id}");
-            eprintln!("known: {}", ALL_IDS.join(" "));
+            eprintln!("known: {} bench-gate", ALL_IDS.join(" "));
             std::process::exit(2);
         }
     }
@@ -502,6 +584,13 @@ fn main() {
             // Read-path baseline (sequential vs striped); records
             // BENCH_read_throughput.json beside the write baseline.
             run_read_throughput(&out_dir, quick);
+            continue;
+        }
+        if id == "bench-gate" {
+            // CI regression gate over both recorded trajectories.
+            if !run_bench_gate(&out_dir, quick) {
+                std::process::exit(1);
+            }
             continue;
         }
         let tables = generate(id, opts).expect("ids validated above");

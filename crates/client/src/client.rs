@@ -269,6 +269,14 @@ impl DfsClient {
         self.ctx.rpc.delete(path)
     }
 
+    /// Scrapes the namenode's telemetry plane: per-node cluster rows,
+    /// the Prometheus-style text exposition, and the JSON series.
+    pub fn get_telemetry(
+        &self,
+    ) -> DfsResult<(Vec<smarth_core::proto::NodeTelemetryRow>, String, String)> {
+        self.ctx.rpc.get_telemetry()
+    }
+
     /// Current locally tracked speed records (diagnostics).
     pub fn known_speeds(&self) -> usize {
         self.ctx.tracker.lock().len()

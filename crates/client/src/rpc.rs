@@ -9,7 +9,8 @@ use parking_lot::Mutex;
 use smarth_core::error::{DfsError, DfsResult};
 use smarth_core::ids::{BlockId, ClientId, DatanodeId, ExtendedBlock, FileId, GenStamp};
 use smarth_core::proto::{
-    ClientRequest, ClientResponse, DatanodeInfo, FileStatus, LocatedBlock, SpeedRecord,
+    ClientRequest, ClientResponse, DatanodeInfo, FileStatus, LocatedBlock, NodeTelemetryRow,
+    SpeedRecord,
 };
 use smarth_core::wire::{recv_message, send_message};
 use smarth_core::WriteMode;
@@ -202,6 +203,20 @@ impl NamenodeClient {
             datanode,
         })? {
             ClientResponse::BadReplicaAck => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Scrapes the namenode's telemetry plane: the per-node cluster
+    /// table (heartbeat-piggybacked gauges), the Prometheus-style text
+    /// exposition, and the JSON-encoded `TelemetrySeries`.
+    pub fn get_telemetry(&self) -> DfsResult<(Vec<NodeTelemetryRow>, String, String)> {
+        match self.call(&ClientRequest::GetTelemetry)? {
+            ClientResponse::Telemetry {
+                rows,
+                text,
+                series_json,
+            } => Ok((rows, text, series_json)),
             other => Err(unexpected(other)),
         }
     }

@@ -16,6 +16,11 @@
 //! trace <file.json> [full]               write a Chrome trace_event file; incremental since the
 //!                                        last export unless `full` is given
 //! metrics                                dump the observability counters as JSON
+//! top [n]                                live cluster table scraped over the fabric
+//!                                        (per-node buffer gauges piggybacked on heartbeats);
+//!                                        refreshes n times (default once)
+//! slo                                    evaluate the standard SLOs against the namenode's
+//!                                        telemetry series and print the verdict
 //! kill <host>                            crash a datanode
 //! throttle <host> <mbps|off>             tc a host NIC
 //! seed <path> <size>[k|m]                put with both protocols, print timing
@@ -31,6 +36,7 @@
 use smarth_cluster::soak::{self, SoakConfig};
 use smarth_cluster::{random_data, replay, MiniCluster};
 use smarth_core::conformance::{diff_digests, ToleranceBands, TraceDigest};
+use smarth_core::obs::telemetry::{SloTracker, TelemetrySeries};
 use smarth_core::obs::{Obs, RingBufferSink};
 use smarth_core::trace::{write_chrome_trace, TraceAssembler};
 use smarth_core::units::Bandwidth;
@@ -86,7 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ["quit"] | ["exit"] => break,
             ["help"] => {
                 println!("put <path> <size>[k|m] [hdfs|smarth] | get <path> | ls <path> | rm <path>");
-                println!("report | trace <file.json> [full] | metrics | kill <host> | throttle <host> <mbps|off> | seed <path> <size>");
+                println!("report | trace <file.json> [full] | metrics | top [n] | slo | kill <host> | throttle <host> <mbps|off> | seed <path> <size>");
                 println!("soak <clients> <secs> [seed] | diff <a.json> <b.json> | replay <soak.json> | quit");
                 Ok(())
             }
@@ -211,6 +217,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("{}", cluster.obs().metrics().snapshot().to_string_pretty());
                 Ok(())
             }
+            ["top", rest @ ..] => (|| {
+                let refreshes: u32 = match rest.first() {
+                    Some(n) => n.parse().map_err(|_| "bad refresh count")?,
+                    None => 1,
+                };
+                for i in 0..refreshes.max(1) {
+                    if i > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(500));
+                    }
+                    let (rows, _text, _series) = client.get_telemetry()?;
+                    let m = cluster.obs().metrics();
+                    println!(
+                        "cluster: {:.1} MiB written, {} blocks committed, {} FNFAs, {} pipelines now ({} peak)",
+                        m.bytes_written.get() as f64 / (1024.0 * 1024.0),
+                        m.blocks_committed.get(),
+                        m.fnfa_received.get(),
+                        m.concurrent_pipelines.get(),
+                        m.concurrent_pipelines.high_water(),
+                    );
+                    println!(
+                        "{:<8} {:<8} {:>5} {:>12} {:>6} {:>8} {:>10} {:>10} {:>8}",
+                        "node", "rack", "alive", "used", "xfers", "staging", "buffered", "forward", "hb-age"
+                    );
+                    for r in &rows {
+                        println!(
+                            "{:<8} {:<8} {:>5} {:>12} {:>6} {:>8} {:>10} {:>10} {:>7}ms",
+                            r.host_name,
+                            r.rack,
+                            if r.alive { "yes" } else { "DEAD" },
+                            r.used,
+                            r.active_transfers,
+                            r.telemetry.staging_packets,
+                            r.telemetry.buffered_bytes,
+                            r.telemetry.forward_bytes,
+                            r.age_ms,
+                        );
+                    }
+                }
+                Ok::<(), Box<dyn std::error::Error>>(())
+            })(),
+            ["slo"] => (|| {
+                let (_rows, _text, series_json) = client.get_telemetry()?;
+                let v = smarth_core::json::parse(&series_json)
+                    .map_err(|e| format!("parse series: {e:?}"))?;
+                let series = TelemetrySeries::from_json(&v)?;
+                if series.frames_len() < 2 {
+                    println!(
+                        "only {} telemetry frame(s) sampled so far; wait a couple of heartbeats",
+                        series.frames_len()
+                    );
+                    return Ok(());
+                }
+                print!("{}", SloTracker::standard().evaluate(&series).render());
+                Ok::<(), Box<dyn std::error::Error>>(())
+            })(),
             ["kill", host] => (|| {
                 cluster.kill_datanode(host)?;
                 println!("{host} killed");

@@ -40,6 +40,7 @@ use smarth_core::config::{
 use smarth_core::error::{DfsError, DfsResult};
 use smarth_core::ids::{BlockId, DatanodeId};
 use smarth_core::json::{ObjectBuilder, Value};
+use smarth_core::obs::telemetry::{Sampler, SloTracker, SloVerdict, TelemetrySeries};
 use smarth_core::obs::{
     EventRecord, Obs, ObsEvent, RecoveryCause, RingBufferSink, SamplingSink,
 };
@@ -913,6 +914,10 @@ pub struct SoakReport {
     pub events_seen: u64,
     pub events_sampled_out: u64,
     pub events_evicted: u64,
+    /// Time-series sampled once per monitor window (plus run start/end).
+    pub telemetry: TelemetrySeries,
+    /// `SloTracker::standard()` evaluated over `telemetry`.
+    pub slo: SloVerdict,
 }
 
 impl SoakReport {
@@ -978,6 +983,8 @@ impl SoakReport {
             .field("events_seen", self.events_seen)
             .field("events_sampled_out", self.events_sampled_out)
             .field("events_evicted", self.events_evicted)
+            .field("telemetry", self.telemetry.to_json())
+            .field("slo", self.slo.to_json())
             .field(
                 "violations",
                 Value::Array(
@@ -1042,6 +1049,7 @@ impl SoakReport {
                 out.push_str(&format!("  VIOLATION: {v}\n"));
             }
         }
+        out.push_str(&self.slo.render());
         out
     }
 }
@@ -1588,8 +1596,10 @@ pub fn run(cfg: &SoakConfig) -> DfsResult<SoakReport> {
     let sampling = SamplingSink::new(ring.clone(), cfg.sample_head, cfg.sample_tail);
     let obs = Obs::new(sampling.clone());
     let metrics = obs.metrics().clone();
+    let sampler = Sampler::new(metrics.clone(), 4096);
 
     let run_start_us = Obs::now_us();
+    sampler.sample_at(run_start_us);
     let cluster = MiniCluster::start_with_obs(&spec, cfg.config.clone(), cfg.seed, obs)?;
     let dn_hosts = cluster.datanode_hosts();
     let shared = Arc::new(Shared {
@@ -1711,6 +1721,7 @@ pub fn run(cfg: &SoakConfig) -> DfsResult<SoakReport> {
             .filter(|f| f.applied)
             .count() as u64;
         faults_seen = faults_snapshot.len();
+        sampler.sample_at(Obs::now_us());
         windows.push(checker.close_window(windows.len(), window_start, now_ms, faults_in_window));
         window_start = now_ms;
 
@@ -1746,6 +1757,7 @@ pub fn run(cfg: &SoakConfig) -> DfsResult<SoakReport> {
             .skip(faults_seen)
             .filter(|f| f.applied)
             .count() as u64;
+        sampler.sample_at(Obs::now_us());
         windows.push(checker.close_window(windows.len(), window_start, now_ms, faults_in_window));
     }
 
@@ -1784,6 +1796,8 @@ pub fn run(cfg: &SoakConfig) -> DfsResult<SoakReport> {
     for (i, c) in RecoveryCause::ALL.iter().enumerate() {
         recoveries[i] = metrics.recoveries(*c);
     }
+    let telemetry = sampler.series();
+    let slo = SloTracker::standard().evaluate(&telemetry);
     let report = SoakReport {
         id: format!("soak-{}", cfg.seed),
         seed: cfg.seed,
@@ -1804,6 +1818,8 @@ pub fn run(cfg: &SoakConfig) -> DfsResult<SoakReport> {
         events_seen,
         events_sampled_out: sampling.sampled_out(),
         events_evicted: ring.dropped(),
+        telemetry,
+        slo,
     };
 
     // Orderly teardown: get the cluster back out of the Arc now that

@@ -26,6 +26,8 @@
 //! dynamic call on an `Arc`, and metric updates are single relaxed
 //! atomic ops.
 
+pub mod telemetry;
+
 use crate::ids::{BlockId, ClientId, DatanodeId, SpanId, TraceId};
 use crate::json::{ObjectBuilder, Value};
 use parking_lot::Mutex;
@@ -516,10 +518,32 @@ impl<W: Write + Send> JsonLinesSink<W> {
     }
 }
 
-impl JsonLinesSink<std::io::BufWriter<std::fs::File>> {
+impl JsonLinesSink<SyncFile> {
     pub fn create(path: &std::path::Path) -> std::io::Result<Arc<Self>> {
         let file = std::fs::File::create(path)?;
-        Ok(Self::new(std::io::BufWriter::new(file)))
+        Ok(Self::new(SyncFile(std::io::BufWriter::new(file))))
+    }
+}
+
+/// Buffered file writer that flushes *and* fsyncs when dropped, so a
+/// capture file is durable once its sink goes away — a crash right
+/// after a run must not lose the tail of the trace to the page cache.
+pub struct SyncFile(std::io::BufWriter<std::fs::File>);
+
+impl Write for SyncFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl Drop for SyncFile {
+    fn drop(&mut self) {
+        let _ = self.0.flush();
+        let _ = self.0.get_ref().sync_all();
     }
 }
 
@@ -592,6 +616,13 @@ impl RotatingFile {
         self.written = 0;
         self.rotations += 1;
         Ok(())
+    }
+}
+
+impl Drop for RotatingFile {
+    fn drop(&mut self) {
+        let _ = self.file.flush();
+        let _ = self.file.get_ref().sync_all();
     }
 }
 
@@ -939,8 +970,12 @@ impl Histogram {
         }
     }
 
-    /// Approximate quantile from bucket boundaries: returns the upper
-    /// bound of the bucket containing the q-th sample (q in `[0, 1]`).
+    /// Approximate quantile, linearly interpolated within the bucket
+    /// containing the q-th sample (q in `[0, 1]`): the rank's position
+    /// among the bucket's samples picks a point between the bucket's
+    /// bounds instead of always reporting the upper bound, so sparse
+    /// buckets stop rounding every quantile up. Capped at the observed
+    /// max (the overflow bucket's nominal bound is `u64::MAX`).
     pub fn quantile(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
@@ -949,10 +984,15 @@ impl Histogram {
         let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                return self.bucket_upper_bound(i).min(self.max());
+            let in_bucket = bucket.load(Ordering::Relaxed);
+            if in_bucket > 0 && seen + in_bucket >= rank {
+                let lower = if i == 0 { 0 } else { self.bucket_upper_bound(i - 1) };
+                let upper = self.bucket_upper_bound(i).min(self.max()).max(lower);
+                let frac = (rank - seen) as f64 / in_bucket as f64;
+                let v = lower as f64 + (upper - lower) as f64 * frac;
+                return (v.round() as u64).min(self.max());
             }
+            seen += in_bucket;
         }
         self.max()
     }
@@ -963,6 +1003,7 @@ impl Histogram {
             .field("sum", self.sum())
             .field("mean", self.mean())
             .field("p50", self.quantile(0.5))
+            .field("p95", self.quantile(0.95))
             .field("p99", self.quantile(0.99))
             .field("max", self.max())
             .build()
@@ -1294,9 +1335,11 @@ mod tests {
         assert_eq!(h.sum(), 1113);
         assert!((h.mean() - 1113.0 / 7.0).abs() < 1e-9);
         assert_eq!(h.max(), 1000);
-        // p50 falls in the bucket holding the 4th sample (value 3 →
-        // bucket [2,4), upper bound 3).
+        // p50 falls on the 4th sample: the sole occupant of bucket
+        // [2,4), interpolating to the bucket's upper bound 3.
         assert_eq!(h.quantile(0.5), 3);
+        // p95 lands on the last sample, capped at the observed max.
+        assert_eq!(h.quantile(0.95), 1000);
         // p100 is capped at the observed max, not the bucket bound.
         assert_eq!(h.quantile(1.0), 1000);
         // Bucket assignment: exact powers of two land in their own bucket.
@@ -1316,9 +1359,10 @@ mod tests {
             h.observe(v);
         }
         assert_eq!(h.count(), 7);
-        // Median sample (210) sits in the (100, 250] bucket; with pow-2
-        // buckets the same data would report 255.
-        assert_eq!(h.quantile(0.5), 250);
+        // Median sample (210) sits in the (100, 250] bucket as the 2nd
+        // of its 3 samples: 100 + 150 * 2/3 = 200. With pow-2 buckets
+        // the same data would interpolate inside (128, 255] instead.
+        assert_eq!(h.quantile(0.5), 200);
         // Overflow past the last bound is capped at the observed max.
         assert_eq!(h.quantile(1.0), 9999);
     }
@@ -1534,6 +1578,81 @@ mod tests {
             assert!(text.len() < 256 + 128, "{name} overgrew: {}", text.len());
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_boundary_record_is_never_split() {
+        let dir = std::env::temp_dir().join(format!("smarth-obs-edge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        // Fixed-content record so the line length is knowable up front.
+        let record = EventRecord {
+            seq: 0,
+            at_us: 123,
+            virtual_time: true,
+            ctx: None,
+            event: sample_event(1),
+        };
+        let line_len = record.to_json().to_string_compact().len() as u64 + 1;
+        // The first record lands *exactly* on the rotation threshold.
+        let sink = JsonLinesSink::create_rotating(&path, line_len, 2).unwrap();
+        sink.emit(&record);
+        sink.emit(&record);
+        sink.out.lock().flush().unwrap();
+        assert_eq!(sink.rotations(), 1, "second record must rotate, not split");
+        for name in ["events.jsonl", "events.jsonl.1"] {
+            let text = std::fs::read_to_string(dir.join(name)).unwrap();
+            assert_eq!(text.len() as u64, line_len, "{name} holds one whole line");
+            crate::json::parse(text.trim_end()).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn json_lines_sink_is_durable_after_drop() {
+        let dir = std::env::temp_dir().join(format!("smarth-obs-sync-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, rotating) in [("plain.jsonl", false), ("rot.jsonl", true)] {
+            let path = dir.join(name);
+            {
+                let obs = if rotating {
+                    Obs::new(JsonLinesSink::create_rotating(&path, 1 << 20, 2).unwrap())
+                } else {
+                    Obs::new(JsonLinesSink::create(&path).unwrap())
+                };
+                obs.emit(sample_event(42));
+                // Sink dropped here without an explicit flush.
+            }
+            let text = std::fs::read_to_string(&path).unwrap();
+            let v = crate::json::parse(text.trim_end()).unwrap();
+            assert_eq!(v.get("block").as_u64(), Some(42), "{name} lost its record");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_after_resyncs_past_evicted_cursor() {
+        let ring = RingBufferSink::new(4);
+        let obs = Obs::new(ring.clone());
+        for i in 0..3 {
+            obs.emit(sample_event(i));
+        }
+        let cursor = ring.snapshot().last().unwrap().seq;
+        assert_eq!(cursor, 2);
+        // Overflow the ring so every record the cursor ever saw — and
+        // several it never saw — are evicted.
+        for i in 3..11 {
+            obs.emit(sample_event(i));
+        }
+        let fresh = ring.snapshot_after(cursor);
+        // The cursor points into the evicted past: the full live tail
+        // comes back in order — no panic, no silently skipped records.
+        let seqs: Vec<u64> = fresh.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10]);
+        // The gap is detectable: dropped() counts records 0..=6.
+        assert_eq!(ring.dropped(), 7);
+        // A fresh cursor at the live tail sees exactly nothing.
+        assert!(ring.snapshot_after(10).is_empty());
     }
 
     #[test]

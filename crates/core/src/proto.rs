@@ -101,6 +101,80 @@ fn decode_vec<T: Wire>(r: &mut WireReader) -> DfsResult<Vec<T>> {
     (0..n).map(|_| T::decode(r)).collect()
 }
 
+/// Per-datanode gauge snapshot piggybacked on every heartbeat: the
+/// §IV-C staging/buffer levels local to *that* node, as opposed to the
+/// process-wide aggregates in `Metrics` (which, in a `MiniCluster`,
+/// sum every datanode sharing one `Obs`). The namenode retains the
+/// latest snapshot per node, giving it a cluster-wide live view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DatanodeTelemetry {
+    /// Packets currently queued between receive and flush stages.
+    pub staging_packets: u64,
+    /// Bytes staged awaiting flush.
+    pub buffered_bytes: u64,
+    /// Bytes queued toward the downstream mirror.
+    pub forward_bytes: u64,
+}
+
+impl Wire for DatanodeTelemetry {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.staging_packets);
+        w.put_u64(self.buffered_bytes);
+        w.put_u64(self.forward_bytes);
+    }
+    fn decode(r: &mut WireReader) -> DfsResult<Self> {
+        Ok(DatanodeTelemetry {
+            staging_packets: r.get_u64()?,
+            buffered_bytes: r.get_u64()?,
+            forward_bytes: r.get_u64()?,
+        })
+    }
+}
+
+/// One row of the namenode's cluster telemetry table: liveness and
+/// usage from the datanode manager joined with the node's last
+/// piggybacked [`DatanodeTelemetry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeTelemetryRow {
+    pub id: DatanodeId,
+    pub host_name: String,
+    pub rack: String,
+    pub alive: bool,
+    pub used: u64,
+    pub capacity: u64,
+    pub active_transfers: u32,
+    pub telemetry: DatanodeTelemetry,
+    /// Milliseconds since the node's last heartbeat.
+    pub age_ms: u64,
+}
+
+impl Wire for NodeTelemetryRow {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.id.raw());
+        w.put_str(&self.host_name);
+        w.put_str(&self.rack);
+        w.put_bool(self.alive);
+        w.put_u64(self.used);
+        w.put_u64(self.capacity);
+        w.put_u32(self.active_transfers);
+        self.telemetry.encode(w);
+        w.put_u64(self.age_ms);
+    }
+    fn decode(r: &mut WireReader) -> DfsResult<Self> {
+        Ok(NodeTelemetryRow {
+            id: DatanodeId(r.get_u32()?),
+            host_name: r.get_str()?,
+            rack: r.get_str()?,
+            alive: r.get_bool()?,
+            used: r.get_u64()?,
+            capacity: r.get_u64()?,
+            active_transfers: r.get_u32()?,
+            telemetry: DatanodeTelemetry::decode(r)?,
+            age_ms: r.get_u64()?,
+        })
+    }
+}
+
 /// A block plus the pipeline targets chosen by the namenode — the
 /// response to `addBlock` (§II step 2). The namenode also mints the
 /// block's causal trace here: `trace`/`span` identify the lifecycle
@@ -285,6 +359,10 @@ pub enum ClientRequest {
     /// Namespace listing (for examples/tools).
     List { path: String },
     Delete { path: String },
+    /// Telemetry scrape: the namenode's Prometheus exposition, its
+    /// sampled series, and the per-datanode cluster table assembled
+    /// from heartbeat piggybacks (`smarth_shell top` / `slo`).
+    GetTelemetry,
 }
 
 /// Namenode → client responses. `Error` carries the failed variant's
@@ -306,6 +384,13 @@ pub enum ClientResponse {
     BlockLocations { blocks: Vec<LocatedBlock> },
     Listing { entries: Vec<FileStatus> },
     Deleted { existed: bool },
+    /// Cluster-wide telemetry: per-node rows, the namenode's Prometheus
+    /// text exposition, and its `TelemetrySeries` as compact JSON.
+    Telemetry {
+        rows: Vec<NodeTelemetryRow>,
+        text: String,
+        series_json: String,
+    },
     Error(String),
 }
 
@@ -323,6 +408,7 @@ const CR_LOCATIONS: u8 = 10;
 const CR_LIST: u8 = 11;
 const CR_DELETE: u8 = 12;
 const CR_BAD_REPLICA: u8 = 13;
+const CR_TELEMETRY: u8 = 14;
 
 impl Wire for ClientRequest {
     fn encode(&self, w: &mut WireWriter) {
@@ -457,6 +543,7 @@ impl Wire for ClientRequest {
                 w.put_u8(CR_DELETE);
                 w.put_str(path);
             }
+            ClientRequest::GetTelemetry => w.put_u8(CR_TELEMETRY),
         }
     }
 
@@ -553,6 +640,7 @@ impl Wire for ClientRequest {
             },
             CR_LIST => ClientRequest::List { path: r.get_str()? },
             CR_DELETE => ClientRequest::Delete { path: r.get_str()? },
+            CR_TELEMETRY => ClientRequest::GetTelemetry,
             x => return Err(DfsError::codec(format!("unknown ClientRequest tag {x}"))),
         })
     }
@@ -572,6 +660,7 @@ const CP_LOCATIONS: u8 = 10;
 const CP_LISTING: u8 = 11;
 const CP_DELETED: u8 = 12;
 const CP_BAD_REPLICA_ACK: u8 = 13;
+const CP_TELEMETRY: u8 = 14;
 const CP_ERROR: u8 = 255;
 
 impl Wire for ClientResponse {
@@ -624,6 +713,16 @@ impl Wire for ClientResponse {
                 w.put_bool(*existed);
             }
             ClientResponse::BadReplicaAck => w.put_u8(CP_BAD_REPLICA_ACK),
+            ClientResponse::Telemetry {
+                rows,
+                text,
+                series_json,
+            } => {
+                w.put_u8(CP_TELEMETRY);
+                encode_vec(w, rows);
+                w.put_str(text);
+                w.put_str(series_json);
+            }
             ClientResponse::Error(msg) => {
                 w.put_u8(CP_ERROR);
                 w.put_str(msg);
@@ -669,6 +768,11 @@ impl Wire for ClientResponse {
                 existed: r.get_bool()?,
             },
             CP_BAD_REPLICA_ACK => ClientResponse::BadReplicaAck,
+            CP_TELEMETRY => ClientResponse::Telemetry {
+                rows: decode_vec(r)?,
+                text: r.get_str()?,
+                series_json: r.get_str()?,
+            },
             CP_ERROR => ClientResponse::Error(r.get_str()?),
             x => return Err(DfsError::codec(format!("unknown ClientResponse tag {x}"))),
         })
@@ -692,6 +796,9 @@ pub enum DatanodeRequest {
         id: DatanodeId,
         used: u64,
         active_transfers: u32,
+        /// The node's live gauge snapshot, piggybacked so the namenode
+        /// holds a cluster-wide telemetry view with no extra RPC.
+        telemetry: DatanodeTelemetry,
     },
     BlockReceived {
         id: DatanodeId,
@@ -727,11 +834,13 @@ impl Wire for DatanodeRequest {
                 id,
                 used,
                 active_transfers,
+                telemetry,
             } => {
                 w.put_u8(1);
                 w.put_u32(id.raw());
                 w.put_u64(*used);
                 w.put_u32(*active_transfers);
+                telemetry.encode(w);
             }
             DatanodeRequest::BlockReceived { id, block } => {
                 w.put_u8(2);
@@ -753,6 +862,7 @@ impl Wire for DatanodeRequest {
                 id: DatanodeId(r.get_u32()?),
                 used: r.get_u64()?,
                 active_transfers: r.get_u32()?,
+                telemetry: DatanodeTelemetry::decode(r)?,
             },
             2 => DatanodeRequest::BlockReceived {
                 id: DatanodeId(r.get_u32()?),
@@ -822,6 +932,9 @@ pub enum DataOp {
     /// Ask a datanode for the current state of a replica (used by the
     /// recovery primary to agree on a safe length).
     GetReplicaInfo { block: BlockId },
+    /// Scrape this datanode's telemetry: Prometheus text exposition
+    /// plus its local sampled series as compact JSON.
+    GetTelemetry,
 }
 
 /// Header of a block write (§II step 3 / §III-A step 3).
@@ -909,6 +1022,7 @@ impl Wire for DataOp {
                 w.put_u8(3);
                 w.put_u64(block.raw());
             }
+            DataOp::GetTelemetry => w.put_u8(4),
         }
     }
 
@@ -928,6 +1042,7 @@ impl Wire for DataOp {
             3 => DataOp::GetReplicaInfo {
                 block: BlockId(r.get_u64()?),
             },
+            4 => DataOp::GetTelemetry,
             x => return Err(DfsError::codec(format!("unknown DataOp tag {x}"))),
         })
     }
@@ -1078,6 +1193,8 @@ pub enum DataReply {
         block: Option<ExtendedBlock>,
         finalized: bool,
     },
+    /// Reply to [`DataOp::GetTelemetry`].
+    Telemetry { text: String, series_json: String },
     Error(String),
 }
 
@@ -1103,6 +1220,11 @@ impl Wire for DataReply {
                 }
                 w.put_bool(*finalized);
             }
+            DataReply::Telemetry { text, series_json } => {
+                w.put_u8(3);
+                w.put_str(text);
+                w.put_str(series_json);
+            }
             DataReply::Error(m) => {
                 w.put_u8(255);
                 w.put_str(m);
@@ -1127,6 +1249,10 @@ impl Wire for DataReply {
                     finalized: r.get_bool()?,
                 }
             }
+            3 => DataReply::Telemetry {
+                text: r.get_str()?,
+                series_json: r.get_str()?,
+            },
             255 => DataReply::Error(r.get_str()?),
             x => return Err(DfsError::codec(format!("unknown DataReply tag {x}"))),
         })
@@ -1247,6 +1373,40 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_roundtrips() {
+        roundtrip(ClientRequest::GetTelemetry);
+        roundtrip(ClientResponse::Telemetry {
+            rows: vec![NodeTelemetryRow {
+                id: DatanodeId(3),
+                host_name: "dn3".into(),
+                rack: "rack-1".into(),
+                alive: true,
+                used: 1 << 30,
+                capacity: 1 << 40,
+                active_transfers: 2,
+                telemetry: DatanodeTelemetry {
+                    staging_packets: 7,
+                    buffered_bytes: 4096,
+                    forward_bytes: 128,
+                },
+                age_ms: 1500,
+            }],
+            text: "# TYPE smarth_bytes_written counter\nsmarth_bytes_written 1\n".into(),
+            series_json: "[]".into(),
+        });
+        roundtrip(ClientResponse::Telemetry {
+            rows: vec![],
+            text: String::new(),
+            series_json: String::new(),
+        });
+        roundtrip(DataOp::GetTelemetry);
+        roundtrip(DataReply::Telemetry {
+            text: "smarth_bytes_written 9\n".into(),
+            series_json: "[{\"name\":\"bytes_written\"}]".into(),
+        });
+    }
+
+    #[test]
     fn datanode_protocol_roundtrips() {
         roundtrip(DatanodeRequest::Register {
             host_name: "dn0".into(),
@@ -1258,6 +1418,11 @@ mod tests {
             id: DatanodeId(2),
             used: 42,
             active_transfers: 3,
+            telemetry: DatanodeTelemetry {
+                staging_packets: 5,
+                buffered_bytes: 1 << 16,
+                forward_bytes: 512,
+            },
         });
         roundtrip(DatanodeRequest::BlockReceived {
             id: DatanodeId(2),

@@ -38,15 +38,16 @@ use smarth_core::checksum::ChunkedChecksum;
 use smarth_core::config::{DfsConfig, VerifyChecksumsAt, WriteMode};
 use smarth_core::error::{DfsError, DfsResult};
 use smarth_core::ids::{BlockId, DatanodeId};
+use smarth_core::obs::telemetry::{prometheus_exposition, Sampler};
 use smarth_core::obs::{Obs, ObsEvent};
 use smarth_core::proto::{
-    AckKind, AckStatus, DataOp, DataReply, DatanodeRequest, DatanodeResponse, Packet,
-    PipelineAck, WriteBlockHeader,
+    AckKind, AckStatus, DataOp, DataReply, DatanodeRequest, DatanodeResponse, DatanodeTelemetry,
+    Packet, PipelineAck, WriteBlockHeader,
 };
 use smarth_core::wire::{recv_message, send_message};
 use smarth_fabric::{Fabric, FabricStream, ReadHalf, TokenBucket, WriteHalf};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -70,6 +71,39 @@ impl NnClient {
     }
 }
 
+/// This node's own live buffer levels. The corresponding gauges in
+/// `Metrics` are shared across every datanode wired to one `Obs` (a
+/// `MiniCluster` aggregates them), so heartbeat piggybacks and the
+/// per-node telemetry scrape read these node-local atomics instead.
+#[derive(Default)]
+struct DnLocalStats {
+    staging_packets: AtomicU64,
+    buffered_bytes: AtomicU64,
+    forward_bytes: AtomicU64,
+}
+
+impl DnLocalStats {
+    fn add(cell: &AtomicU64, n: u64) {
+        cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn sub(cell: &AtomicU64, n: u64) {
+        // Saturating, like `Gauge::sub`: a spurious extra dec must not
+        // wrap the piggybacked level to u64::MAX.
+        let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(n))
+        });
+    }
+
+    fn snapshot(&self) -> DatanodeTelemetry {
+        DatanodeTelemetry {
+            staging_packets: self.staging_packets.load(Ordering::Relaxed),
+            buffered_bytes: self.buffered_bytes.load(Ordering::Relaxed),
+            forward_bytes: self.forward_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
 struct DnInner {
     id: DatanodeId,
     host: String,
@@ -87,6 +121,9 @@ struct DnInner {
     /// that the client-side verify must catch.
     read_corruption: Mutex<HashSet<BlockId>>,
     obs: Obs,
+    local: DnLocalStats,
+    /// Ticked by the heartbeat loop; serves `DataOp::GetTelemetry`.
+    sampler: Arc<Sampler>,
 }
 
 impl DnInner {
@@ -154,6 +191,7 @@ impl DataNode {
         };
 
         let listener = fabric.listen(&data_addr)?;
+        let sampler = Sampler::new(obs.metrics().clone(), 1024);
         let inner = Arc::new(DnInner {
             id,
             host: host.to_string(),
@@ -166,6 +204,8 @@ impl DataNode {
             active_transfers: AtomicU32::new(0),
             read_corruption: Mutex::new(HashSet::new()),
             obs,
+            local: DnLocalStats::default(),
+            sampler,
         });
         let stop = Arc::new(AtomicBool::new(false));
         let mut threads = Vec::new();
@@ -210,10 +250,12 @@ impl DataNode {
                     .spawn(move || {
                         while !stop.load(Ordering::SeqCst) {
                             std::thread::sleep(interval);
+                            inner.sampler.sample_at(Obs::now_us());
                             let req = DatanodeRequest::Heartbeat {
                                 id: inner.id,
                                 used: inner.store.used_bytes(),
                                 active_transfers: inner.active_transfers.load(Ordering::Relaxed),
+                                telemetry: inner.local.snapshot(),
                             };
                             if inner.nn.call(&req).is_err() {
                                 break; // namenode gone / fabric down
@@ -249,6 +291,16 @@ impl DataNode {
 
     pub fn active_transfers(&self) -> u32 {
         self.inner.active_transfers.load(Ordering::Relaxed)
+    }
+
+    /// The time-series sampler this node's heartbeat loop ticks.
+    pub fn sampler(&self) -> &Arc<Sampler> {
+        &self.inner.sampler
+    }
+
+    /// This node's own live buffer levels (what heartbeats piggyback).
+    pub fn local_telemetry(&self) -> DatanodeTelemetry {
+        self.inner.local.snapshot()
     }
 
     /// Fault injection for read-path tests: every packet this node
@@ -296,6 +348,13 @@ fn handle_connection(dn: Arc<DnInner>, mut stream: FabricStream) {
             let reply = match dn.store.recover(block.id, new_gen, new_len) {
                 Ok(b) => DataReply::RecoverOk { block: b },
                 Err(e) => DataReply::Error(e.to_string()),
+            };
+            let _ = send_message(&mut stream, &reply);
+        }
+        DataOp::GetTelemetry => {
+            let reply = DataReply::Telemetry {
+                text: prometheus_exposition(dn.obs.metrics()),
+                series_json: dn.sampler.series().to_json().to_string_compact(),
             };
             let _ = send_message(&mut stream, &reply);
         }
@@ -393,21 +452,22 @@ fn run_write_threads(
 
     // Forwarder: pumps packets to the next datanode.
     let forwarder = mirror_write.map(|mut m_write| {
-        let obs = dn.obs.clone();
+        let dn = Arc::clone(dn);
         std::thread::Builder::new()
             .name("dn-forwarder".into())
             .spawn(move || {
                 for pkt in fwd_rx.iter() {
                     let n = pkt.payload.len() as u64;
                     let sent = send_message(&mut m_write, &pkt);
-                    obs.metrics().datanode_forward_bytes.sub(n);
+                    dn.obs.metrics().datanode_forward_bytes.sub(n);
+                    DnLocalStats::sub(&dn.local.forward_bytes, n);
                     if sent.is_err() {
                         // Drain so the receiver never blocks on a dead
                         // mirror; the responder reports the error.
                         for pkt in fwd_rx.iter() {
-                            obs.metrics()
-                                .datanode_forward_bytes
-                                .sub(pkt.payload.len() as u64);
+                            let n = pkt.payload.len() as u64;
+                            dn.obs.metrics().datanode_forward_bytes.sub(n);
+                            DnLocalStats::sub(&dn.local.forward_bytes, n);
                         }
                         break;
                     }
@@ -433,6 +493,8 @@ fn run_write_threads(
                     let m = dn.obs.metrics();
                     m.datanode_buffered_bytes.sub(pkt.payload.len() as u64);
                     m.datanode_staging_packets.sub(1);
+                    DnLocalStats::sub(&dn.local.buffered_bytes, pkt.payload.len() as u64);
+                    DnLocalStats::sub(&dn.local.staging_packets, 1);
                 };
                 for pkt in flush_rx.iter() {
                     let flushed = flush_packet(&dn, &header, &up_write, &pkt);
@@ -579,15 +641,12 @@ fn run_write_threads(
                 // replication is never gated on this node's disk. A
                 // closed forwarder means the mirror died; the responder
                 // reports it via error acks, we just stop forwarding.
-                dn.obs
-                    .metrics()
-                    .datanode_forward_bytes
-                    .add(pkt.payload.len() as u64);
+                let n = pkt.payload.len() as u64;
+                dn.obs.metrics().datanode_forward_bytes.add(n);
+                DnLocalStats::add(&dn.local.forward_bytes, n);
                 if fwd_tx.send(pkt.clone()).is_err() {
-                    dn.obs
-                        .metrics()
-                        .datanode_forward_bytes
-                        .sub(pkt.payload.len() as u64);
+                    dn.obs.metrics().datanode_forward_bytes.sub(n);
+                    DnLocalStats::sub(&dn.local.forward_bytes, n);
                 }
             }
             // Stage for the flusher. Accounting happens before the send:
@@ -598,12 +657,16 @@ fn run_write_threads(
             let m = dn.obs.metrics();
             m.datanode_buffered_bytes.add(n);
             m.datanode_staging_packets.add(1);
+            DnLocalStats::add(&dn.local.buffered_bytes, n);
+            DnLocalStats::add(&dn.local.staging_packets, 1);
             if flush_tx.send(pkt).is_err() {
                 // Flusher already failed and reported upstream; its
                 // error is picked up at join below.
                 let m = dn.obs.metrics();
                 m.datanode_buffered_bytes.sub(n);
                 m.datanode_staging_packets.sub(1);
+                DnLocalStats::sub(&dn.local.buffered_bytes, n);
+                DnLocalStats::sub(&dn.local.staging_packets, 1);
                 return Ok(());
             }
             if last {

@@ -9,7 +9,7 @@
 //! pool.
 
 use smarth_core::ids::DatanodeId;
-use smarth_core::proto::DatanodeInfo;
+use smarth_core::proto::{DatanodeInfo, DatanodeTelemetry, NodeTelemetryRow};
 use smarth_core::topology::{NetworkTopology, TopologyNode};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -21,6 +21,9 @@ struct DatanodeEntry {
     used: u64,
     capacity: u64,
     active_transfers: u32,
+    /// Latest gauge snapshot piggybacked on the heartbeat (§IV-C buffer
+    /// levels), giving the namenode a cluster-wide live view.
+    telemetry: DatanodeTelemetry,
     /// Administratively removed (host declared dead by the cluster).
     decommissioned: bool,
 }
@@ -85,6 +88,7 @@ impl DatanodeManager {
                 used: 0,
                 capacity,
                 active_transfers: 0,
+                telemetry: DatanodeTelemetry::default(),
                 decommissioned: false,
             },
         );
@@ -98,16 +102,45 @@ impl DatanodeManager {
 
     /// Records a heartbeat. Returns false for unknown nodes (they must
     /// re-register).
-    pub fn heartbeat(&mut self, id: DatanodeId, used: u64, active_transfers: u32) -> bool {
+    pub fn heartbeat(
+        &mut self,
+        id: DatanodeId,
+        used: u64,
+        active_transfers: u32,
+        telemetry: DatanodeTelemetry,
+    ) -> bool {
         match self.entries.get_mut(&id) {
             Some(e) if !e.decommissioned => {
                 e.last_heartbeat = Instant::now();
                 e.used = used;
                 e.active_transfers = active_transfers;
+                e.telemetry = telemetry;
                 true
             }
             _ => false,
         }
+    }
+
+    /// One row per registered datanode (dead ones included, flagged) for
+    /// the `GetTelemetry` RPC / `smarth_shell top` cluster table.
+    pub fn telemetry_rows(&self) -> Vec<NodeTelemetryRow> {
+        let mut rows: Vec<NodeTelemetryRow> = self
+            .entries
+            .values()
+            .map(|e| NodeTelemetryRow {
+                id: e.info.id,
+                host_name: e.info.host_name.clone(),
+                rack: e.info.rack.clone(),
+                alive: self.is_live(e),
+                used: e.used,
+                capacity: e.capacity,
+                active_transfers: e.active_transfers,
+                telemetry: e.telemetry,
+                age_ms: e.last_heartbeat.elapsed().as_millis() as u64,
+            })
+            .collect();
+        rows.sort_unstable_by_key(|r| r.id);
+        rows
     }
 
     fn is_live(&self, e: &DatanodeEntry) -> bool {
@@ -216,7 +249,7 @@ mod tests {
         let a = m.register("dn0", "r", "dn0:1", 1);
         for _ in 0..5 {
             std::thread::sleep(Duration::from_millis(40));
-            assert!(m.heartbeat(a, 10, 1));
+            assert!(m.heartbeat(a, 10, 1, DatanodeTelemetry::default()));
             assert!(m.is_alive(a), "heartbeating node must stay alive");
         }
     }
@@ -227,7 +260,7 @@ mod tests {
         let a = m.register("dn0", "r", "dn0:1", 1);
         let b = m.register("dn1", "r", "dn1:1", 1);
         std::thread::sleep(Duration::from_millis(60));
-        m.heartbeat(b, 0, 0);
+        m.heartbeat(b, 0, 0, DatanodeTelemetry::default());
         std::thread::sleep(Duration::from_millis(60));
         // a has been silent ~120ms (> 100ms expiry); b only ~60ms.
         assert!(!m.is_alive(a));
@@ -238,7 +271,7 @@ mod tests {
         // Sweep is idempotent.
         assert!(m.expire_dead().is_empty());
         // Expired nodes reject heartbeats until re-registering.
-        assert!(!m.heartbeat(a, 0, 0));
+        assert!(!m.heartbeat(a, 0, 0, DatanodeTelemetry::default()));
     }
 
     #[test]
@@ -248,7 +281,7 @@ mod tests {
         m.decommission(a);
         assert_eq!(m.alive_count(), 0);
         assert_eq!(m.topology().len(), 0);
-        assert!(!m.heartbeat(a, 0, 0));
+        assert!(!m.heartbeat(a, 0, 0, DatanodeTelemetry::default()));
     }
 
     #[test]
@@ -261,8 +294,32 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_rows_reflect_heartbeats() {
+        let mut m = mgr();
+        let a = m.register("dn0", "r", "dn0:1", 1 << 20);
+        let b = m.register("dn1", "r", "dn1:1", 1 << 20);
+        let t = DatanodeTelemetry {
+            staging_packets: 3,
+            buffered_bytes: 4096,
+            forward_bytes: 512,
+        };
+        assert!(m.heartbeat(a, 100, 2, t));
+        let rows = m.telemetry_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].id, a);
+        assert_eq!(rows[0].telemetry, t);
+        assert_eq!(rows[0].used, 100);
+        assert!(rows[0].alive);
+        assert_eq!(rows[1].id, b);
+        assert_eq!(rows[1].telemetry, DatanodeTelemetry::default());
+        m.decommission(b);
+        let rows = m.telemetry_rows();
+        assert!(!rows[1].alive, "decommissioned node flagged, not hidden");
+    }
+
+    #[test]
     fn unknown_heartbeat_rejected() {
         let mut m = mgr();
-        assert!(!m.heartbeat(DatanodeId(5), 0, 0));
+        assert!(!m.heartbeat(DatanodeId(5), 0, 0, DatanodeTelemetry::default()));
     }
 }

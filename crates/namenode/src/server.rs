@@ -15,6 +15,7 @@ use rand_chacha::ChaCha8Rng;
 use smarth_core::config::{DfsConfig, WriteMode};
 use smarth_core::error::{DfsError, DfsResult};
 use smarth_core::ids::{ClientId, DatanodeId, IdGenerator, SpanId, TraceId};
+use smarth_core::obs::telemetry::{prometheus_exposition, Sampler};
 use smarth_core::obs::{Obs, ObsEvent, SpeedObservation, TraceCtx};
 use smarth_core::placement::{
     default_placement, replacement_targets, smarth_placement, ClientLocality,
@@ -78,6 +79,9 @@ pub struct NameNodeState {
     trace_ids: IdGenerator,
     rng: Mutex<ChaCha8Rng>,
     obs: Obs,
+    /// Time-series over this namenode's metrics registry, ticked by the
+    /// expiry sweeper and served over `ClientRequest::GetTelemetry`.
+    sampler: Arc<Sampler>,
 }
 
 impl NameNodeState {
@@ -90,6 +94,7 @@ impl NameNodeState {
             config.heartbeat_interval.as_secs_f64() * config.heartbeat_expiry_multiplier as f64,
         );
         let speed_half_life = config.speed_half_life;
+        let sampler = Sampler::new(obs.metrics().clone(), 1024);
         Self {
             config,
             namespace: Mutex::new(FsNamespace::new()),
@@ -101,7 +106,13 @@ impl NameNodeState {
             trace_ids: IdGenerator::starting_at(1),
             rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
             obs,
+            sampler,
         }
+    }
+
+    /// The sampler behind `ClientRequest::GetTelemetry`.
+    pub fn sampler(&self) -> &Arc<Sampler> {
+        &self.sampler
     }
 
     /// Sweeps heartbeat-expired datanodes, purging their replicas and
@@ -399,6 +410,14 @@ impl NameNodeState {
                 }
                 Ok(ClientResponse::BadReplicaAck)
             }
+            ClientRequest::GetTelemetry => {
+                let rows = self.datanodes.lock().telemetry_rows();
+                Ok(ClientResponse::Telemetry {
+                    rows,
+                    text: prometheus_exposition(self.obs.metrics()),
+                    series_json: self.sampler.series().to_json().to_string_compact(),
+                })
+            }
             ClientRequest::List { path } => Ok(ClientResponse::Listing {
                 entries: self.namespace.lock().list(&path)?,
             }),
@@ -437,8 +456,13 @@ impl NameNodeState {
                 id,
                 used,
                 active_transfers,
+                telemetry,
             } => {
-                if self.datanodes.lock().heartbeat(id, used, active_transfers) {
+                if self
+                    .datanodes
+                    .lock()
+                    .heartbeat(id, used, active_transfers, telemetry)
+                {
                     DatanodeResponse::HeartbeatAck
                 } else {
                     DatanodeResponse::Error(format!("unknown or dead datanode {id}"))
@@ -585,6 +609,7 @@ impl NameNode {
                     .spawn(move || {
                         while !stop.load(Ordering::SeqCst) {
                             std::thread::sleep(interval);
+                            state.sampler.sample_at(Obs::now_us());
                             state.expire_dead_datanodes();
                         }
                     })
@@ -994,6 +1019,7 @@ mod tests {
             id: lb.targets[0].id,
             used: 12345,
             active_transfers: 1,
+            telemetry: smarth_core::proto::DatanodeTelemetry::default(),
         });
         let report = st.cluster_report();
         assert_eq!(report.live_datanodes.len(), 4);
@@ -1006,6 +1032,26 @@ mod tests {
         // Safe mode is reflected.
         st.set_safe_mode(true);
         assert!(st.cluster_report().safe_mode);
+    }
+
+    #[test]
+    fn get_telemetry_serves_rows_exposition_and_series() {
+        let (st, _dns) = state_with_datanodes(3);
+        st.sampler().sample_at(Obs::now_us());
+        match st.handle_client_request(ClientRequest::GetTelemetry) {
+            ClientResponse::Telemetry {
+                rows,
+                text,
+                series_json,
+            } => {
+                assert_eq!(rows.len(), 3);
+                assert!(rows.iter().all(|r| r.alive));
+                assert!(text.contains("# TYPE smarth_bytes_written counter"));
+                let v = smarth_core::json::parse(&series_json).expect("series parses");
+                assert!(v.as_array().is_some_and(|a| !a.is_empty()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

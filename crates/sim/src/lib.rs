@@ -14,8 +14,8 @@ pub mod scenario;
 pub mod server;
 
 pub use model::{
-    simulate_upload, simulate_upload_with_obs, PipelineTrace, ProtocolFlags, SimResult,
-    SimScenario,
+    simulate_upload, simulate_upload_with_obs, simulate_upload_with_telemetry, PipelineTrace,
+    ProtocolFlags, SimResult, SimScenario,
 };
 pub use server::RateServer;
 

@@ -17,6 +17,7 @@ use rand_chacha::ChaCha8Rng;
 use smarth_core::config::{ClusterSpec, DfsConfig, HostRole, WriteMode};
 use smarth_core::ids::{BlockId, ClientId, DatanodeId, SpanId, TraceId};
 use smarth_core::localopt::{local_optimize, LocalOptOutcome};
+use smarth_core::obs::telemetry::Sampler;
 use smarth_core::obs::{Obs, ObsEvent, SpeedObservation, TraceCtx};
 use smarth_core::placement::{default_placement, smarth_placement, ClientLocality};
 use smarth_core::proto::DatanodeInfo;
@@ -265,6 +266,10 @@ struct Sim {
     // Same event stream as the real write path, stamped with virtual
     // time (warm-up rounds run with a disabled handle).
     obs: Obs,
+    /// `(sampler, interval_us, next_due_us)`: the telemetry sampler
+    /// ticked in virtual time as the event loop advances — the DES twin
+    /// of the emulator's heartbeat-driven `Sampler`.
+    sampler: Option<(std::sync::Arc<Sampler>, u64, u64)>,
 }
 
 const CLIENT: ClientId = ClientId(1);
@@ -872,6 +877,15 @@ impl Sim {
         while let Some(Reverse((at, _, ev))) = self.heap.pop() {
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
+            let vt = self.now.0 / 1_000;
+            if let Some((sampler, interval, next_due)) = &mut self.sampler {
+                // Catch up every tick the event jump skipped over, so
+                // the series keeps its fixed cadence in virtual time.
+                while *next_due <= vt {
+                    sampler.sample_at(*next_due);
+                    *next_due += *interval;
+                }
+            }
             match ev {
                 Ev::ClientSend { pipe } => self.on_client_send(pipe),
                 Ev::Arrive { pipe, hop, pkt } => self.on_arrive(pipe, hop, pkt),
@@ -989,6 +1003,28 @@ pub fn simulate_upload(scenario: &SimScenario) -> SimResult {
 /// Events carry virtual time: `at_us` is simulated microseconds since
 /// upload start, not wall time.
 pub fn simulate_upload_with_obs(scenario: &SimScenario, obs: Obs) -> SimResult {
+    simulate_upload_inner(scenario, obs, None)
+}
+
+/// [`simulate_upload_with_obs`] plus a telemetry [`Sampler`] ticked
+/// every `interval_us` of *virtual* time during the measured round —
+/// the DES twin of the emulator's heartbeat-driven sampling, so series
+/// shapes can be compared across engines. The sampler must wrap the
+/// same `Metrics` registry as `obs`.
+pub fn simulate_upload_with_telemetry(
+    scenario: &SimScenario,
+    obs: Obs,
+    sampler: std::sync::Arc<Sampler>,
+    interval_us: u64,
+) -> SimResult {
+    simulate_upload_inner(scenario, obs, Some((sampler, interval_us.max(1))))
+}
+
+fn simulate_upload_inner(
+    scenario: &SimScenario,
+    obs: Obs,
+    telemetry: Option<(std::sync::Arc<Sampler>, u64)>,
+) -> SimResult {
     scenario.config.validate().expect("invalid config");
     if let Some(bounds) = &scenario.config.fnfa_latency_buckets_us {
         obs.metrics().fnfa_to_allocation_us.configure_bounds(bounds.clone());
@@ -1103,8 +1139,18 @@ pub fn simulate_upload_with_obs(scenario: &SimScenario, obs: Obs) -> SimResult {
             } else {
                 Obs::disabled()
             },
+            sampler: if round == scenario.warmup_uploads {
+                telemetry.clone().map(|(s, interval)| (s, interval, 0))
+            } else {
+                None
+            },
         };
         sim.run();
+        if let Some((s, _, _)) = &sim.sampler {
+            // Close the series on the final metric state; duplicate
+            // stamps are dropped by the sampler.
+            s.sample_at(sim.finished_at.expect("run() asserts completion").0 / 1_000);
+        }
 
         // Final heartbeat so warm-up knowledge reaches the registry —
         // before the read phase, which orders sources by that registry.
