@@ -69,6 +69,12 @@ fn paired_conformance_reports(
     if read_back {
         client.get("/conformance/a.bin")?;
     }
+    let panics = cluster.obs().metrics().handler_panics.get();
+    if panics > 0 {
+        return Err(smarth_core::DfsError::internal(format!(
+            "{panics} handler panic(s) during conformance run"
+        )));
+    }
     cluster.shutdown();
     let emulator = TraceAssembler::assemble(&sink.snapshot());
 
@@ -111,8 +117,10 @@ fn run_conformance(out_dir: &std::path::Path, quick: bool) {
         {
             Ok(pair) => pair,
             Err(e) => {
+                // Covers handler panics detected after the run as well —
+                // a conformance pass with panicking servers is no pass.
                 eprintln!("{id}: paired run failed: {e}");
-                continue;
+                std::process::exit(1);
             }
         };
         let verdict = diff_reports(&id, &emulator, &sim, ToleranceBands::default());
@@ -550,21 +558,40 @@ fn main() {
     for id in ids {
         if id == "soak" {
             // The soak harness runs the real emulator, so it produces a
-            // windowed invariant report instead of a figure table.
-            let cfg = if quick {
-                SoakConfig::smoke(42)
+            // windowed invariant report instead of a figure table. The
+            // namenode-hostile profile rides along in both modes; any
+            // violation (unattributed recovery, integrity failure,
+            // handler panic) fails the process so CI goes red.
+            // Distinct seeds: the report id (and file name) is derived
+            // from the seed, and the hostile report must not overwrite
+            // the churn report.
+            let profiles = if quick {
+                vec![SoakConfig::smoke(42), SoakConfig::hostile(43)]
             } else {
-                SoakConfig::sustained(16, 20, 42)
+                vec![SoakConfig::sustained(16, 20, 42), SoakConfig::hostile(43)]
             };
-            match soak::run(&cfg) {
-                Ok(report) => {
-                    print!("{}", report.render());
-                    match report.save(&out_dir) {
-                        Ok(path) => println!("  saved {}\n", path.display()),
-                        Err(e) => eprintln!("  failed to save soak report: {e}"),
+            for cfg in profiles {
+                match soak::run(&cfg) {
+                    Ok(report) => {
+                        print!("{}", report.render());
+                        match report.save(&out_dir) {
+                            Ok(path) => println!("  saved {}\n", path.display()),
+                            Err(e) => eprintln!("  failed to save soak report: {e}"),
+                        }
+                        if !report.violations.is_empty() {
+                            eprintln!(
+                                "soak seed {} violated {} invariant(s)",
+                                cfg.seed,
+                                report.violations.len()
+                            );
+                            std::process::exit(1);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("soak run failed: {e}");
+                        std::process::exit(1);
                     }
                 }
-                Err(e) => eprintln!("soak run failed: {e}"),
             }
             continue;
         }

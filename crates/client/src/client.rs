@@ -98,7 +98,7 @@ impl DfsClient {
         obs: Obs,
     ) -> DfsResult<Self> {
         config.validate().map_err(DfsError::Internal)?;
-        let rpc = NamenodeClient::connect(fabric, host, nn_client_addr)?;
+        let rpc = NamenodeClient::connect(fabric, host, nn_client_addr, config.rpc_retry.clone())?;
         let id = rpc.register(host, rack)?;
         let ctx = Arc::new(ClientCtx {
             fabric: fabric.clone(),
@@ -129,8 +129,11 @@ impl DfsClient {
                         if records.is_empty() {
                             continue;
                         }
+                        // A transient namenode outage must not kill the
+                        // speed-report loop for the life of the client;
+                        // drop this batch and try again next interval.
                         if ctx.rpc.report_speeds(ctx.id, records).is_err() {
-                            break;
+                            continue;
                         }
                     }
                 })

@@ -35,6 +35,7 @@ use smarth_core::proto::{DataOp, DataReply, DatanodeInfo, FileStatus, LocatedBlo
 use smarth_core::units::{ByteSize, SimDuration};
 use smarth_core::wire::{recv_message, send_message};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -219,23 +220,50 @@ impl DfsInputStream {
     fn read_windows(&self, windows: &[(usize, u64, u64)]) -> DfsResult<Vec<Vec<u8>>> {
         let readahead = self.ctx.config.readahead_blocks;
         let mut out = Vec::with_capacity(windows.len());
+        // In-flight readahead workers poll this between failover hops:
+        // the first fatal error cancels the speculative windows so the
+        // scope (which joins every worker) unwinds promptly instead of
+        // waiting out each remaining window's full failover loop.
+        let cancel = AtomicBool::new(false);
         std::thread::scope(|s| -> DfsResult<()> {
+            let cancel = &cancel;
             let mut pending = VecDeque::new();
             let mut next = 0usize;
+            let mut fatal: Option<DfsError> = None;
             for i in 0..windows.len() {
+                if fatal.is_some() {
+                    break;
+                }
                 while next < windows.len() && next <= i + readahead {
                     let (bi, off, wlen) = windows[next];
                     let lb = &self.blocks[bi];
-                    pending.push_back(s.spawn(move || self.read_block_striped(lb, off, wlen)));
+                    pending.push_back(
+                        s.spawn(move || self.read_block_striped_inner(lb, off, wlen, cancel)),
+                    );
                     next += 1;
                 }
                 let handle = pending.pop_front().expect("window spawned before join");
-                let data = handle
+                let joined = handle
                     .join()
-                    .map_err(|_| DfsError::internal("read worker panicked"))??;
-                out.push(data);
+                    .map_err(|_| DfsError::internal("read worker panicked"))
+                    .and_then(|r| r);
+                match joined {
+                    Ok(data) => out.push(data),
+                    Err(e) => {
+                        cancel.store(true, Ordering::SeqCst);
+                        fatal = Some(e);
+                    }
+                }
             }
-            Ok(())
+            // Drain: join what's still pending (cancelled workers exit at
+            // their next failover hop) so no thread outlives the error.
+            for handle in pending {
+                let _ = handle.join();
+            }
+            match fatal {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
         })?;
         Ok(out)
     }
@@ -243,6 +271,20 @@ impl DfsInputStream {
     /// Reads `[offset, offset+len)` of one block, split into parallel
     /// range stripes across its replica set with per-stripe failover.
     fn read_block_striped(&self, lb: &LocatedBlock, offset: u64, len: u64) -> DfsResult<Vec<u8>> {
+        let cancel = AtomicBool::new(false);
+        self.read_block_striped_inner(lb, offset, len, &cancel)
+    }
+
+    /// [`Self::read_block_striped`] with a shared cancellation flag:
+    /// readahead sets it on a sibling's fatal error and every stripe
+    /// checks it before each failover hop.
+    fn read_block_striped_inner(
+        &self,
+        lb: &LocatedBlock,
+        offset: u64,
+        len: u64,
+        cancel: &AtomicBool,
+    ) -> DfsResult<Vec<u8>> {
         if len == 0 {
             return Ok(Vec::new());
         }
@@ -275,7 +317,7 @@ impl DfsInputStream {
                 .map(|i| {
                     let start = offset + cuts[i];
                     let slen = cuts[i + 1] - cuts[i];
-                    s.spawn(move || self.fetch_stripe(lb, targets, i, start, slen))
+                    s.spawn(move || self.fetch_stripe(lb, targets, i, start, slen, cancel))
                 })
                 .collect();
             handles
@@ -340,13 +382,14 @@ impl DfsInputStream {
         stripe: usize,
         offset: u64,
         len: u64,
+        cancel: &AtomicBool,
     ) -> DfsResult<Vec<u8>> {
         if len == 0 {
             return Ok(Vec::new());
         }
         let metrics = self.ctx.obs.metrics();
         metrics.client_read_inflight_stripes.inc();
-        let result = self.fetch_stripe_with_failover(lb, targets, stripe, offset, len);
+        let result = self.fetch_stripe_with_failover(lb, targets, stripe, offset, len, cancel);
         metrics.client_read_inflight_stripes.dec();
         result
     }
@@ -358,11 +401,18 @@ impl DfsInputStream {
         stripe: usize,
         offset: u64,
         len: u64,
+        cancel: &AtomicBool,
     ) -> DfsResult<Vec<u8>> {
         let n = targets.len();
         let mut last_err = DfsError::internal(format!("block {} has no replicas", lb.block.id));
         let mut prev: Option<DatanodeId> = None;
         for k in 0..n {
+            if cancel.load(Ordering::Relaxed) {
+                return Err(DfsError::internal(format!(
+                    "stripe fetch of block {} cancelled: a sibling read failed",
+                    lb.block.id
+                )));
+            }
             let target = &targets[(stripe + k) % n];
             if let Some(from) = prev {
                 self.ctx.obs.emit(ObsEvent::SourceSwitched {

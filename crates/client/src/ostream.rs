@@ -25,7 +25,7 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 use smarth_core::checksum::ChunkedChecksum;
 use smarth_core::config::WriteMode;
 use smarth_core::error::{DfsError, DfsResult};
-use smarth_core::ids::{DatanodeId, ExtendedBlock, FileId, PipelineId};
+use smarth_core::ids::{BlockId, DatanodeId, ExtendedBlock, FileId, PipelineId};
 use smarth_core::localopt::{local_optimize, LocalOptOutcome};
 use smarth_core::obs::{Obs, ObsEvent, RecoveryCause, TraceCtx};
 use smarth_core::proto::{DataOp, DataReply, DatanodeInfo, Packet};
@@ -329,6 +329,16 @@ impl DfsOutputStream {
                     attempts += 1;
                     if attempts >= self.max_recovery_attempts() {
                         return Err(e);
+                    }
+                    if let DfsError::NamenodeUnavailable(msg) = &e {
+                        // The RPC layer's own retry budget is spent. From
+                        // the stream's view this is one namenode-outage
+                        // incident — record it like any other recovery
+                        // cause and retry the allocation after a longer
+                        // pause, instead of killing the stream.
+                        let msg = msg.clone();
+                        self.note_namenode_outage(BlockId(0), None, attempts, false, &msg);
+                        continue;
                     }
                     // Transient (e.g. a node died between liveness check
                     // and placement): retry.
@@ -789,7 +799,17 @@ impl DfsOutputStream {
                     break Ok(());
                 }
                 Err((e, surviving)) => {
-                    if !e.is_recoverable() && !matches!(e, DfsError::PlacementFailed { .. }) {
+                    if let DfsError::NamenodeUnavailable(msg) = &e {
+                        // A distinct incident nested inside this
+                        // recovery: the *namenode* (not another pipeline
+                        // member) went away mid-rebuild. Record it and
+                        // keep the bounded retry loop going — the pause
+                        // gives a stalled namenode time to come back.
+                        let msg = msg.clone();
+                        self.note_namenode_outage(old_block.id, old_ctx, attempt, true, &msg);
+                    } else if !e.is_recoverable()
+                        && !matches!(e, DfsError::PlacementFailed { .. })
+                    {
                         break Err(e);
                     }
                     // Narrow the target set and try again.
@@ -809,6 +829,42 @@ impl DfsOutputStream {
             success: result.is_ok(),
         });
         result
+    }
+
+    /// Records a namenode outage as a first-class recovery incident
+    /// ([`RecoveryCause::NamenodeError`]) with a balanced trace span,
+    /// then backs off before the caller retries. `block` is the block
+    /// whose lifecycle the outage interrupted — `BlockId(0)` when it
+    /// struck between blocks, before an allocation existed.
+    fn note_namenode_outage(
+        &mut self,
+        block: BlockId,
+        ctx: Option<TraceCtx>,
+        attempt: u32,
+        nested: bool,
+        detail: &str,
+    ) {
+        self.stats.recoveries += 1;
+        self.obs().metrics().record_recovery(RecoveryCause::NamenodeError);
+        self.obs().emit_traced(ctx, ObsEvent::RecoveryStarted {
+            block,
+            attempt,
+            cause: RecoveryCause::NamenodeError,
+            nested,
+        });
+        self.obs().emit_traced(ctx, ObsEvent::RecoveryStep {
+            block,
+            step: format!("namenode outage: {detail}"),
+        });
+        self.obs().emit_traced(ctx, ObsEvent::RecoveryFinished {
+            block,
+            success: false,
+        });
+        // The RPC layer already burned its per-call retry budget; the
+        // stream waits longer between incidents so a stalled namenode
+        // has time to come back before the bounded attempts run out.
+        let pause = self.ctx.config.rpc_retry.backoff_for(attempt.min(8));
+        std::thread::sleep(Duration::from_secs_f64(pause.as_secs_f64()));
     }
 
     /// One rebuild attempt. On failure returns the error plus the target

@@ -4,8 +4,21 @@
 //! similarly multiplexes ClientProtocol calls over one IPC connection).
 //! Every helper unwraps the expected response variant and converts
 //! `ClientResponse::Error` into a [`DfsError`].
+//!
+//! Every call runs under the retry/backoff policy of
+//! `DfsConfig::rpc_retry`: a broken or stalled connection is torn down
+//! and reopened, each attempt carries a per-attempt response deadline,
+//! and backoff between attempts is exponential with jitter. Pure reads
+//! retry freely. Mutations (`create`, `addBlock` with its piggybacked
+//! commit, `commitBlock`, `complete`, `abandonBlock`,
+//! `beginBlockRecovery`, `delete`) travel inside a
+//! [`ClientRequest::Idempotent`] envelope whose client-minted
+//! `request_id` lets the namenode dedupe retries, so a retry after a
+//! lost response cannot double-allocate or double-commit. Exhausted
+//! retries surface as [`DfsError::NamenodeUnavailable`].
 
 use parking_lot::Mutex;
+use smarth_core::config::RetryPolicy;
 use smarth_core::error::{DfsError, DfsResult};
 use smarth_core::ids::{BlockId, ClientId, DatanodeId, ExtendedBlock, FileId, GenStamp};
 use smarth_core::proto::{
@@ -15,28 +28,134 @@ use smarth_core::proto::{
 use smarth_core::wire::{recv_message, send_message};
 use smarth_core::WriteMode;
 use smarth_fabric::{Fabric, FabricStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// RPC stub for the namenode, shared by the stream code and the
 /// heartbeat thread.
 pub struct NamenodeClient {
-    stream: Mutex<FabricStream>,
+    fabric: Fabric,
+    from_host: String,
+    nn_addr: String,
+    policy: RetryPolicy,
+    /// Current connection; `None` after a transport failure until the
+    /// next attempt reconnects.
+    stream: Mutex<Option<FabricStream>>,
+    /// Mints per-mutation `request_id`s. Unique within this session
+    /// (dedupe tables are keyed per client, so that is enough).
+    request_ids: AtomicU64,
+    /// Cheap xorshift state for backoff jitter — no wall clock, no
+    /// global RNG.
+    jitter_state: AtomicU64,
+    /// ClientId learned from `register` (0 = not yet registered); lets
+    /// client-less mutations like `delete` use the idempotency envelope.
+    session: AtomicU64,
 }
 
 impl NamenodeClient {
-    pub fn connect(fabric: &Fabric, from_host: &str, nn_client_addr: &str) -> DfsResult<Self> {
+    pub fn connect(
+        fabric: &Fabric,
+        from_host: &str,
+        nn_client_addr: &str,
+        policy: RetryPolicy,
+    ) -> DfsResult<Self> {
+        // Eager first connection so configuration errors (unknown host,
+        // nothing listening) surface at session setup, not mid-write.
+        let stream = fabric.connect(from_host, nn_client_addr)?;
         Ok(Self {
-            stream: Mutex::new(fabric.connect(from_host, nn_client_addr)?),
+            fabric: fabric.clone(),
+            from_host: from_host.to_string(),
+            nn_addr: nn_client_addr.to_string(),
+            policy,
+            stream: Mutex::new(Some(stream)),
+            request_ids: AtomicU64::new(1),
+            jitter_state: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
+            session: AtomicU64::new(0),
         })
     }
 
-    fn call(&self, req: &ClientRequest) -> DfsResult<ClientResponse> {
-        let mut s = self.stream.lock();
-        send_message(&mut *s, req)?;
-        let resp: ClientResponse = recv_message(&mut *s)?;
-        match resp {
-            ClientResponse::Error(msg) => Err(remote_error(msg)),
-            other => Ok(other),
+    /// One send/receive attempt over the cached connection, reconnecting
+    /// if the previous attempt broke it. Any transport failure tears the
+    /// connection down so the next attempt starts clean — a half-used
+    /// stream may hold stale response bytes.
+    fn attempt(&self, req: &ClientRequest) -> DfsResult<ClientResponse> {
+        let mut slot = self.stream.lock();
+        if slot.is_none() {
+            *slot = Some(self.fabric.connect(&self.from_host, &self.nn_addr)?);
         }
+        let stream = slot.as_mut().expect("stream populated above");
+        stream.set_read_deadline(Some(
+            Instant::now() + Duration::from_secs_f64(self.policy.deadline.as_secs_f64()),
+        ));
+        let result: DfsResult<ClientResponse> =
+            send_message(&mut *stream, req).and_then(|()| recv_message(&mut *stream));
+        match result {
+            Ok(resp) => {
+                stream.set_read_deadline(None);
+                Ok(resp)
+            }
+            Err(e) => {
+                *slot = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Jittered backoff before retry number `retry` (0-based).
+    fn backoff(&self, retry: u32) {
+        let base = self.policy.backoff_for(retry).as_secs_f64();
+        // xorshift64* — enough entropy to de-synchronize retrying
+        // clients without touching the global RNG.
+        let mut x = self.jitter_state.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter_state.store(x, Ordering::Relaxed);
+        let unit = (x >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+        let factor = 1.0 - self.policy.jitter + 2.0 * self.policy.jitter * unit;
+        let secs = (base * factor).max(0.0);
+        if secs > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(secs));
+        }
+    }
+
+    /// Runs `req` under the retry policy. The caller guarantees the
+    /// request is safe to re-send: either a pure read, or a mutation
+    /// already wrapped in an [`ClientRequest::Idempotent`] envelope.
+    fn call(&self, req: &ClientRequest) -> DfsResult<ClientResponse> {
+        let mut last_err = String::new();
+        for attempt in 0..self.policy.attempts {
+            if attempt > 0 {
+                self.backoff(attempt - 1);
+            }
+            match self.attempt(req) {
+                // The namenode answered: a typed remote error is a
+                // definitive verdict, not an availability problem.
+                Ok(ClientResponse::Error(msg)) => return Err(remote_error(msg)),
+                Ok(other) => return Ok(other),
+                Err(e) => last_err = e.to_string(),
+            }
+        }
+        Err(DfsError::NamenodeUnavailable(format!(
+            "{} attempts to {} failed, last: {last_err}",
+            self.policy.attempts, self.nn_addr
+        )))
+    }
+
+    /// Wraps a mutation in an idempotency envelope with a fresh
+    /// client-minted `request_id` (stable across this call's retries)
+    /// and runs it under the retry policy.
+    fn call_idempotent(
+        &self,
+        client: ClientId,
+        inner: ClientRequest,
+    ) -> DfsResult<ClientResponse> {
+        let request_id = self.request_ids.fetch_add(1, Ordering::Relaxed);
+        self.call(&ClientRequest::Idempotent {
+            client,
+            request_id,
+            inner: Box::new(inner),
+        })
     }
 
     pub fn register(&self, host_name: &str, rack: &str) -> DfsResult<ClientId> {
@@ -44,7 +163,10 @@ impl NamenodeClient {
             host_name: host_name.to_string(),
             rack: rack.to_string(),
         })? {
-            ClientResponse::Registered { client } => Ok(client),
+            ClientResponse::Registered { client } => {
+                self.session.store(client.raw(), Ordering::Relaxed);
+                Ok(client)
+            }
             other => Err(unexpected(other)),
         }
     }
@@ -59,14 +181,17 @@ impl NamenodeClient {
         overwrite: bool,
         mode: WriteMode,
     ) -> DfsResult<FileId> {
-        match self.call(&ClientRequest::Create {
+        match self.call_idempotent(
             client,
-            path: path.to_string(),
-            replication,
-            block_size,
-            overwrite,
-            mode,
-        })? {
+            ClientRequest::Create {
+                client,
+                path: path.to_string(),
+                replication,
+                block_size,
+                overwrite,
+                mode,
+            },
+        )? {
             ClientResponse::Created { file_id } => Ok(file_id),
             other => Err(unexpected(other)),
         }
@@ -79,12 +204,15 @@ impl NamenodeClient {
         previous: Option<ExtendedBlock>,
         excluded: &[DatanodeId],
     ) -> DfsResult<LocatedBlock> {
-        match self.call(&ClientRequest::AddBlock {
+        match self.call_idempotent(
             client,
-            file_id,
-            previous,
-            excluded: excluded.to_vec(),
-        })? {
+            ClientRequest::AddBlock {
+                client,
+                file_id,
+                previous,
+                excluded: excluded.to_vec(),
+            },
+        )? {
             ClientResponse::BlockAllocated(lb) => Ok(lb),
             other => Err(unexpected(other)),
         }
@@ -96,11 +224,14 @@ impl NamenodeClient {
         file_id: FileId,
         block: ExtendedBlock,
     ) -> DfsResult<()> {
-        match self.call(&ClientRequest::CommitBlock {
+        match self.call_idempotent(
             client,
-            file_id,
-            block,
-        })? {
+            ClientRequest::CommitBlock {
+                client,
+                file_id,
+                block,
+            },
+        )? {
             ClientResponse::Committed => Ok(()),
             other => Err(unexpected(other)),
         }
@@ -112,11 +243,14 @@ impl NamenodeClient {
         file_id: FileId,
         last: Option<ExtendedBlock>,
     ) -> DfsResult<()> {
-        match self.call(&ClientRequest::Complete {
+        match self.call_idempotent(
             client,
-            file_id,
-            last,
-        })? {
+            ClientRequest::Complete {
+                client,
+                file_id,
+                last,
+            },
+        )? {
             ClientResponse::Completed => Ok(()),
             other => Err(unexpected(other)),
         }
@@ -128,11 +262,14 @@ impl NamenodeClient {
         file_id: FileId,
         block: BlockId,
     ) -> DfsResult<()> {
-        match self.call(&ClientRequest::AbandonBlock {
+        match self.call_idempotent(
             client,
-            file_id,
-            block,
-        })? {
+            ClientRequest::AbandonBlock {
+                client,
+                file_id,
+                block,
+            },
+        )? {
             ClientResponse::Abandoned => Ok(()),
             other => Err(unexpected(other)),
         }
@@ -157,7 +294,7 @@ impl NamenodeClient {
     }
 
     pub fn begin_block_recovery(&self, client: ClientId, block: BlockId) -> DfsResult<GenStamp> {
-        match self.call(&ClientRequest::BeginBlockRecovery { client, block })? {
+        match self.call_idempotent(client, ClientRequest::BeginBlockRecovery { client, block })? {
             ClientResponse::RecoveryStamp { new_gen } => Ok(new_gen),
             other => Err(unexpected(other)),
         }
@@ -231,9 +368,17 @@ impl NamenodeClient {
     }
 
     pub fn delete(&self, path: &str) -> DfsResult<bool> {
-        match self.call(&ClientRequest::Delete {
+        let req = ClientRequest::Delete {
             path: path.to_string(),
-        })? {
+        };
+        // Delete carries no client id of its own; dedupe under the
+        // registered session when there is one (a retried delete would
+        // otherwise report `existed: false` for its own first attempt).
+        let resp = match self.session.load(Ordering::Relaxed) {
+            0 => self.call(&req)?,
+            raw => self.call_idempotent(ClientId(raw), req)?,
+        };
+        match resp {
             ClientResponse::Deleted { existed } => Ok(existed),
             other => Err(unexpected(other)),
         }

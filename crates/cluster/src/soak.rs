@@ -35,7 +35,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use smarth_client::{DfsClient, DfsOutputStream};
 use smarth_core::config::{
-    ClusterSpec, DfsConfig, HostRole, HostSpec, InstanceType, WriteMode,
+    ClusterSpec, DfsConfig, HostRole, HostSpec, InstanceType, RetryPolicy, WriteMode,
 };
 use smarth_core::error::{DfsError, DfsResult};
 use smarth_core::ids::{BlockId, DatanodeId};
@@ -95,6 +95,14 @@ pub enum FaultKind {
     DatanodeStall { datanode: usize, for_ms: u64 },
     /// Dip datanode `datanode`'s bandwidth to `mbps` for `for_ms`.
     SlowNodeDip { datanode: usize, mbps: f64, for_ms: u64 },
+    /// Throttle the *namenode*'s NIC to a crawl for `for_ms`: RPCs stall
+    /// until the per-attempt read deadline trips, exercising the client
+    /// retry layer. The injector guarantees the restore.
+    NamenodeStall { for_ms: u64 },
+    /// Partition every client host from the namenode for `for_ms`
+    /// (datanode heartbeats keep flowing): live RPC streams are cut and
+    /// reconnects are refused until the injector heals the partition.
+    NamenodePartition { for_ms: u64 },
 }
 
 impl FaultKind {
@@ -115,6 +123,12 @@ impl FaultKind {
                 mbps,
                 for_ms,
             } => format!("dip dn{datanode} to {mbps} Mbps for {for_ms} ms"),
+            FaultKind::NamenodeStall { for_ms } => {
+                format!("stall namenode for {for_ms} ms")
+            }
+            FaultKind::NamenodePartition { for_ms } => {
+                format!("partition clients from namenode for {for_ms} ms")
+            }
         }
     }
 
@@ -125,6 +139,9 @@ impl FaultKind {
             | FaultKind::DropClientLinks { .. } => FaultClass::Disconnect,
             FaultKind::DatanodeStall { .. } => FaultClass::Stall,
             FaultKind::SlowNodeDip { .. } => FaultClass::Dip,
+            FaultKind::NamenodeStall { .. } | FaultKind::NamenodePartition { .. } => {
+                FaultClass::Namenode
+            }
         }
     }
 
@@ -158,6 +175,12 @@ impl FaultKind {
                 .field("datanode", *datanode as u64)
                 .field("mbps", *mbps)
                 .field("for_ms", *for_ms),
+            FaultKind::NamenodeStall { for_ms } => obj
+                .field("type", "namenode_stall")
+                .field("for_ms", *for_ms),
+            FaultKind::NamenodePartition { for_ms } => obj
+                .field("type", "namenode_partition")
+                .field("for_ms", *for_ms),
         }
         .build()
     }
@@ -188,6 +211,12 @@ impl FaultKind {
                     .ok_or_else(|| "fault kind: missing `mbps`".to_string())?,
                 for_ms: u("for_ms")?,
             }),
+            Some("namenode_stall") => Ok(FaultKind::NamenodeStall {
+                for_ms: u("for_ms")?,
+            }),
+            Some("namenode_partition") => Ok(FaultKind::NamenodePartition {
+                for_ms: u("for_ms")?,
+            }),
             other => Err(format!("fault kind: unknown type {other:?}")),
         }
     }
@@ -203,6 +232,10 @@ enum FaultClass {
     Stall,
     /// Slows a node; usually recovers nothing, may explain a timeout.
     Dip,
+    /// Takes the namenode away (stall or partition): explains
+    /// `NamenodeError` recoveries, which only arise when the client RPC
+    /// retry budget is exhausted mid-stream.
+    Namenode,
 }
 
 /// One scheduled fault.
@@ -578,6 +611,48 @@ impl SoakConfig {
         cfg
     }
 
+    /// Namenode-hostile profile: every fault targets the namenode —
+    /// a NIC stall that trips per-attempt read deadlines, and a
+    /// client↔namenode partition that refuses reconnects until healed.
+    /// The retry budget is widened so its backoff schedule outlasts any
+    /// single injected outage: streams must ride every fault out with
+    /// zero failures, and any `NamenodeError` recovery that does surface
+    /// must land inside an active namenode-class fault window.
+    pub fn hostile(seed: u64) -> Self {
+        let mut cfg = Self::base(4, 9, seed);
+        cfg.budget = Budget::WallClock(Duration::from_millis(4_000));
+        cfg.window = Duration::from_millis(800);
+        // A stalled namenode NIC starves heartbeats too. Keep the
+        // expiry horizon (interval × 10) beyond the longest stall so
+        // the run measures namenode availability, not datanode death.
+        cfg.config.heartbeat_interval = SimDuration::from_millis(100);
+        cfg.config.rpc_retry = RetryPolicy {
+            attempts: 8,
+            base_backoff: SimDuration::from_millis(50),
+            multiplier: 2.0,
+            jitter: 0.25,
+            deadline: SimDuration::from_millis(500),
+        };
+        cfg.plan = FaultPlan {
+            seed,
+            events: vec![
+                FaultEvent {
+                    trigger: Trigger::AtMs(800),
+                    kind: FaultKind::NamenodeStall { for_ms: 700 },
+                },
+                FaultEvent {
+                    trigger: Trigger::AtMs(2_000),
+                    kind: FaultKind::NamenodePartition { for_ms: 600 },
+                },
+                FaultEvent {
+                    trigger: Trigger::AtMs(3_100),
+                    kind: FaultKind::NamenodeStall { for_ms: 500 },
+                },
+            ],
+        };
+        cfg
+    }
+
     /// Read-heavy smoke: the [`Self::smoke`] cluster and fault plan with
     /// a read-dominant op mix, so stalls and link drops land on striped
     /// reads (source failover) at least as often as on pipelines.
@@ -741,6 +816,19 @@ impl SoakConfig {
                 "speed_half_life_ms",
                 opt_u64(self.config.speed_half_life.map(|d| d.0 / 1_000_000)),
             )
+            .field(
+                "heartbeat_ms",
+                self.config.heartbeat_interval.0 / 1_000_000,
+            )
+            .field("rpc_retry_attempts", self.config.rpc_retry.attempts as u64)
+            .field(
+                "rpc_retry_base_ms",
+                self.config.rpc_retry.base_backoff.0 / 1_000_000,
+            )
+            .field(
+                "rpc_retry_deadline_ms",
+                self.config.rpc_retry.deadline.0 / 1_000_000,
+            )
             .field("plan", self.plan.to_json())
             .build()
     }
@@ -786,6 +874,20 @@ impl SoakConfig {
             .get("speed_half_life_ms")
             .as_u64()
             .map(SimDuration::from_millis);
+        if let Some(ms) = v.get("heartbeat_ms").as_u64() {
+            config.heartbeat_interval = SimDuration::from_millis(ms);
+        }
+        // Absent in reports saved before the retry layer existed: those
+        // runs used the test-scale policy.
+        if let Some(n) = v.get("rpc_retry_attempts").as_u64() {
+            config.rpc_retry.attempts = n as u32;
+        }
+        if let Some(ms) = v.get("rpc_retry_base_ms").as_u64() {
+            config.rpc_retry.base_backoff = SimDuration::from_millis(ms);
+        }
+        if let Some(ms) = v.get("rpc_retry_deadline_ms").as_u64() {
+            config.rpc_retry.deadline = SimDuration::from_millis(ms);
+        }
         Ok(SoakConfig {
             clients: u("clients")? as usize,
             datanodes: u("datanodes")? as usize,
@@ -1153,7 +1255,7 @@ impl Checker {
                 | RecoveryCause::DatanodeError
                 | RecoveryCause::NestedFailure => f.class == FaultClass::Disconnect,
                 RecoveryCause::AckTimeout => true,
-                RecoveryCause::NamenodeError => false,
+                RecoveryCause::NamenodeError => f.class == FaultClass::Namenode,
             };
             if !(compatible && t_ms >= f.at_ms && t_ms <= f.until_ms + slack) {
                 return false;
@@ -1272,6 +1374,8 @@ impl Checker {
 struct Shared {
     cluster: MiniCluster,
     dn_hosts: Vec<String>,
+    /// Worker hosts (`client{i}`), the victims of namenode partitions.
+    client_hosts: Vec<String>,
     start: Instant,
     stop: AtomicBool,
     fault_log: Mutex<Vec<AppliedFault>>,
@@ -1300,6 +1404,19 @@ impl Shared {
     fn drop_links(&self, client_host: &str) {
         for dn in &self.dn_hosts {
             self.cluster.fabric().cut_link(client_host, dn);
+        }
+    }
+
+    /// Blocks (or re-allows) client↔namenode traffic: live RPC streams
+    /// are cut and reconnects refused until healed, so the client retry
+    /// layer — not a lucky surviving stream — has to carry the outage.
+    fn set_namenode_partition(&self, active: bool) {
+        for host in &self.client_hosts {
+            if active {
+                self.cluster.fabric().partition_link(host, "namenode");
+            } else {
+                self.cluster.fabric().heal_link(host, "namenode");
+            }
         }
     }
 }
@@ -1517,6 +1634,8 @@ fn upload(
 enum TimedAction {
     Apply(FaultKind),
     Restore { host: String },
+    /// Heal the client↔namenode partition (all client hosts at once).
+    HealNamenodePartition,
 }
 
 fn run_injector(shared: &Shared, mut actions: Vec<(u64, TimedAction)>) {
@@ -1526,11 +1645,18 @@ fn run_injector(shared: &Shared, mut actions: Vec<(u64, TimedAction)>) {
         loop {
             if shared.stop.load(Ordering::Relaxed) {
                 // The run is winding down: skip remaining faults but
-                // still lift every pending throttle, otherwise a node
-                // stays stalled and in-flight ops crawl for minutes.
+                // still lift every pending throttle and partition,
+                // otherwise a node stays stalled (or the namenode stays
+                // unreachable) and in-flight ops crawl for minutes.
                 for (_, pending) in std::iter::once((at_ms, action)).chain(&mut actions) {
-                    if let TimedAction::Restore { host } = pending {
-                        let _ = shared.cluster.throttle_host(&host, None);
+                    match pending {
+                        TimedAction::Restore { host } => {
+                            let _ = shared.cluster.throttle_host(&host, None);
+                        }
+                        TimedAction::HealNamenodePartition => {
+                            shared.set_namenode_partition(false);
+                        }
+                        TimedAction::Apply(_) => {}
                     }
                 }
                 return;
@@ -1568,11 +1694,31 @@ fn run_injector(shared: &Shared, mut actions: Vec<(u64, TimedAction)>) {
                             .is_ok();
                         shared.log_fault(&kind, *for_ms, ok, kind.describe(), vec![host]);
                     }
+                    FaultKind::NamenodeStall { for_ms } => {
+                        // Low enough that even small RPC replies blow the
+                        // per-attempt read deadline (unlike datanode
+                        // stalls, namenode traffic is a few hundred
+                        // bytes, not 64 KiB packets).
+                        let ok = shared
+                            .cluster
+                            .throttle_host("namenode", Some(Bandwidth::mbps(0.01)))
+                            .is_ok();
+                        // Victims stay empty: namenode faults hit every
+                        // client's RPCs, so attribution is window+class.
+                        shared.log_fault(&kind, *for_ms, ok, kind.describe(), Vec::new());
+                    }
+                    FaultKind::NamenodePartition { for_ms } => {
+                        shared.set_namenode_partition(true);
+                        shared.log_fault(&kind, *for_ms, true, kind.describe(), Vec::new());
+                    }
                     _ => unreachable!("validated: cooperative kinds never reach injector"),
                 }
             }
             TimedAction::Restore { host } => {
                 let _ = shared.cluster.throttle_host(&host, None);
+            }
+            TimedAction::HealNamenodePartition => {
+                shared.set_namenode_partition(false);
             }
         }
     }
@@ -1605,6 +1751,7 @@ pub fn run(cfg: &SoakConfig) -> DfsResult<SoakReport> {
     let shared = Arc::new(Shared {
         cluster,
         dn_hosts,
+        client_hosts: (0..cfg.clients).map(|i| format!("client{i}")).collect(),
         start: Instant::now(),
         stop: AtomicBool::new(false),
         fault_log: Mutex::new(Vec::new()),
@@ -1632,6 +1779,17 @@ pub fn run(cfg: &SoakConfig) -> DfsResult<SoakReport> {
                                 host: format!("dn{datanode}"),
                             },
                         ));
+                    }
+                    FaultKind::NamenodeStall { for_ms } => {
+                        timed.push((
+                            ms + for_ms,
+                            TimedAction::Restore {
+                                host: "namenode".into(),
+                            },
+                        ));
+                    }
+                    FaultKind::NamenodePartition { for_ms } => {
+                        timed.push((ms + for_ms, TimedAction::HealNamenodePartition));
                     }
                     _ => {}
                 }
@@ -1768,6 +1926,15 @@ pub fn run(cfg: &SoakConfig) -> DfsResult<SoakReport> {
                 w.integrity_failures
             ));
         }
+    }
+
+    // A handler panic anywhere in the cluster is a bug even when the
+    // catch_unwind guards kept the servers alive through it.
+    let panics = metrics.handler_panics.get();
+    if panics > 0 {
+        checker
+            .violations
+            .push(format!("{panics} handler panics during soak"));
     }
 
     // End-of-run overlap check on the assembled (sampled) trace: under
@@ -1936,6 +2103,23 @@ mod tests {
             "recovery long after the fault is not explained"
         );
         assert!(!checker.attributable(RecoveryCause::NamenodeError, 1_010, blk, &faults));
+        // Namenode-class faults explain NamenodeError recoveries (and only
+        // those) by window+class: the namenode is not in any pipeline, so
+        // there is no victim set to narrow by.
+        let nn_faults = vec![AppliedFault {
+            at_ms: 1_000,
+            until_ms: 1_600,
+            desc: "stall namenode".into(),
+            applied: true,
+            victims: Vec::new(),
+            class: FaultClass::Namenode,
+        }];
+        assert!(checker.attributable(RecoveryCause::NamenodeError, 1_100, blk, &nn_faults));
+        assert!(
+            checker.attributable(RecoveryCause::NamenodeError, 1_600 + cfg.grace_ms - 1, blk, &nn_faults),
+            "timed faults stay attributable until until_ms + grace"
+        );
+        assert!(!checker.attributable(RecoveryCause::ConnectionLost, 1_100, blk, &nn_faults));
         // Ack timeouts get the extra event-timeout slack.
         assert!(checker.attributable(
             RecoveryCause::AckTimeout,
@@ -1993,6 +2177,9 @@ mod tests {
         let generated = FaultPlan::generate(7, 6, 9, 4_000, 5);
         let back = FaultPlan::from_json(&generated.to_json()).unwrap();
         assert_eq!(generated, back);
+        let hostile = SoakConfig::hostile(3).plan;
+        let back = FaultPlan::from_json(&hostile.to_json()).unwrap();
+        assert_eq!(hostile, back);
     }
 
     #[test]
@@ -2003,6 +2190,7 @@ mod tests {
             SoakConfig::sustained(4, 30, 9),
             SoakConfig::read_heavy(11),
             SoakConfig::mixed(4, 30, 13),
+            SoakConfig::hostile(17),
         ] {
             let back = SoakConfig::from_json(&cfg.to_json()).unwrap();
             assert_eq!(back.clients, cfg.clients);
@@ -2024,6 +2212,11 @@ mod tests {
             assert_eq!(
                 back.config.pipeline_event_timeout,
                 cfg.config.pipeline_event_timeout
+            );
+            assert_eq!(back.config.rpc_retry, cfg.config.rpc_retry);
+            assert_eq!(
+                back.config.heartbeat_interval,
+                cfg.config.heartbeat_interval
             );
             // Round-tripping again is the identity on the JSON itself.
             assert_eq!(

@@ -45,6 +45,54 @@ pub enum VerifyChecksumsAt {
     EveryHop,
 }
 
+/// Retry/backoff policy for client→namenode RPCs. One stalled or
+/// restarting namenode must not turn SMARTH's overlapped write path
+/// back into a hanging serial one, so every ClientProtocol call runs
+/// under this policy: up to `attempts` tries, exponential backoff
+/// between them, and a per-attempt response deadline. The knobs are
+/// first-class config so a tuning controller can drive them later.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per RPC (1 = no retries).
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: SimDuration,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub multiplier: f64,
+    /// Random jitter fraction in [0,1]: each backoff is scaled by a
+    /// factor drawn uniformly from `[1-jitter, 1+jitter]` so retrying
+    /// clients don't stampede a recovering namenode in lockstep.
+    pub jitter: f64,
+    /// Per-attempt deadline for the response; a namenode that accepts
+    /// the connection but stalls past this counts as a failed attempt.
+    pub deadline: SimDuration,
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (0-based), pre-jitter.
+    pub fn backoff_for(&self, retry: u32) -> SimDuration {
+        let scaled =
+            self.base_backoff.as_secs_f64() * self.multiplier.powi(retry as i32);
+        SimDuration::from_secs_f64(scaled)
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.attempts == 0 {
+            return Err("rpc_retry.attempts must be at least 1".into());
+        }
+        if self.multiplier < 1.0 {
+            return Err("rpc_retry.multiplier must be >= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.jitter) {
+            return Err("rpc_retry.jitter must be in [0,1]".into());
+        }
+        if self.deadline <= SimDuration::ZERO {
+            return Err("rpc_retry.deadline must be positive".into());
+        }
+        Ok(())
+    }
+}
+
 /// All protocol-level tunables. Defaults mirror Hadoop 1.0.3 as described
 /// in the paper; tests override sizes downward to keep runtimes small.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,6 +170,8 @@ pub struct DfsConfig {
     /// How many blocks beyond the one being consumed the input stream
     /// prefetches (bounded readahead). 0 disables readahead.
     pub readahead_blocks: usize,
+    /// Retry/backoff policy for every client→namenode RPC.
+    pub rpc_retry: RetryPolicy,
 }
 
 impl Default for DfsConfig {
@@ -159,6 +209,13 @@ impl DfsConfig {
             read_timeout: SimDuration::from_secs(30),
             read_stripes: 3,
             readahead_blocks: 1,
+            rpc_retry: RetryPolicy {
+                attempts: 5,
+                base_backoff: SimDuration::from_millis(200),
+                multiplier: 2.0,
+                jitter: 0.25,
+                deadline: SimDuration::from_secs(10),
+            },
         }
     }
 
@@ -194,6 +251,15 @@ impl DfsConfig {
             read_timeout: SimDuration::from_secs(2),
             read_stripes: 3,
             readahead_blocks: 1,
+            // A hostile namenode in tests should be detected in tens of
+            // milliseconds, and the retry budget exhausted within ~1 s.
+            rpc_retry: RetryPolicy {
+                attempts: 4,
+                base_backoff: SimDuration::from_millis(25),
+                multiplier: 2.0,
+                jitter: 0.25,
+                deadline: SimDuration::from_millis(500),
+            },
         }
     }
 
@@ -267,6 +333,7 @@ impl DfsConfig {
         if self.read_stripes == 0 {
             return Err("read_stripes must be at least 1".into());
         }
+        self.rpc_retry.validate()?;
         Ok(())
     }
 }
@@ -600,6 +667,39 @@ mod tests {
         let mut c = DfsConfig::test_scale();
         c.read_stripes = 0;
         assert!(c.validate().is_err(), "zero read stripes must fail");
+
+        let mut c = DfsConfig::test_scale();
+        c.rpc_retry.attempts = 0;
+        assert!(c.validate().is_err(), "zero rpc attempts must fail");
+
+        let mut c = DfsConfig::test_scale();
+        c.rpc_retry.multiplier = 0.5;
+        assert!(c.validate().is_err(), "shrinking backoff must fail");
+
+        let mut c = DfsConfig::test_scale();
+        c.rpc_retry.jitter = 2.0;
+        assert!(c.validate().is_err(), "jitter > 1 must fail");
+
+        let mut c = DfsConfig::test_scale();
+        c.rpc_retry.deadline = SimDuration::ZERO;
+        assert!(c.validate().is_err(), "zero rpc deadline must fail");
+    }
+
+    #[test]
+    fn rpc_retry_backoff_grows_exponentially() {
+        let p = RetryPolicy {
+            attempts: 4,
+            base_backoff: SimDuration::from_millis(100),
+            multiplier: 2.0,
+            jitter: 0.0,
+            deadline: SimDuration::from_secs(1),
+        };
+        p.validate().unwrap();
+        assert_eq!(p.backoff_for(0), SimDuration::from_millis(100));
+        assert_eq!(p.backoff_for(1), SimDuration::from_millis(200));
+        assert_eq!(p.backoff_for(2), SimDuration::from_millis(400));
+        // Tests retry within ~1 s total; paper scale is patient.
+        assert!(DfsConfig::test_scale().rpc_retry.deadline < DfsConfig::paper_scale().rpc_retry.deadline);
     }
 
     #[test]

@@ -70,6 +70,10 @@ pub enum DfsError {
     Codec(String),
     /// The operation timed out.
     Timeout(String),
+    /// The namenode could not be reached within the client's retry
+    /// budget (`DfsConfig::rpc_retry`). Mid-stream this converts into a
+    /// `RecoveryCause::NamenodeError` recovery rather than stream death.
+    NamenodeUnavailable(String),
     /// Internal invariant violation; indicates a bug, not a runtime fault.
     Internal(String),
 }
@@ -98,6 +102,10 @@ impl DfsError {
 
     pub fn connection_lost(msg: impl Into<String>) -> Self {
         DfsError::ConnectionLost(msg.into())
+    }
+
+    pub fn namenode_unavailable(msg: impl Into<String>) -> Self {
+        DfsError::NamenodeUnavailable(msg.into())
     }
 }
 
@@ -145,12 +153,26 @@ impl fmt::Display for DfsError {
             ),
             DfsError::Codec(m) => write!(f, "codec error: {m}"),
             DfsError::Timeout(m) => write!(f, "timeout: {m}"),
+            DfsError::NamenodeUnavailable(m) => write!(f, "namenode unavailable: {m}"),
             DfsError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
 
 impl std::error::Error for DfsError {}
+
+/// Renders a payload caught by `std::panic::catch_unwind` for a typed
+/// error response — servers use this to turn a panicking handler into
+/// one error reply instead of a dead connection.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -166,6 +188,10 @@ mod tests {
         assert!(DfsError::connection_lost("dn_2 died").is_recoverable());
         assert!(DfsError::Timeout("ack".into()).is_recoverable());
         assert!(!DfsError::SafeMode.is_recoverable());
+        // NamenodeUnavailable means the retry budget is already spent;
+        // pipeline recovery handles it explicitly (NamenodeError cause)
+        // rather than through the generic recoverable path.
+        assert!(!DfsError::namenode_unavailable("rpc retries exhausted").is_recoverable());
         assert!(!DfsError::AlreadyExists("/a".into()).is_recoverable());
         assert!(!DfsError::PlacementFailed {
             wanted: 3,

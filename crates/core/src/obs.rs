@@ -1064,6 +1064,14 @@ pub struct Metrics {
     pub bad_replicas_reported: Counter,
     /// Re-replications the namenode scheduled after bad-replica reports.
     pub re_replications_scheduled: Counter,
+    /// RPC handler panics caught and converted into typed error
+    /// responses (namenode conn threads + datanode xceivers). Any
+    /// non-zero value indicates a server-side bug; CI soaks assert 0.
+    pub handler_panics: Counter,
+    /// Datanode→namenode heartbeats that failed to deliver (namenode
+    /// unreachable or erroring). Lets `top` show a node that is alive
+    /// but cut off from the namenode.
+    pub heartbeat_failures: Counter,
 }
 
 impl Metrics {
@@ -1138,6 +1146,8 @@ impl Metrics {
                 "re_replications_scheduled",
                 self.re_replications_scheduled.get(),
             )
+            .field("handler_panics", self.handler_panics.get())
+            .field("heartbeat_failures", self.heartbeat_failures.get())
             .build()
     }
 }

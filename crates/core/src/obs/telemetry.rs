@@ -115,6 +115,16 @@ pub const DESCRIPTORS: &[MetricDesc] = &[
         read: |m| m.speed_records_ingested.get() as f64,
     },
     MetricDesc {
+        name: "handler_panics",
+        kind: MetricKind::Counter,
+        read: |m| m.handler_panics.get() as f64,
+    },
+    MetricDesc {
+        name: "heartbeat_failures",
+        kind: MetricKind::Counter,
+        read: |m| m.heartbeat_failures.get() as f64,
+    },
+    MetricDesc {
         name: "packets_in_flight",
         kind: MetricKind::Gauge,
         read: |m| m.packets_in_flight.get() as f64,

@@ -363,6 +363,18 @@ pub enum ClientRequest {
     /// sampled series, and the per-datanode cluster table assembled
     /// from heartbeat piggybacks (`smarth_shell top` / `slo`).
     GetTelemetry,
+    /// Retry envelope for mutations. The namenode remembers the last
+    /// responses per `(client, request_id)` in a bounded table and
+    /// replays the cached response when a retried request arrives, so a
+    /// retry after a lost response cannot double-allocate or
+    /// double-commit. Nesting `Idempotent` inside `Idempotent` is a
+    /// protocol error.
+    Idempotent {
+        client: ClientId,
+        /// Client-minted, unique per logical mutation (not per attempt).
+        request_id: u64,
+        inner: Box<ClientRequest>,
+    },
 }
 
 /// Namenode → client responses. `Error` carries the failed variant's
@@ -409,6 +421,7 @@ const CR_LIST: u8 = 11;
 const CR_DELETE: u8 = 12;
 const CR_BAD_REPLICA: u8 = 13;
 const CR_TELEMETRY: u8 = 14;
+const CR_IDEMPOTENT: u8 = 15;
 
 impl Wire for ClientRequest {
     fn encode(&self, w: &mut WireWriter) {
@@ -544,6 +557,16 @@ impl Wire for ClientRequest {
                 w.put_str(path);
             }
             ClientRequest::GetTelemetry => w.put_u8(CR_TELEMETRY),
+            ClientRequest::Idempotent {
+                client,
+                request_id,
+                inner,
+            } => {
+                w.put_u8(CR_IDEMPOTENT);
+                w.put_u64(client.raw());
+                w.put_u64(*request_id);
+                inner.encode(w);
+            }
         }
     }
 
@@ -641,6 +664,21 @@ impl Wire for ClientRequest {
             CR_LIST => ClientRequest::List { path: r.get_str()? },
             CR_DELETE => ClientRequest::Delete { path: r.get_str()? },
             CR_TELEMETRY => ClientRequest::GetTelemetry,
+            CR_IDEMPOTENT => {
+                let client = ClientId(r.get_u64()?);
+                let request_id = r.get_u64()?;
+                let inner = Box::new(ClientRequest::decode(r)?);
+                if matches!(*inner, ClientRequest::Idempotent { .. }) {
+                    return Err(DfsError::codec(
+                        "nested Idempotent request envelope".to_string(),
+                    ));
+                }
+                ClientRequest::Idempotent {
+                    client,
+                    request_id,
+                    inner,
+                }
+            }
             x => return Err(DfsError::codec(format!("unknown ClientRequest tag {x}"))),
         })
     }
@@ -1337,6 +1375,30 @@ mod tests {
             block: ExtendedBlock::new(BlockId(77), GenStamp(2), 1 << 20),
             datanode: DatanodeId(5),
         });
+        roundtrip(ClientRequest::Idempotent {
+            client: ClientId(4),
+            request_id: 99,
+            inner: Box::new(ClientRequest::AddBlock {
+                client: ClientId(4),
+                file_id: FileId(8),
+                previous: Some(ExtendedBlock::new(BlockId(1), GenStamp(1), 64 << 20)),
+                excluded: vec![DatanodeId(2)],
+            }),
+        });
+    }
+
+    #[test]
+    fn nested_idempotent_envelope_is_rejected() {
+        let nested = ClientRequest::Idempotent {
+            client: ClientId(1),
+            request_id: 7,
+            inner: Box::new(ClientRequest::Idempotent {
+                client: ClientId(1),
+                request_id: 8,
+                inner: Box::new(ClientRequest::GetTelemetry),
+            }),
+        };
+        assert!(ClientRequest::from_bytes(nested.to_bytes()).is_err());
     }
 
     #[test]

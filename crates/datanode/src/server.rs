@@ -36,7 +36,7 @@ use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use smarth_core::checksum::ChunkedChecksum;
 use smarth_core::config::{DfsConfig, VerifyChecksumsAt, WriteMode};
-use smarth_core::error::{DfsError, DfsResult};
+use smarth_core::error::{panic_message, DfsError, DfsResult};
 use smarth_core::ids::{BlockId, DatanodeId};
 use smarth_core::obs::telemetry::{prometheus_exposition, Sampler};
 use smarth_core::obs::{Obs, ObsEvent};
@@ -53,21 +53,44 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Persistent RPC connection to the namenode's datanode port.
+///
+/// Reconnects lazily after a transport failure: a namenode restart or a
+/// healed partition must not leave every datanode permanently mute just
+/// because its original stream died.
 pub struct NnClient {
-    stream: Mutex<FabricStream>,
+    fabric: Fabric,
+    from_host: String,
+    nn_addr: String,
+    stream: Mutex<Option<FabricStream>>,
 }
 
 impl NnClient {
     pub fn connect(fabric: &Fabric, from_host: &str, nn_addr: &str) -> DfsResult<Self> {
+        // Eager first connect so setup errors (bad address, dead
+        // namenode at boot) surface at construction.
+        let stream = fabric.connect(from_host, nn_addr)?;
         Ok(Self {
-            stream: Mutex::new(fabric.connect(from_host, nn_addr)?),
+            fabric: fabric.clone(),
+            from_host: from_host.to_string(),
+            nn_addr: nn_addr.to_string(),
+            stream: Mutex::new(Some(stream)),
         })
     }
 
     pub fn call(&self, req: &DatanodeRequest) -> DfsResult<DatanodeResponse> {
-        let mut s = self.stream.lock();
-        send_message(&mut *s, req)?;
-        recv_message(&mut *s)
+        let mut slot = self.stream.lock();
+        if slot.is_none() {
+            *slot = Some(self.fabric.connect(&self.from_host, &self.nn_addr)?);
+        }
+        let s = slot.as_mut().expect("stream populated above");
+        let result: DfsResult<DatanodeResponse> =
+            send_message(&mut *s, req).and_then(|()| recv_message(&mut *s));
+        if result.is_err() {
+            // The stream may hold half-written or stale bytes; drop it so
+            // the next call starts from a clean connection.
+            *slot = None;
+        }
+        result
     }
 }
 
@@ -248,8 +271,21 @@ impl DataNode {
                 std::thread::Builder::new()
                     .name(format!("dn-{host}-heartbeat"))
                     .spawn(move || {
+                        let mut failure_streak = 0u32;
                         while !stop.load(Ordering::SeqCst) {
                             std::thread::sleep(interval);
+                            if failure_streak > 0 {
+                                // Bounded exponential backoff: a namenode
+                                // outage must not turn every datanode
+                                // into a hot retry loop — and must not
+                                // silence the heartbeat forever either
+                                // (the old loop broke on first error, so
+                                // a healed namenode saw a ghost node).
+                                let extra = interval
+                                    .saturating_mul(1 << failure_streak.min(3))
+                                    .min(Duration::from_secs(2));
+                                std::thread::sleep(extra);
+                            }
                             inner.sampler.sample_at(Obs::now_us());
                             let req = DatanodeRequest::Heartbeat {
                                 id: inner.id,
@@ -258,7 +294,10 @@ impl DataNode {
                                 telemetry: inner.local.snapshot(),
                             };
                             if inner.nn.call(&req).is_err() {
-                                break; // namenode gone / fabric down
+                                failure_streak = failure_streak.saturating_add(1);
+                                inner.obs.metrics().heartbeat_failures.inc();
+                            } else {
+                                failure_streak = 0;
                             }
                         }
                     })
@@ -331,23 +370,46 @@ fn handle_connection(dn: Arc<DnInner>, mut stream: FabricStream) {
         Ok(op) => op,
         Err(_) => return,
     };
+    // A panicking op handler costs one typed error response (or, for the
+    // streaming ops that consume the connection, one dropped peer that
+    // failover already handles) — never a silently dead xceiver thread
+    // with counters left askew.
     match op {
         DataOp::WriteBlock(header) => {
             dn.active_transfers.fetch_add(1, Ordering::Relaxed);
-            let _ = handle_write(&dn, header, stream);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = handle_write(&dn, header, stream);
+            }));
             dn.active_transfers.fetch_sub(1, Ordering::Relaxed);
+            if outcome.is_err() {
+                dn.obs.metrics().handler_panics.inc();
+            }
         }
         DataOp::ReadBlock { block, offset, len } => {
-            let _ = handle_read(&dn, block, offset, len, stream);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = handle_read(&dn, block, offset, len, stream);
+            }));
+            if outcome.is_err() {
+                dn.obs.metrics().handler_panics.inc();
+            }
         }
         DataOp::RecoverBlock {
             block,
             new_gen,
             new_len,
         } => {
-            let reply = match dn.store.recover(block.id, new_gen, new_len) {
-                Ok(b) => DataReply::RecoverOk { block: b },
-                Err(e) => DataReply::Error(e.to_string()),
+            let reply = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                dn.store.recover(block.id, new_gen, new_len)
+            })) {
+                Ok(Ok(b)) => DataReply::RecoverOk { block: b },
+                Ok(Err(e)) => DataReply::Error(e.to_string()),
+                Err(payload) => {
+                    dn.obs.metrics().handler_panics.inc();
+                    DataReply::Error(format!(
+                        "internal error: handler panicked: {}",
+                        panic_message(payload)
+                    ))
+                }
             };
             let _ = send_message(&mut stream, &reply);
         }
@@ -359,15 +421,24 @@ fn handle_connection(dn: Arc<DnInner>, mut stream: FabricStream) {
             let _ = send_message(&mut stream, &reply);
         }
         DataOp::GetReplicaInfo { block } => {
-            let reply = match dn.store.replica_info(block) {
-                Some((b, finalized)) => DataReply::ReplicaInfo {
+            let reply = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                dn.store.replica_info(block)
+            })) {
+                Ok(Some((b, finalized))) => DataReply::ReplicaInfo {
                     block: Some(b),
                     finalized,
                 },
-                None => DataReply::ReplicaInfo {
+                Ok(None) => DataReply::ReplicaInfo {
                     block: None,
                     finalized: false,
                 },
+                Err(payload) => {
+                    dn.obs.metrics().handler_panics.inc();
+                    DataReply::Error(format!(
+                        "internal error: handler panicked: {}",
+                        panic_message(payload)
+                    ))
+                }
             };
             let _ = send_message(&mut stream, &reply);
         }

@@ -151,13 +151,23 @@ impl TokenBucket {
     pub fn set_rate(&self, bandwidth: Bandwidth) {
         let mut st = self.state.lock();
         Self::refill(&mut st, Instant::now());
-        st.rate = bandwidth.as_bytes_per_sec();
+        let new_rate = bandwidth.as_bytes_per_sec();
+        let tightening = new_rate < st.rate;
+        st.rate = new_rate;
         st.capacity = if st.rate.is_finite() {
             (st.rate * 0.02).max(64.0 * 1024.0)
         } else {
             f64::INFINITY
         };
         st.tokens = st.tokens.min(st.capacity);
+        if tightening && st.rate.is_finite() {
+            // A tc-style throttle bites immediately: drop the burst
+            // accumulated at the old rate down to ~20 ms of the new
+            // line rate. Without this, the 64 KiB burst floor lets
+            // small messages (namenode RPCs, heartbeats) sail through
+            // a severe stall for its entire duration.
+            st.tokens = st.tokens.min(st.rate * 0.02);
+        }
         self.available.notify_all();
     }
 
@@ -257,6 +267,23 @@ mod tests {
         b.acquire(64 * 1024).unwrap();
         b.acquire(16 * 1024).unwrap();
         assert!(b.waits() > 0, "contended acquire should have waited");
+    }
+
+    #[test]
+    fn tightening_the_rate_drops_the_old_burst() {
+        // A fresh fast bucket holds a large burst; throttling it down
+        // must make even small acquires wait at the new rate instead of
+        // coasting on the old burst.
+        let b = TokenBucket::new(Bandwidth::mib_per_sec(100.0));
+        b.set_rate(Bandwidth::bytes_per_sec(125.0));
+        assert!(
+            !b.try_acquire(64),
+            "64-byte message must not pass a 125 B/s stall instantly"
+        );
+        // Lifting the throttle restores full-rate refill.
+        b.set_rate(Bandwidth::mib_per_sec(100.0));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(b.try_acquire(64 * 1024));
     }
 
     #[test]

@@ -69,7 +69,19 @@ struct Inner {
     /// Every channel ever created, tagged with its two endpoints, for
     /// fault injection. Weak so finished streams free their memory.
     channels: Mutex<Vec<(String, String, Weak<ByteChannel>)>>,
+    /// Host pairs currently partitioned: existing streams between them
+    /// are broken and new connects are refused until healed. Stored as
+    /// unordered pairs (both orientations blocked).
+    partitions: Mutex<std::collections::HashSet<(String, String)>>,
     closed: AtomicBool,
+}
+
+fn pair_key(a: &str, b: &str) -> (String, String) {
+    if a <= b {
+        (a.to_string(), b.to_string())
+    } else {
+        (b.to_string(), a.to_string())
+    }
 }
 
 /// Handle to an emulated network. Cheap to clone.
@@ -88,6 +100,7 @@ impl Fabric {
                 cross_rack: Mutex::new(None),
                 pair_buckets: Mutex::new(HashMap::new()),
                 channels: Mutex::new(Vec::new()),
+                partitions: Mutex::new(std::collections::HashSet::new()),
                 closed: AtomicBool::new(false),
             }),
         }
@@ -195,6 +208,16 @@ impl Fabric {
         if !dst.alive.load(Ordering::SeqCst) {
             return Err(DfsError::connection_lost(format!("{to_host} is down")));
         }
+        if self
+            .inner
+            .partitions
+            .lock()
+            .contains(&pair_key(from_host, &to_host))
+        {
+            return Err(DfsError::connection_lost(format!(
+                "link {from_host}<->{to_host} partitioned"
+            )));
+        }
 
         let cfg = &self.inner.config;
         let fwd = Arc::new(ByteChannel::new(cfg.socket_buffer, cfg.latency));
@@ -293,6 +316,27 @@ impl Fabric {
                 }
             }
         }
+    }
+
+    /// Partitions two hosts: every live stream between them breaks
+    /// *and* new connects in either direction are refused until
+    /// [`Self::heal_link`]. Unlike [`Self::cut_link`], this holds
+    /// against a reconnecting peer — the retry layer cannot sneak a
+    /// fresh stream through.
+    pub fn partition_link(&self, a: &str, b: &str) {
+        self.inner.partitions.lock().insert(pair_key(a, b));
+        self.cut_link(a, b);
+    }
+
+    /// Lifts a partition installed by [`Self::partition_link`]. Streams
+    /// broken while partitioned stay broken; new connects succeed.
+    pub fn heal_link(&self, a: &str, b: &str) {
+        self.inner.partitions.lock().remove(&pair_key(a, b));
+    }
+
+    /// True while `a` and `b` are partitioned (diagnostics/tests).
+    pub fn is_partitioned(&self, a: &str, b: &str) -> bool {
+        self.inner.partitions.lock().contains(&pair_key(a, b))
     }
 
     /// Tears down the whole fabric: breaks every stream and removes every

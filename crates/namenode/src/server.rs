@@ -26,11 +26,16 @@ use smarth_core::proto::{
 use smarth_core::speed::NamenodeSpeedRegistry;
 use smarth_core::wire::{recv_message, send_message};
 use smarth_fabric::{Fabric, Listener};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Cached responses retained per client for idempotent-retry dedupe.
+/// Sized so a client's full pipeline window of in-flight mutations fits
+/// with slack, while a hot namenode stays bounded.
+const RECENT_REQUESTS_PER_CLIENT: usize = 64;
 
 /// Per-datanode line of a [`ClusterReport`].
 #[derive(Debug, Clone)]
@@ -64,6 +69,32 @@ struct ClientSession {
     rack: String,
 }
 
+/// Bounded per-client memory of recently answered idempotent requests:
+/// the response replayed when a retry of the same `request_id` arrives
+/// after the original response was lost in transit.
+#[derive(Debug, Default)]
+struct RecentRequests {
+    responses: HashMap<u64, ClientResponse>,
+    order: VecDeque<u64>,
+}
+
+impl RecentRequests {
+    fn get(&self, request_id: u64) -> Option<ClientResponse> {
+        self.responses.get(&request_id).cloned()
+    }
+
+    fn remember(&mut self, request_id: u64, resp: ClientResponse) {
+        if self.responses.insert(request_id, resp).is_none() {
+            self.order.push_back(request_id);
+            while self.order.len() > RECENT_REQUESTS_PER_CLIENT {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.responses.remove(&evicted);
+                }
+            }
+        }
+    }
+}
+
 /// All namenode state. Lock order (when multiple are held):
 /// `namespace` → `blocks` → `datanodes` → `speeds`.
 pub struct NameNodeState {
@@ -73,6 +104,11 @@ pub struct NameNodeState {
     datanodes: Mutex<DatanodeManager>,
     speeds: Mutex<NamenodeSpeedRegistry>,
     clients: Mutex<HashMap<ClientId, ClientSession>>,
+    /// Per-client dedupe tables for `ClientRequest::Idempotent`.
+    recent_requests: Mutex<HashMap<ClientId, RecentRequests>>,
+    /// Test hook (panic-hardening regression coverage): a `Create` for
+    /// exactly this path panics inside the handler.
+    panic_on_create_path: Mutex<Option<String>>,
     client_ids: IdGenerator,
     /// Mints `TraceId`/root-`SpanId` pairs at `addBlock` time — the
     /// origin of every block-lifecycle trace in the system.
@@ -102,6 +138,8 @@ impl NameNodeState {
             datanodes: Mutex::new(DatanodeManager::new(expiry)),
             speeds: Mutex::new(NamenodeSpeedRegistry::with_half_life(speed_half_life)),
             clients: Mutex::new(HashMap::new()),
+            recent_requests: Mutex::new(HashMap::new()),
+            panic_on_create_path: Mutex::new(None),
             client_ids: IdGenerator::starting_at(1),
             trace_ids: IdGenerator::starting_at(1),
             rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
@@ -232,10 +270,60 @@ impl NameNodeState {
     /// Handles one client RPC. Never panics on malformed input — every
     /// failure becomes `ClientResponse::Error`.
     pub fn handle_client_request(&self, req: ClientRequest) -> ClientResponse {
+        if let ClientRequest::Idempotent {
+            client,
+            request_id,
+            inner,
+        } = req
+        {
+            return self.handle_idempotent(client, request_id, *inner);
+        }
         match self.try_handle_client(req) {
             Ok(resp) => resp,
             Err(e) => ClientResponse::Error(e.to_string()),
         }
+    }
+
+    /// Exactly-once execution for retried mutations: the first arrival
+    /// of `(client, request_id)` executes and its response is cached;
+    /// any retry replays the cached response without re-executing, so a
+    /// retried `addBlock` after a lost response cannot double-allocate
+    /// or double-commit its piggybacked previous block.
+    fn handle_idempotent(
+        &self,
+        client: ClientId,
+        request_id: u64,
+        inner: ClientRequest,
+    ) -> ClientResponse {
+        if matches!(inner, ClientRequest::Idempotent { .. }) {
+            return ClientResponse::Error("nested Idempotent envelope".into());
+        }
+        if let Some(cached) = self
+            .recent_requests
+            .lock()
+            .get(&client)
+            .and_then(|t| t.get(request_id))
+        {
+            return cached;
+        }
+        let resp = match self.try_handle_client(inner) {
+            Ok(resp) => resp,
+            Err(e) => ClientResponse::Error(e.to_string()),
+        };
+        self.recent_requests
+            .lock()
+            .entry(client)
+            .or_default()
+            .remember(request_id, resp.clone());
+        resp
+    }
+
+    /// Arms the panic test hook: the next `Create` for exactly `path`
+    /// panics inside the handler. Exists so integration tests can prove
+    /// a handler panic surfaces as a typed error response (and bumps
+    /// `handler_panics`) instead of silently killing the conn thread.
+    pub fn arm_create_panic(&self, path: &str) {
+        *self.panic_on_create_path.lock() = Some(path.to_string());
     }
 
     fn try_handle_client(&self, req: ClientRequest) -> DfsResult<ClientResponse> {
@@ -255,6 +343,18 @@ impl NameNodeState {
                 overwrite,
                 mode,
             } => {
+                let injected = {
+                    let mut armed = self.panic_on_create_path.lock();
+                    if armed.as_deref() == Some(path.as_str()) {
+                        *armed = None;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if injected {
+                    panic!("injected handler panic for {path}");
+                }
                 let file_id = self.namespace.lock().create_file(
                     client,
                     &path,
@@ -434,6 +534,11 @@ impl NameNodeState {
                     None => Ok(ClientResponse::Deleted { existed: false }),
                 }
             }
+            // Unwrapped in handle_client_request / handle_idempotent;
+            // reaching here means a nested envelope slipped through.
+            ClientRequest::Idempotent { .. } => {
+                Err(DfsError::codec("nested Idempotent request envelope"))
+            }
         }
     }
 
@@ -483,16 +588,19 @@ impl NameNodeState {
         let nodes = dns
             .alive()
             .into_iter()
-            .map(|id| {
-                let info = dns.info(id).expect("alive node has info");
+            .filter_map(|id| {
+                // A node can expire between `alive()` and `info()` if
+                // the sweeper races this snapshot; skip it rather than
+                // panicking the caller.
+                let info = dns.info(id)?;
                 let (used, capacity) = dns.usage(id).unwrap_or((0, 0));
-                DatanodeReport {
+                Some(DatanodeReport {
                     id,
                     host_name: info.host_name,
                     rack: info.rack,
                     used_bytes: used,
                     capacity_bytes: capacity,
-                }
+                })
             })
             .collect::<Vec<_>>();
         drop(dns);
@@ -586,6 +694,7 @@ impl NameNode {
             Arc::clone(&state),
             Arc::clone(&stop),
             |state, req| state.handle_client_request(req),
+            ClientResponse::Error,
         ));
         threads.push(spawn_accept_loop(
             "nn-datanode-accept",
@@ -593,6 +702,7 @@ impl NameNode {
             Arc::clone(&state),
             Arc::clone(&stop),
             |state, req| state.handle_datanode_request(req),
+            DatanodeResponse::Error,
         ));
 
         // Heartbeat expiry sweeper.
@@ -649,12 +759,15 @@ impl NameNode {
     }
 }
 
+use smarth_core::error::panic_message;
+
 fn spawn_accept_loop<Req, Resp, F>(
     name: &str,
     listener: Listener,
     state: Arc<NameNodeState>,
     stop: Arc<AtomicBool>,
     handler: F,
+    on_panic: fn(String) -> Resp,
 ) -> JoinHandle<()>
 where
     Req: smarth_core::wire::Wire + Send + 'static,
@@ -678,7 +791,21 @@ where
                                         Ok(r) => r,
                                         Err(_) => break, // peer closed
                                     };
-                                    let resp = handler(&state, req);
+                                    // A buggy handler must cost one
+                                    // error response, not the whole
+                                    // connection with zero diagnostics.
+                                    let resp = match std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| handler(&state, req)),
+                                    ) {
+                                        Ok(resp) => resp,
+                                        Err(payload) => {
+                                            state.obs.metrics().handler_panics.inc();
+                                            on_panic(format!(
+                                                "internal error: handler panicked: {}",
+                                                panic_message(payload)
+                                            ))
+                                        }
+                                    };
                                     if send_message(&mut stream, &resp).is_err() {
                                         break;
                                     }
@@ -1076,6 +1203,101 @@ mod tests {
             client: ClientId(999),
             block: ExtendedBlock::new(smarth_core::ids::BlockId(424242), smarth_core::ids::GenStamp(1), 0),
             datanode: DatanodeId(0),
+        });
+        assert!(matches!(resp, ClientResponse::Error(_)));
+    }
+
+    #[test]
+    fn idempotent_retry_replays_cached_response() {
+        let (st, _dns) = state_with_datanodes(9);
+        let client = register_client(&st);
+        let file = create(&st, client, "/idem.bin", WriteMode::Smarth);
+        let wrap = |request_id: u64| ClientRequest::Idempotent {
+            client,
+            request_id,
+            inner: Box::new(ClientRequest::AddBlock {
+                client,
+                file_id: file,
+                previous: None,
+                excluded: vec![],
+            }),
+        };
+
+        let first = st.handle_client_request(wrap(1));
+        let retry = st.handle_client_request(wrap(1));
+        assert_eq!(first, retry, "retry must replay, not re-allocate");
+        let lb = match first {
+            ClientResponse::BlockAllocated(lb) => lb,
+            other => panic!("unexpected {other:?}"),
+        };
+
+        // A different request id is a genuinely new mutation.
+        let second = st.handle_client_request(wrap(2));
+        match second {
+            ClientResponse::BlockAllocated(lb2) => {
+                assert_ne!(lb2.block.id, lb.block.id);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn idempotent_retry_cannot_double_commit() {
+        let (st, _dns) = state_with_datanodes(9);
+        let client = register_client(&st);
+        let file = create(&st, client, "/commit.bin", WriteMode::Smarth);
+        let lb = match st.handle_client_request(ClientRequest::AddBlock {
+            client,
+            file_id: file,
+            previous: None,
+            excluded: vec![],
+        }) {
+            ClientResponse::BlockAllocated(lb) => lb,
+            other => panic!("unexpected {other:?}"),
+        };
+        let done = ExtendedBlock::new(lb.block.id, lb.block.gen, 777);
+        // addBlock(previous=done) piggybacks the commit; a retried copy
+        // must not allocate a second new block.
+        let wrapped = ClientRequest::Idempotent {
+            client,
+            request_id: 42,
+            inner: Box::new(ClientRequest::AddBlock {
+                client,
+                file_id: file,
+                previous: Some(done),
+                excluded: vec![],
+            }),
+        };
+        let a = st.handle_client_request(wrapped.clone());
+        let b = st.handle_client_request(wrapped);
+        assert_eq!(a, b);
+        // Exactly two blocks exist: the first and the one allocation.
+        assert_eq!(st.cluster_report().blocks, 2);
+    }
+
+    #[test]
+    fn idempotent_table_is_bounded() {
+        let mut table = RecentRequests::default();
+        for i in 0..(RECENT_REQUESTS_PER_CLIENT as u64 + 10) {
+            table.remember(i, ClientResponse::Committed);
+        }
+        assert_eq!(table.responses.len(), RECENT_REQUESTS_PER_CLIENT);
+        assert!(table.get(0).is_none(), "oldest entries evicted");
+        assert!(table.get(RECENT_REQUESTS_PER_CLIENT as u64 + 9).is_some());
+    }
+
+    #[test]
+    fn nested_idempotent_is_an_error() {
+        let (st, _dns) = state_with_datanodes(3);
+        let client = register_client(&st);
+        let resp = st.handle_client_request(ClientRequest::Idempotent {
+            client,
+            request_id: 1,
+            inner: Box::new(ClientRequest::Idempotent {
+                client,
+                request_id: 2,
+                inner: Box::new(ClientRequest::GetTelemetry),
+            }),
         });
         assert!(matches!(resp, ClientResponse::Error(_)));
     }
