@@ -22,6 +22,13 @@
 //! each with its digest embedded under `otherData.digest`) and the
 //! machine-readable verdict (`results/conformance_<preset>.diff.json`).
 //!
+//! The `diff-baseline` id (not part of the default run) compares the
+//! digests embedded in `results/conformance_*.trace.json` against the
+//! same-named traces from a previous green run (`SMARTH_BASELINE_DIR`,
+//! default `baseline/`) under the tight same-engine tolerance bands,
+//! exiting nonzero on drift. Missing baselines pass with a notice so
+//! the gate bootstraps on the first run.
+//!
 //! The `bench-gate` id (not part of the default run) re-records
 //! `BENCH_throughput.json` / `BENCH_read_throughput.json` and exits
 //! nonzero if any `{workload, mode}` row regressed past the band vs the
@@ -32,7 +39,7 @@ use smarth_bench::figures::{self, FigureOpts};
 use smarth_bench::report::Table;
 use smarth_cluster::soak::{self, SoakConfig};
 use smarth_cluster::{random_data, MiniCluster};
-use smarth_core::conformance::{diff_reports, ToleranceBands};
+use smarth_core::conformance::{diff_digests, diff_reports, ToleranceBands, TraceDigest};
 use smarth_core::obs::{Obs, RingBufferSink};
 use smarth_core::trace::{write_chrome_trace, TraceAssembler, TraceReport};
 use smarth_core::units::{Bandwidth, ByteSize};
@@ -141,6 +148,93 @@ fn run_conformance(out_dir: &std::path::Path, quick: bool) {
             Err(e) => eprintln!("  failed to save conformance artifacts for {id}: {e}"),
         }
     }
+}
+
+/// Reads the `otherData.digest` a conformance run embeds in each saved
+/// Chrome trace file.
+fn load_trace_digest(path: &std::path::Path) -> Result<TraceDigest, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let v = smarth_core::json::parse(&text).map_err(|e| e.to_string())?;
+    TraceDigest::from_json(&v)
+}
+
+/// The `diff-baseline` mode: compares every conformance trace in
+/// `out_dir` against the same-named trace from a previous green run
+/// (`SMARTH_BASELINE_DIR`, default `baseline/`) and fails if any
+/// same-engine pair drifts outside [`ToleranceBands::same_engine`] —
+/// latency-distribution distance, FNFA gap ratio, hop residency. No
+/// baseline (first run, expired artifact) is a pass with a notice, so
+/// the gate bootstraps itself; a baseline trace that exists but does
+/// not parse is a failure, not a skip.
+fn run_diff_baseline(out_dir: &std::path::Path, baseline_dir: &std::path::Path) -> bool {
+    let mut names: Vec<String> = match std::fs::read_dir(out_dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| {
+                n.starts_with("conformance_")
+                    && (n.ends_with(".emulator.trace.json") || n.ends_with(".sim.trace.json"))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("diff-baseline: cannot read {}: {e}", out_dir.display());
+            return false;
+        }
+    };
+    names.sort();
+    if names.is_empty() {
+        eprintln!(
+            "diff-baseline: no conformance traces in {}; run `figures -- conformance` first",
+            out_dir.display()
+        );
+        return false;
+    }
+
+    let mut pass = true;
+    let mut compared = 0usize;
+    for name in &names {
+        let base_path = baseline_dir.join(name);
+        if !base_path.exists() {
+            println!("diff-baseline: no baseline for {name}; skipping");
+            continue;
+        }
+        let id = name.trim_end_matches(".trace.json").replace('.', "-");
+        let pair = load_trace_digest(&base_path).and_then(|base| {
+            load_trace_digest(&out_dir.join(name)).map(|cur| (base, cur))
+        });
+        let (base, cur) = match pair {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("diff-baseline {id}: cannot load digest pair: {e}");
+                pass = false;
+                continue;
+            }
+        };
+        let verdict = diff_digests(&format!("{id}-vs-baseline"), &base, &cur, ToleranceBands::same_engine());
+        print!("{}", verdict.render());
+        match verdict.save(out_dir) {
+            Ok(path) => println!("  saved {}\n", path.display()),
+            Err(e) => eprintln!("  failed to save baseline diff for {id}: {e}"),
+        }
+        compared += 1;
+        if !verdict.pass {
+            pass = false;
+        }
+    }
+    if compared == 0 {
+        println!(
+            "diff-baseline: no baseline artifacts under {} — first run or expired artifact; \
+             nothing to compare (PASS)",
+            baseline_dir.display()
+        );
+        return true;
+    }
+    println!(
+        "diff-baseline: {} ({compared} trace pair(s) vs {})",
+        if pass { "PASS" } else { "FAIL" },
+        baseline_dir.display()
+    );
+    pass
 }
 
 /// One measured row of the throughput baseline.
@@ -547,9 +641,9 @@ fn main() {
         wanted.iter().map(|s| s.as_str()).collect()
     };
     for id in &ids {
-        if !ALL_IDS.contains(id) && *id != "bench-gate" {
+        if !ALL_IDS.contains(id) && *id != "bench-gate" && *id != "diff-baseline" {
             eprintln!("unknown figure id: {id}");
-            eprintln!("known: {} bench-gate", ALL_IDS.join(" "));
+            eprintln!("known: {} bench-gate diff-baseline", ALL_IDS.join(" "));
             std::process::exit(2);
         }
     }
@@ -616,6 +710,16 @@ fn main() {
         if id == "bench-gate" {
             // CI regression gate over both recorded trajectories.
             if !run_bench_gate(&out_dir, quick) {
+                std::process::exit(1);
+            }
+            continue;
+        }
+        if id == "diff-baseline" {
+            // CI drift gate: current conformance digests vs the previous
+            // green run's uploaded artifacts.
+            let baseline = std::env::var("SMARTH_BASELINE_DIR")
+                .unwrap_or_else(|_| "baseline".to_string());
+            if !run_diff_baseline(&out_dir, std::path::Path::new(&baseline)) {
                 std::process::exit(1);
             }
             continue;

@@ -74,12 +74,16 @@ impl MiniCluster {
 
         let mut datanodes = Vec::new();
         for host in spec.hosts.iter().filter(|h| h.role == HostRole::DataNode) {
+            // Heterogeneous specs can pin a host below the cluster-wide
+            // disk rate; each datanode gets its own effective config.
+            let mut dn_config = config.clone();
+            dn_config.disk_bandwidth = host.effective_disk(config.disk_bandwidth);
             datanodes.push(DataNode::start_with_obs(
                 &fabric,
                 &host.name,
                 &host.rack,
                 &nn_dn_addr,
-                config.clone(),
+                dn_config,
                 obs.clone(),
             )?);
         }

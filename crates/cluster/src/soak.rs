@@ -103,6 +103,11 @@ pub enum FaultKind {
     /// (datanode heartbeats keep flowing): live RPC streams are cut and
     /// reconnects are refused until the injector heals the partition.
     NamenodePartition { for_ms: u64 },
+    /// Partition every fabric link crossing `rack`'s boundary for
+    /// `for_ms` (top-of-rack switch failure): hosts inside the rack keep
+    /// talking to each other but lose everything outside — pipelines,
+    /// reads, heartbeats and namenode RPCs alike, on both sides.
+    RackPartition { rack: String, for_ms: u64 },
 }
 
 impl FaultKind {
@@ -129,6 +134,9 @@ impl FaultKind {
             FaultKind::NamenodePartition { for_ms } => {
                 format!("partition clients from namenode for {for_ms} ms")
             }
+            FaultKind::RackPartition { rack, for_ms } => {
+                format!("partition rack {rack} for {for_ms} ms")
+            }
         }
     }
 
@@ -142,6 +150,7 @@ impl FaultKind {
             FaultKind::NamenodeStall { .. } | FaultKind::NamenodePartition { .. } => {
                 FaultClass::Namenode
             }
+            FaultKind::RackPartition { .. } => FaultClass::Partition,
         }
     }
 
@@ -181,6 +190,10 @@ impl FaultKind {
             FaultKind::NamenodePartition { for_ms } => obj
                 .field("type", "namenode_partition")
                 .field("for_ms", *for_ms),
+            FaultKind::RackPartition { rack, for_ms } => obj
+                .field("type", "rack_partition")
+                .field("rack", rack.as_str())
+                .field("for_ms", *for_ms),
         }
         .build()
     }
@@ -217,6 +230,14 @@ impl FaultKind {
             Some("namenode_partition") => Ok(FaultKind::NamenodePartition {
                 for_ms: u("for_ms")?,
             }),
+            Some("rack_partition") => Ok(FaultKind::RackPartition {
+                rack: v
+                    .get("rack")
+                    .as_str()
+                    .ok_or_else(|| "fault kind: missing `rack`".to_string())?
+                    .to_string(),
+                for_ms: u("for_ms")?,
+            }),
             other => Err(format!("fault kind: unknown type {other:?}")),
         }
     }
@@ -236,6 +257,10 @@ enum FaultClass {
     /// `NamenodeError` recoveries, which only arise when the client RPC
     /// retry budget is exhausted mid-stream.
     Namenode,
+    /// Severs a whole rack from the fabric: cuts client↔datanode links
+    /// *and* (for hosts inside the rack) the namenode, so it explains
+    /// disconnect-type recoveries and `NamenodeError` alike.
+    Partition,
 }
 
 /// One scheduled fault.
@@ -376,6 +401,9 @@ impl FaultPlan {
                 }
                 FaultKind::KillPipelineNodes { nodes } if *nodes == 0 => {
                     return Err(format!("event {i}: kill must target at least one node"));
+                }
+                FaultKind::RackPartition { rack, .. } if rack.is_empty() => {
+                    return Err(format!("event {i}: rack partition needs a rack name"));
                 }
                 _ => {}
             }
@@ -531,6 +559,10 @@ pub struct SoakConfig {
     /// Create/rewrite/delete fractions of each worker's op roll; the
     /// remainder is verifying striped reads.
     pub op_mix: OpMix,
+    /// Build a heterogeneous cluster: datanodes cycle Large/Medium/Small
+    /// with per-tier disk and NIC rates (the paper's Table I instance
+    /// mix), instead of a uniform Large fleet.
+    pub tiered_disks: bool,
 }
 
 impl SoakConfig {
@@ -558,6 +590,7 @@ impl SoakConfig {
             grace_ms: 6_000,
             cross_rack_mbps: Some(300.0),
             op_mix: OpMix::write_dominant(),
+            tiered_disks: false,
         }
     }
 
@@ -662,6 +695,62 @@ impl SoakConfig {
         cfg
     }
 
+    /// Top-of-rack switch failure profile: rack-b (half the datanodes
+    /// and the odd-numbered clients) drops off the fabric mid-run and
+    /// comes back, twice. The heartbeat horizon and RPC retry budget are
+    /// widened so the run measures partition-riding, not cascade death.
+    pub fn rack_partition(seed: u64) -> Self {
+        let mut cfg = Self::base(4, 9, seed);
+        cfg.budget = Budget::WallClock(Duration::from_millis(4_000));
+        cfg.window = Duration::from_millis(800);
+        // 100 ms × 10 = a 1 s expiry horizon, beyond the longest outage:
+        // partitioned datanodes must come back alive, not expired.
+        cfg.config.heartbeat_interval = SimDuration::from_millis(100);
+        // The retry deadline must outlive the longest outage: a client
+        // that gives up mid-partition can have its last mutation land
+        // anyway (the response was lost, not the request), which the
+        // churn bookkeeping would mis-read as an integrity failure.
+        cfg.config.rpc_retry = RetryPolicy {
+            attempts: 12,
+            base_backoff: SimDuration::from_millis(50),
+            multiplier: 2.0,
+            jitter: 0.25,
+            deadline: SimDuration::from_millis(1_500),
+        };
+        // Partition churn holds broken pipelines and their replacements
+        // open at once, so the steady-state bound does not apply.
+        cfg.max_concurrent_pipelines = Some(48);
+        cfg.plan = FaultPlan {
+            seed,
+            events: vec![
+                FaultEvent {
+                    trigger: Trigger::AtMs(1_000),
+                    kind: FaultKind::RackPartition {
+                        rack: "rack-b".into(),
+                        for_ms: 700,
+                    },
+                },
+                FaultEvent {
+                    trigger: Trigger::AtMs(2_600),
+                    kind: FaultKind::RackPartition {
+                        rack: "rack-b".into(),
+                        for_ms: 500,
+                    },
+                },
+            ],
+        };
+        cfg
+    }
+
+    /// The [`Self::smoke`] shape over the paper's Table I instance mix:
+    /// tiered disk and NIC rates per datanode, so placement and read
+    /// ordering face a genuinely heterogeneous fleet.
+    pub fn tiered_smoke(seed: u64) -> Self {
+        let mut cfg = Self::smoke(seed);
+        cfg.tiered_disks = true;
+        cfg
+    }
+
     /// Balanced read/write churn over the [`Self::sustained`] shape.
     pub fn mixed(clients: usize, secs: u64, seed: u64) -> Self {
         let mut cfg = Self::sustained(clients, secs, seed);
@@ -699,6 +788,7 @@ impl SoakConfig {
                 instance,
                 rack: "rack-a".into(),
                 nic_throttle: None,
+                disk_throttle: None,
             },
             HostSpec {
                 name: "client".into(),
@@ -706,15 +796,22 @@ impl SoakConfig {
                 instance,
                 rack: "rack-a".into(),
                 nic_throttle: None,
+                disk_throttle: None,
             },
         ];
         for i in 0..self.datanodes {
+            let tier = if self.tiered_disks {
+                [InstanceType::Large, InstanceType::Medium, InstanceType::Small][i % 3]
+            } else {
+                instance
+            };
             hosts.push(HostSpec {
                 name: format!("dn{i}"),
                 role: HostRole::DataNode,
-                instance,
+                instance: tier,
                 rack: if i % 2 == 0 { "rack-a" } else { "rack-b" }.into(),
                 nic_throttle: None,
+                disk_throttle: self.tiered_disks.then(|| tier.disk_bandwidth()),
             });
         }
         ClusterSpec {
@@ -791,6 +888,7 @@ impl SoakConfig {
                 opt_u64(self.max_concurrent_pipelines),
             )
             .field("strict_fnfa", self.strict_fnfa)
+            .field("tiered_disks", self.tiered_disks)
             .field("grace_ms", self.grace_ms)
             .field(
                 "cross_rack_mbps",
@@ -930,6 +1028,8 @@ impl SoakConfig {
                     mix
                 }
             },
+            // Absent in reports saved before tiered clusters existed.
+            tiered_disks: v.get("tiered_disks").as_bool().unwrap_or(false),
         })
     }
 }
@@ -1253,9 +1353,13 @@ impl Checker {
             let compatible = match cause {
                 RecoveryCause::ConnectionLost
                 | RecoveryCause::DatanodeError
-                | RecoveryCause::NestedFailure => f.class == FaultClass::Disconnect,
+                | RecoveryCause::NestedFailure => {
+                    matches!(f.class, FaultClass::Disconnect | FaultClass::Partition)
+                }
                 RecoveryCause::AckTimeout => true,
-                RecoveryCause::NamenodeError => f.class == FaultClass::Namenode,
+                RecoveryCause::NamenodeError => {
+                    matches!(f.class, FaultClass::Namenode | FaultClass::Partition)
+                }
             };
             if !(compatible && t_ms >= f.at_ms && t_ms <= f.until_ms + slack) {
                 return false;
@@ -1416,6 +1520,26 @@ impl Shared {
                 self.cluster.fabric().partition_link(host, "namenode");
             } else {
                 self.cluster.fabric().heal_link(host, "namenode");
+            }
+        }
+    }
+
+    /// Severs (or heals) every fabric link with exactly one endpoint in
+    /// `rack` — a top-of-rack switch failure. Intra-rack traffic is
+    /// untouched; everything crossing the boundary (pipelines, reads,
+    /// heartbeats, namenode RPCs) is cut and refused until healed.
+    fn set_rack_partition(&self, rack: &str, active: bool) {
+        let hosts = &self.cluster.spec().hosts;
+        for (i, a) in hosts.iter().enumerate() {
+            for b in &hosts[i + 1..] {
+                if (a.rack == rack) == (b.rack == rack) {
+                    continue;
+                }
+                if active {
+                    self.cluster.fabric().partition_link(&a.name, &b.name);
+                } else {
+                    self.cluster.fabric().heal_link(&a.name, &b.name);
+                }
             }
         }
     }
@@ -1580,7 +1704,16 @@ fn run_worker(
                     files[i].1 = content_seed;
                     files[i].2 = len;
                 }
-                Err(e) => w.record_error("rewrite", &e),
+                Err(e) => {
+                    // The on-cluster state is now unknown: the overwrite
+                    // may have replaced any prefix of the old content
+                    // (or all of it, if only the final ack was lost).
+                    // Stop tracking the path so a later verify doesn't
+                    // mis-read the ambiguity as an integrity failure.
+                    w.record_error("rewrite", &e);
+                    files.swap_remove(i);
+                    let _ = client.delete(&path);
+                }
             }
         } else if roll < mix.create + mix.rewrite + mix.delete {
             let i = rng.gen_range(0..files.len());
@@ -1636,6 +1769,8 @@ enum TimedAction {
     Restore { host: String },
     /// Heal the client↔namenode partition (all client hosts at once).
     HealNamenodePartition,
+    /// Re-connect `rack` to the rest of the fabric.
+    HealRackPartition { rack: String },
 }
 
 fn run_injector(shared: &Shared, mut actions: Vec<(u64, TimedAction)>) {
@@ -1655,6 +1790,9 @@ fn run_injector(shared: &Shared, mut actions: Vec<(u64, TimedAction)>) {
                         }
                         TimedAction::HealNamenodePartition => {
                             shared.set_namenode_partition(false);
+                        }
+                        TimedAction::HealRackPartition { rack } => {
+                            shared.set_rack_partition(&rack, false);
                         }
                         TimedAction::Apply(_) => {}
                     }
@@ -1711,6 +1849,18 @@ fn run_injector(shared: &Shared, mut actions: Vec<(u64, TimedAction)>) {
                         shared.set_namenode_partition(true);
                         shared.log_fault(&kind, *for_ms, true, kind.describe(), Vec::new());
                     }
+                    FaultKind::RackPartition { rack, for_ms } => {
+                        // Log BEFORE cutting: the first severed link can
+                        // surface a recovery while later pairs are still
+                        // being cut, and attribution needs the window to
+                        // open no later than the first effect. Victims
+                        // stay empty: the fault severs link *pairs* on
+                        // both sides of the boundary, so attribution is
+                        // window+class (Partition explains disconnects
+                        // and namenode errors).
+                        shared.log_fault(&kind, *for_ms, true, kind.describe(), Vec::new());
+                        shared.set_rack_partition(rack, true);
+                    }
                     _ => unreachable!("validated: cooperative kinds never reach injector"),
                 }
             }
@@ -1719,6 +1869,9 @@ fn run_injector(shared: &Shared, mut actions: Vec<(u64, TimedAction)>) {
             }
             TimedAction::HealNamenodePartition => {
                 shared.set_namenode_partition(false);
+            }
+            TimedAction::HealRackPartition { rack } => {
+                shared.set_rack_partition(&rack, false);
             }
         }
     }
@@ -1790,6 +1943,12 @@ pub fn run(cfg: &SoakConfig) -> DfsResult<SoakReport> {
                     }
                     FaultKind::NamenodePartition { for_ms } => {
                         timed.push((ms + for_ms, TimedAction::HealNamenodePartition));
+                    }
+                    FaultKind::RackPartition { rack, for_ms } => {
+                        timed.push((
+                            ms + for_ms,
+                            TimedAction::HealRackPartition { rack: rack.clone() },
+                        ));
                     }
                     _ => {}
                 }
@@ -2180,6 +2339,31 @@ mod tests {
         let hostile = SoakConfig::hostile(3).plan;
         let back = FaultPlan::from_json(&hostile.to_json()).unwrap();
         assert_eq!(hostile, back);
+        let rack = SoakConfig::rack_partition(5).plan;
+        let back = FaultPlan::from_json(&rack.to_json()).unwrap();
+        assert_eq!(rack, back);
+    }
+
+    #[test]
+    fn rack_partition_plan_validates_and_classifies() {
+        let cfg = SoakConfig::rack_partition(5);
+        cfg.plan.validate(cfg.clients, cfg.datanodes).unwrap();
+        for ev in &cfg.plan.events {
+            assert!(!ev.kind.cooperative());
+            assert_eq!(ev.kind.class(), FaultClass::Partition);
+        }
+        // An empty rack name is a shape error.
+        let bad = FaultPlan {
+            seed: 0,
+            events: vec![FaultEvent {
+                trigger: Trigger::AtMs(100),
+                kind: FaultKind::RackPartition {
+                    rack: String::new(),
+                    for_ms: 200,
+                },
+            }],
+        };
+        assert!(bad.validate(1, 9).is_err());
     }
 
     #[test]
@@ -2191,6 +2375,8 @@ mod tests {
             SoakConfig::read_heavy(11),
             SoakConfig::mixed(4, 30, 13),
             SoakConfig::hostile(17),
+            SoakConfig::rack_partition(19),
+            SoakConfig::tiered_smoke(23),
         ] {
             let back = SoakConfig::from_json(&cfg.to_json()).unwrap();
             assert_eq!(back.clients, cfg.clients);
@@ -2205,6 +2391,7 @@ mod tests {
             assert_eq!(back.grace_ms, cfg.grace_ms);
             assert_eq!(back.cross_rack_mbps, cfg.cross_rack_mbps);
             assert_eq!(back.op_mix, cfg.op_mix);
+            assert_eq!(back.tiered_disks, cfg.tiered_disks);
             assert_eq!(
                 back.config.max_pipelines_override,
                 cfg.config.max_pipelines_override

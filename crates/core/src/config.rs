@@ -172,6 +172,13 @@ pub struct DfsConfig {
     pub readahead_blocks: usize,
     /// Retry/backoff policy for every client→namenode RPC.
     pub rpc_retry: RetryPolicy,
+    /// Number of volume shards the namenode partitions its namespace and
+    /// block map into. Paths hash to a shard by their first component, so
+    /// independent volumes never contend on a lock. `1` reproduces the
+    /// single-lock namenode bit-for-bit (ids and RNG draws are global, so
+    /// conformance digests are invariant in this knob under serial
+    /// traffic).
+    pub namenode_shards: usize,
 }
 
 impl Default for DfsConfig {
@@ -216,6 +223,7 @@ impl DfsConfig {
                 jitter: 0.25,
                 deadline: SimDuration::from_secs(10),
             },
+            namenode_shards: 8,
         }
     }
 
@@ -260,6 +268,7 @@ impl DfsConfig {
                 jitter: 0.25,
                 deadline: SimDuration::from_millis(500),
             },
+            namenode_shards: 8,
         }
     }
 
@@ -333,6 +342,9 @@ impl DfsConfig {
         if self.read_stripes == 0 {
             return Err("read_stripes must be at least 1".into());
         }
+        if self.namenode_shards == 0 {
+            return Err("namenode_shards must be at least 1".into());
+        }
         self.rpc_retry.validate()?;
         Ok(())
     }
@@ -387,6 +399,18 @@ impl InstanceType {
             InstanceType::Medium | InstanceType::Large => Bandwidth::mbps(376.0),
         }
     }
+
+    /// Sustained ephemeral-disk write bandwidth per tier. Table I does
+    /// not quote disk rates, so these follow the ECU ladder: the large
+    /// tier matches [`DfsConfig::paper_scale`]'s 120 MiB/s and the
+    /// smaller tiers scale down with compute.
+    pub fn disk_bandwidth(self) -> Bandwidth {
+        match self {
+            InstanceType::Small => Bandwidth::mib_per_sec(60.0),
+            InstanceType::Medium => Bandwidth::mib_per_sec(90.0),
+            InstanceType::Large => Bandwidth::mib_per_sec(120.0),
+        }
+    }
 }
 
 /// Role a host plays in a cluster.
@@ -409,6 +433,22 @@ pub struct HostSpec {
     /// `tc`-limited nodes). Applied on top of the instance NIC; the
     /// effective rate is the minimum of the two, on both directions.
     pub nic_throttle: Option<Bandwidth>,
+    /// Optional per-host disk cap. The effective disk rate is the
+    /// minimum of this and [`DfsConfig::disk_bandwidth`]; `None` keeps
+    /// the config-wide rate. Set by the tiered heterogeneous preset so
+    /// slow instances have slow disks, not just slow NICs.
+    pub disk_throttle: Option<Bandwidth>,
+}
+
+impl HostSpec {
+    /// Effective sustained disk rate for this host given the
+    /// config-wide default.
+    pub fn effective_disk(&self, base: Bandwidth) -> Bandwidth {
+        match self.disk_throttle {
+            Some(t) if t.as_mbps() < base.as_mbps() => t,
+            _ => base,
+        }
+    }
 }
 
 /// A full cluster blueprint: hosts plus the inter-rack throttle that the
@@ -436,6 +476,7 @@ impl ClusterSpec {
             instance,
             rack: "rack-a".into(),
             nic_throttle: None,
+            disk_throttle: None,
         });
         hosts.push(HostSpec {
             name: "client".into(),
@@ -443,6 +484,7 @@ impl ClusterSpec {
             instance,
             rack: "rack-a".into(),
             nic_throttle: None,
+            disk_throttle: None,
         });
         for i in 0..9 {
             let rack = if i < 5 { "rack-a" } else { "rack-b" };
@@ -452,6 +494,7 @@ impl ClusterSpec {
                 instance,
                 rack: rack.into(),
                 nic_throttle: None,
+            disk_throttle: None,
             });
         }
         Self {
@@ -474,6 +517,7 @@ impl ClusterSpec {
                 instance: InstanceType::Medium,
                 rack: "rack-a".into(),
                 nic_throttle: None,
+            disk_throttle: None,
             },
             HostSpec {
                 name: "client".into(),
@@ -481,6 +525,7 @@ impl ClusterSpec {
                 instance: InstanceType::Medium,
                 rack: "rack-a".into(),
                 nic_throttle: None,
+            disk_throttle: None,
             },
         ];
         let mut add = |n: usize, inst: InstanceType, prefix: &str| {
@@ -493,6 +538,7 @@ impl ClusterSpec {
                     instance: inst,
                     rack: rack.into(),
                     nic_throttle: None,
+            disk_throttle: None,
                 });
             }
         };
@@ -505,6 +551,24 @@ impl ClusterSpec {
             cross_rack_throttle: None,
             link_latency: SimDuration::from_micros(300),
         }
+    }
+
+    /// The Table I instance mix with **tiered disks as well as NICs**:
+    /// same host layout as [`ClusterSpec::heterogeneous`], but every
+    /// datanode's disk is capped at its instance tier's
+    /// [`InstanceType::disk_bandwidth`]. On this spec the small tier is
+    /// slow end to end (216 Mbps NIC, 60 MiB/s disk), so the speed
+    /// registry has a real gradient to learn and reads should converge
+    /// onto the large tier.
+    pub fn heterogeneous_tiered() -> Self {
+        let mut spec = Self::heterogeneous();
+        spec.name = "heterogeneous-tiered".into();
+        for h in &mut spec.hosts {
+            if h.role == HostRole::DataNode {
+                h.disk_throttle = Some(h.instance.disk_bandwidth());
+            }
+        }
+        spec
     }
 
     /// Applies the two-rack `tc` throttle of §V-B.1.
@@ -527,6 +591,7 @@ impl ClusterSpec {
                 instance,
                 rack: racks[i % racks.len()].clone(),
                 nic_throttle: None,
+            disk_throttle: None,
             });
         }
         self

@@ -349,6 +349,23 @@ impl Default for ToleranceBands {
 }
 
 impl ToleranceBands {
+    /// Tight bands for **same-engine** (build-vs-build) regression
+    /// diffs, where both digests come from the same engine on the same
+    /// preset and the distributions are genuinely comparable. The
+    /// cross-engine default leaves `latency_distance` at TV's own
+    /// maximum because the DES's gap ratios are structurally ~0; build
+    /// vs build there is no such excuse, so drift past these bands is a
+    /// real scheduling regression. CI's baseline diff
+    /// (`scripts/diff_against_baseline.sh`) runs with these.
+    pub fn same_engine() -> Self {
+        ToleranceBands {
+            latency_distance: 0.35,
+            fnfa_gap_ratio: 0.30,
+            hop_residency: 0.30,
+            ..ToleranceBands::default()
+        }
+    }
+
     pub fn to_json(&self) -> Value {
         ObjectBuilder::new()
             .field("committed_exact", self.committed_exact)

@@ -24,6 +24,7 @@ pub mod localopt;
 pub mod obs;
 pub mod placement;
 pub mod proto;
+pub mod shard;
 pub mod speed;
 pub mod topology;
 pub mod trace;

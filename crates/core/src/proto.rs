@@ -359,6 +359,11 @@ pub enum ClientRequest {
     /// Namespace listing (for examples/tools).
     List { path: String },
     Delete { path: String },
+    /// Move a complete file to a new path. The destination must not
+    /// exist; parents are created as needed. On the sharded namenode
+    /// this is the one client-visible cross-shard mutation (src and dst
+    /// volumes may live on different shards).
+    Rename { src: String, dst: String },
     /// Telemetry scrape: the namenode's Prometheus exposition, its
     /// sampled series, and the per-datanode cluster table assembled
     /// from heartbeat piggybacks (`smarth_shell top` / `slo`).
@@ -396,6 +401,7 @@ pub enum ClientResponse {
     BlockLocations { blocks: Vec<LocatedBlock> },
     Listing { entries: Vec<FileStatus> },
     Deleted { existed: bool },
+    Renamed,
     /// Cluster-wide telemetry: per-node rows, the namenode's Prometheus
     /// text exposition, and its `TelemetrySeries` as compact JSON.
     Telemetry {
@@ -422,6 +428,7 @@ const CR_DELETE: u8 = 12;
 const CR_BAD_REPLICA: u8 = 13;
 const CR_TELEMETRY: u8 = 14;
 const CR_IDEMPOTENT: u8 = 15;
+const CR_RENAME: u8 = 16;
 
 impl Wire for ClientRequest {
     fn encode(&self, w: &mut WireWriter) {
@@ -556,6 +563,11 @@ impl Wire for ClientRequest {
                 w.put_u8(CR_DELETE);
                 w.put_str(path);
             }
+            ClientRequest::Rename { src, dst } => {
+                w.put_u8(CR_RENAME);
+                w.put_str(src);
+                w.put_str(dst);
+            }
             ClientRequest::GetTelemetry => w.put_u8(CR_TELEMETRY),
             ClientRequest::Idempotent {
                 client,
@@ -663,6 +675,10 @@ impl Wire for ClientRequest {
             },
             CR_LIST => ClientRequest::List { path: r.get_str()? },
             CR_DELETE => ClientRequest::Delete { path: r.get_str()? },
+            CR_RENAME => ClientRequest::Rename {
+                src: r.get_str()?,
+                dst: r.get_str()?,
+            },
             CR_TELEMETRY => ClientRequest::GetTelemetry,
             CR_IDEMPOTENT => {
                 let client = ClientId(r.get_u64()?);
@@ -699,6 +715,7 @@ const CP_LISTING: u8 = 11;
 const CP_DELETED: u8 = 12;
 const CP_BAD_REPLICA_ACK: u8 = 13;
 const CP_TELEMETRY: u8 = 14;
+const CP_RENAMED: u8 = 15;
 const CP_ERROR: u8 = 255;
 
 impl Wire for ClientResponse {
@@ -750,6 +767,7 @@ impl Wire for ClientResponse {
                 w.put_u8(CP_DELETED);
                 w.put_bool(*existed);
             }
+            ClientResponse::Renamed => w.put_u8(CP_RENAMED),
             ClientResponse::BadReplicaAck => w.put_u8(CP_BAD_REPLICA_ACK),
             ClientResponse::Telemetry {
                 rows,
@@ -805,6 +823,7 @@ impl Wire for ClientResponse {
             CP_DELETED => ClientResponse::Deleted {
                 existed: r.get_bool()?,
             },
+            CP_RENAMED => ClientResponse::Renamed,
             CP_BAD_REPLICA_ACK => ClientResponse::BadReplicaAck,
             CP_TELEMETRY => ClientResponse::Telemetry {
                 rows: decode_vec(r)?,
@@ -1366,6 +1385,10 @@ mod tests {
             }],
         });
         roundtrip(ClientRequest::Delete { path: "/x".into() });
+        roundtrip(ClientRequest::Rename {
+            src: "/x".into(),
+            dst: "/vol/y".into(),
+        });
         roundtrip(ClientRequest::GetBlockLocations {
             client: ClientId(4),
             path: "/data/file.bin".into(),

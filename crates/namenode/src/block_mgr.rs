@@ -10,6 +10,7 @@
 use smarth_core::error::{DfsError, DfsResult};
 use smarth_core::ids::{BlockId, DatanodeId, ExtendedBlock, FileId, GenStamp, IdGenerator};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 #[derive(Debug)]
 struct BlockRecord {
@@ -22,11 +23,22 @@ struct BlockRecord {
     received: HashMap<DatanodeId, ExtendedBlock>,
 }
 
-/// Block registry owned by the namenode.
+/// A block record in flight between two shards' managers during a
+/// cross-shard rename. Opaque so replica state cannot be dropped on the
+/// way.
+#[derive(Debug)]
+pub struct MovedBlock {
+    id: BlockId,
+    record: BlockRecord,
+}
+
+/// Block registry owned by the namenode (one per volume shard; the id
+/// generator is shared across shards so block ids stay globally unique
+/// and the sequence matches the single-shard namenode's).
 #[derive(Debug)]
 pub struct BlockManager {
     blocks: HashMap<BlockId, BlockRecord>,
-    ids: IdGenerator,
+    ids: Arc<IdGenerator>,
 }
 
 impl Default for BlockManager {
@@ -37,9 +49,15 @@ impl Default for BlockManager {
 
 impl BlockManager {
     pub fn new() -> Self {
+        Self::with_shared_ids(Arc::new(IdGenerator::starting_at(1)))
+    }
+
+    /// Builds a manager drawing block ids from a shared generator (one
+    /// generator across every shard of a sharded namenode).
+    pub fn with_shared_ids(ids: Arc<IdGenerator>) -> Self {
         Self {
             blocks: HashMap::new(),
-            ids: IdGenerator::starting_at(1),
+            ids,
         }
     }
 
@@ -165,6 +183,25 @@ impl BlockManager {
         self.blocks.remove(&block);
     }
 
+    /// Removes a block's record for re-insertion into another shard's
+    /// manager via [`BlockManager::adopt`] — the block half of a
+    /// cross-shard rename (blocks follow their file's shard).
+    pub fn evict(&mut self, block: BlockId) -> Option<MovedBlock> {
+        self.blocks
+            .remove(&block)
+            .map(|record| MovedBlock { id: block, record })
+    }
+
+    /// Re-inserts a record evicted from another shard's manager,
+    /// retargeting it at `file` (the same inode id in practice — renames
+    /// keep the id — but taking it explicitly keeps the invariant
+    /// local).
+    pub fn adopt(&mut self, moved: MovedBlock, file: FileId) {
+        let MovedBlock { id, mut record } = moved;
+        record.file = file;
+        self.blocks.insert(id, record);
+    }
+
     /// Forgets a dead datanode's replicas.
     pub fn forget_datanode(&mut self, dn: DatanodeId) {
         for rec in self.blocks.values_mut() {
@@ -281,6 +318,29 @@ mod tests {
         // A fresh blockReceived re-admits the datanode (re-replication).
         bm.block_received(dn(0), fin).unwrap();
         assert_eq!(bm.locations(b.id), vec![dn(0), dn(1)]);
+    }
+
+    #[test]
+    fn evict_adopt_moves_a_record_with_replica_state() {
+        let ids = Arc::new(IdGenerator::starting_at(1));
+        let mut a = BlockManager::with_shared_ids(ids.clone());
+        let mut b = BlockManager::with_shared_ids(ids);
+        let blk = a.allocate(FileId(7), &[dn(0), dn(1)]);
+        a.block_received(dn(0), ExtendedBlock::new(blk.id, blk.gen, 64))
+            .unwrap();
+
+        let moved = a.evict(blk.id).expect("record exists");
+        assert_eq!(a.block_count(), 0);
+        b.adopt(moved, FileId(7));
+        assert_eq!(b.block_count(), 1);
+        assert_eq!(b.file_of(blk.id).unwrap(), FileId(7));
+        assert_eq!(b.locations(blk.id), vec![dn(0)]);
+        assert_eq!(b.expected_targets(blk.id).unwrap(), vec![dn(0), dn(1)]);
+
+        // Shared ids: the next allocation in either manager is unique.
+        let b2 = b.allocate(FileId(8), &[dn(2)]);
+        assert_ne!(b2.id, blk.id);
+        assert!(a.evict(BlockId(999)).is_none());
     }
 
     #[test]

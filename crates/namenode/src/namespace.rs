@@ -13,6 +13,7 @@ use smarth_core::ids::{BlockId, ClientId, ExtendedBlock, FileId, IdGenerator};
 use smarth_core::proto::FileStatus;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 #[derive(Debug)]
 struct FileMeta {
@@ -33,13 +34,37 @@ enum INode {
 }
 
 /// The namespace tree. All methods take `&mut self`; the server wraps the
-/// namespace in a mutex.
+/// namespace in a mutex (one per volume shard — the id generator is
+/// shared across shards so file ids stay globally unique and the
+/// sequence is identical whatever the shard count).
 #[derive(Debug)]
 pub struct FsNamespace {
     inodes: HashMap<FileId, INode>,
     root: FileId,
-    ids: IdGenerator,
+    ids: Arc<IdGenerator>,
     safe_mode: bool,
+}
+
+/// A file detached from one namespace mid-rename, ready to attach under
+/// a new path — possibly in a different shard's namespace. Opaque: the
+/// inode id and metadata travel together so a cross-shard move cannot
+/// lose either.
+#[derive(Debug)]
+pub struct DetachedFile {
+    id: FileId,
+    meta: FileMeta,
+}
+
+impl DetachedFile {
+    pub fn id(&self) -> FileId {
+        self.id
+    }
+
+    /// The file's blocks, for moving its block records between shard
+    /// block managers.
+    pub fn blocks(&self) -> &[ExtendedBlock] {
+        &self.meta.blocks
+    }
 }
 
 /// Splits a normalized absolute path into components.
@@ -61,7 +86,16 @@ impl Default for FsNamespace {
 
 impl FsNamespace {
     pub fn new() -> Self {
-        let ids = IdGenerator::starting_at(2);
+        Self::with_shared_ids(Arc::new(IdGenerator::starting_at(2)))
+    }
+
+    /// Builds a namespace drawing file ids from a shared generator.
+    /// Every shard of a sharded namenode uses the same generator, so
+    /// the allocated id sequence is identical to the single-shard one
+    /// under serial traffic. The root keeps the reserved `FileId(1)` in
+    /// every shard — it is never handed to clients, so the duplication
+    /// across shards is invisible.
+    pub fn with_shared_ids(ids: Arc<IdGenerator>) -> Self {
         let root = FileId(1);
         let mut inodes = HashMap::new();
         inodes.insert(
@@ -391,9 +425,13 @@ impl FsNamespace {
     }
 
     /// Deletes a file (not directories, mirroring `hdfs dfs -rm`).
-    /// Returns the removed file's blocks so the caller can retire them,
-    /// or `None` if the path did not exist.
-    pub fn delete_file(&mut self, path: &str) -> DfsResult<Option<Vec<ExtendedBlock>>> {
+    /// Returns the removed file's id and blocks so the caller can retire
+    /// them (and drop its shard routing entries), or `None` if the path
+    /// did not exist.
+    pub fn delete_file(
+        &mut self,
+        path: &str,
+    ) -> DfsResult<Option<(FileId, Vec<ExtendedBlock>)>> {
         self.check_mutable()?;
         let Ok(comps) = components(path) else {
             return Ok(None);
@@ -416,7 +454,106 @@ impl FsNamespace {
         };
         let parent = self.resolve(&parent_path)?;
         self.remove_inode(parent, name);
-        Ok(Some(blocks))
+        Ok(Some((id, blocks)))
+    }
+
+    /// First half of a rename: unlinks `src` (a complete file) and
+    /// returns its inode for [`FsNamespace::attach_file`] — on this
+    /// namespace for a same-shard rename, or on another shard's. The
+    /// caller should run [`FsNamespace::check_attach`] on the
+    /// destination namespace *first*: attach after a passing check
+    /// cannot fail, so the file is never stranded.
+    pub fn detach_file(&mut self, src: &str) -> DfsResult<DetachedFile> {
+        self.check_mutable()?;
+        let comps = components(src)?;
+        let Some((name, _)) = comps.split_last() else {
+            return Err(DfsError::IsADirectory("/".into()));
+        };
+        let id = self.resolve(src)?;
+        match self.inodes.get(&id) {
+            Some(INode::File(meta)) if !meta.complete => {
+                return Err(DfsError::LeaseExpired(format!(
+                    "rename of file under construction: {src}"
+                )))
+            }
+            Some(INode::File(_)) => {}
+            _ => return Err(DfsError::IsADirectory(src.to_string())),
+        }
+        let parent_path: String = {
+            let joined = comps[..comps.len() - 1].join("/");
+            format!("/{joined}")
+        };
+        let parent = self.resolve(&parent_path)?;
+        match self.inodes.get_mut(&parent) {
+            Some(INode::Dir { children }) => {
+                children.remove(*name);
+            }
+            _ => unreachable!("resolved parent is always a dir"),
+        }
+        let Some(INode::File(meta)) = self.inodes.remove(&id) else {
+            unreachable!("id was checked to be a file above");
+        };
+        Ok(DetachedFile { id, meta })
+    }
+
+    /// Non-mutating preflight for [`FsNamespace::attach_file`]: fails if
+    /// `dst` already exists, or a parent component is a file. Missing
+    /// parent directories are fine — attach creates them.
+    pub fn check_attach(&self, dst: &str) -> DfsResult<()> {
+        self.check_mutable()?;
+        let comps = components(dst)?;
+        let Some((name, parents)) = comps.split_last() else {
+            return Err(DfsError::IsADirectory("/".into()));
+        };
+        let mut cur = self.root;
+        for comp in parents {
+            let next = match self.inodes.get(&cur) {
+                Some(INode::Dir { children }) => children.get(*comp).copied(),
+                _ => return Err(DfsError::NotADirectory(dst.to_string())),
+            };
+            match next {
+                Some(id) => match self.inodes.get(&id) {
+                    Some(INode::Dir { .. }) => cur = id,
+                    _ => return Err(DfsError::NotADirectory(dst.to_string())),
+                },
+                // The rest of the chain does not exist yet; attach will
+                // create it.
+                None => return Ok(()),
+            }
+        }
+        match self.inodes.get(&cur) {
+            Some(INode::Dir { children }) if children.contains_key(*name) => {
+                Err(DfsError::AlreadyExists(dst.to_string()))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Second half of a rename: links a detached file at `dst`,
+    /// rewriting its recorded path. Run [`FsNamespace::check_attach`]
+    /// first; after a passing check (with no interleaved mutation — the
+    /// server holds the shard locks across both halves) this cannot
+    /// fail.
+    pub fn attach_file(&mut self, dst: &str, file: DetachedFile) -> DfsResult<FileId> {
+        self.check_mutable()?;
+        let (parent, name) = self.ensure_parents(dst)?;
+        let exists = match self.inodes.get(&parent) {
+            Some(INode::Dir { children }) => children.contains_key(name),
+            _ => unreachable!("ensure_parents returns a dir"),
+        };
+        if exists {
+            return Err(DfsError::AlreadyExists(dst.to_string()));
+        }
+        let DetachedFile { id, mut meta } = file;
+        meta.path = dst.to_string();
+        self.inodes.insert(id, INode::File(meta));
+        match self.inodes.get_mut(&parent) {
+            Some(INode::Dir { children }) => {
+                children.insert(name.to_string(), id);
+            }
+            _ => unreachable!(),
+        }
+        Ok(id)
     }
 
     /// Number of inodes (diagnostics).
@@ -580,6 +717,74 @@ mod tests {
             ns.delete_file("/data"),
             Err(DfsError::IsADirectory(_))
         ));
+    }
+
+    #[test]
+    fn detach_attach_renames_within_and_across_namespaces() {
+        let (mut ns, f) = ns_with_file();
+        ns.append_block(C1, f, blk(1, 64)).unwrap();
+        ns.complete_file(C1, f, None).unwrap();
+
+        // Same-namespace rename.
+        ns.check_attach("/moved/here.bin").unwrap();
+        let d = ns.detach_file("/data/file.bin").unwrap();
+        assert_eq!(d.id(), f);
+        assert_eq!(d.blocks().len(), 1);
+        let id = ns.attach_file("/moved/here.bin", d).unwrap();
+        assert_eq!(id, f);
+        assert!(ns.get_file_info("/data/file.bin").is_none());
+        let st = ns.get_file_info("/moved/here.bin").unwrap();
+        assert_eq!(st.path, "/moved/here.bin");
+        assert_eq!(st.len, 64);
+
+        // Cross-namespace move (what a cross-shard rename does).
+        let mut other = FsNamespace::new();
+        other.check_attach("/far/away.bin").unwrap();
+        let d = ns.detach_file("/moved/here.bin").unwrap();
+        other.attach_file("/far/away.bin", d).unwrap();
+        assert!(ns.get_file_info("/moved/here.bin").is_none());
+        assert_eq!(other.get_file_info("/far/away.bin").unwrap().len, 64);
+
+        // Destination collisions and bad parents are caught up front.
+        assert!(matches!(
+            other.check_attach("/far/away.bin"),
+            Err(DfsError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            other.check_attach("/far/away.bin/sub"),
+            Err(DfsError::NotADirectory(_))
+        ));
+    }
+
+    #[test]
+    fn detach_rejects_open_files_and_directories() {
+        let (mut ns, _) = ns_with_file();
+        assert!(matches!(
+            ns.detach_file("/data/file.bin"),
+            Err(DfsError::LeaseExpired(_))
+        ));
+        assert!(matches!(
+            ns.detach_file("/data"),
+            Err(DfsError::IsADirectory(_))
+        ));
+        assert!(matches!(
+            ns.detach_file("/ghost"),
+            Err(DfsError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn shared_ids_never_collide_across_namespaces() {
+        let ids = Arc::new(IdGenerator::starting_at(2));
+        let mut a = FsNamespace::with_shared_ids(ids.clone());
+        let mut b = FsNamespace::with_shared_ids(ids);
+        let fa = a
+            .create_file(C1, "/va/f", 1, 64, WriteMode::Smarth, false)
+            .unwrap();
+        let fb = b
+            .create_file(C1, "/vb/f", 1, 64, WriteMode::Smarth, false)
+            .unwrap();
+        assert_ne!(fa, fb, "shards draw from one id space");
     }
 
     #[test]

@@ -9,12 +9,13 @@
 use crate::block_mgr::BlockManager;
 use crate::datanode_mgr::DatanodeManager;
 use crate::namespace::FsNamespace;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use smarth_core::config::{DfsConfig, WriteMode};
 use smarth_core::error::{DfsError, DfsResult};
-use smarth_core::ids::{ClientId, DatanodeId, IdGenerator, SpanId, TraceId};
+use smarth_core::ids::{BlockId, ClientId, DatanodeId, FileId, IdGenerator, SpanId, TraceId};
+use smarth_core::shard::{shard_of_path, volume_of};
 use smarth_core::obs::telemetry::{prometheus_exposition, Sampler};
 use smarth_core::obs::{Obs, ObsEvent, SpeedObservation, TraceCtx};
 use smarth_core::placement::{
@@ -95,17 +96,52 @@ impl RecentRequests {
     }
 }
 
-/// All namenode state. Lock order (when multiple are held):
-/// `namespace` → `blocks` → `datanodes` → `speeds`.
-pub struct NameNodeState {
-    pub config: DfsConfig,
+/// One volume shard: a slice of the namespace plus the block records of
+/// the files living in it, each behind its own lock so independent
+/// volumes never contend on the metadata plane.
+struct Shard {
     namespace: Mutex<FsNamespace>,
     blocks: Mutex<BlockManager>,
-    datanodes: Mutex<DatanodeManager>,
-    speeds: Mutex<NamenodeSpeedRegistry>,
-    clients: Mutex<HashMap<ClientId, ClientSession>>,
-    /// Per-client dedupe tables for `ClientRequest::Idempotent`.
+    /// Per-shard slice of the idempotent-replay table (routed by client
+    /// id), so retry dedupe does not re-serialize what sharding just
+    /// parallelized.
     recent_requests: Mutex<HashMap<ClientId, RecentRequests>>,
+}
+
+/// All namenode state, partitioned into
+/// [`DfsConfig::namenode_shards`] volume shards keyed by
+/// [`shard_of_path`] (the first path component). File and block ids are
+/// drawn from generators shared across shards, and the placement RNG is
+/// global, so `namenode_shards = 1` reproduces today's single-lock
+/// namenode bit-for-bit under serial traffic.
+///
+/// Lock order (when multiple are held):
+/// 1. shard `namespace` locks, ascending shard index;
+/// 2. shard `blocks` locks, ascending shard index;
+/// 3. `datanodes`;
+/// 4. `rng`;
+/// 5. `speeds`.
+///
+/// `file_shards`/`block_shards` are leaf locks: their guards are never
+/// held across the acquisition of any other lock. Cross-shard
+/// operations — rename, the root listing, the expiry sweep,
+/// [`NameNodeState::cluster_report`] — either take the shards they need
+/// in index order (rename) or visit shards one at a time (everything
+/// else); there is no global freeze, and the heartbeat plane
+/// (`datanodes`) is reachable without any shard lock.
+pub struct NameNodeState {
+    pub config: DfsConfig,
+    shards: Vec<Shard>,
+    /// `FileId` → owning shard index (files only; every shard holds its
+    /// own root inode). Populated at create, dropped at delete, updated
+    /// by cross-shard renames.
+    file_shards: RwLock<HashMap<FileId, usize>>,
+    /// `BlockId` → owning shard index: blocks inherit their file's
+    /// shard and follow it across renames.
+    block_shards: RwLock<HashMap<BlockId, usize>>,
+    datanodes: RwLock<DatanodeManager>,
+    speeds: RwLock<NamenodeSpeedRegistry>,
+    clients: RwLock<HashMap<ClientId, ClientSession>>,
     /// Test hook (panic-hardening regression coverage): a `Create` for
     /// exactly this path panics inside the handler.
     panic_on_create_path: Mutex<Option<String>>,
@@ -131,14 +167,24 @@ impl NameNodeState {
         );
         let speed_half_life = config.speed_half_life;
         let sampler = Sampler::new(obs.metrics().clone(), 1024);
+        let shard_count = config.namenode_shards.max(1);
+        let file_ids = Arc::new(IdGenerator::starting_at(2));
+        let block_ids = Arc::new(IdGenerator::starting_at(1));
+        let shards = (0..shard_count)
+            .map(|_| Shard {
+                namespace: Mutex::new(FsNamespace::with_shared_ids(Arc::clone(&file_ids))),
+                blocks: Mutex::new(BlockManager::with_shared_ids(Arc::clone(&block_ids))),
+                recent_requests: Mutex::new(HashMap::new()),
+            })
+            .collect();
         Self {
             config,
-            namespace: Mutex::new(FsNamespace::new()),
-            blocks: Mutex::new(BlockManager::new()),
-            datanodes: Mutex::new(DatanodeManager::new(expiry)),
-            speeds: Mutex::new(NamenodeSpeedRegistry::with_half_life(speed_half_life)),
-            clients: Mutex::new(HashMap::new()),
-            recent_requests: Mutex::new(HashMap::new()),
+            shards,
+            file_shards: RwLock::new(HashMap::new()),
+            block_shards: RwLock::new(HashMap::new()),
+            datanodes: RwLock::new(DatanodeManager::new(expiry)),
+            speeds: RwLock::new(NamenodeSpeedRegistry::with_half_life(speed_half_life)),
+            clients: RwLock::new(HashMap::new()),
             panic_on_create_path: Mutex::new(None),
             client_ids: IdGenerator::starting_at(1),
             trace_ids: IdGenerator::starting_at(1),
@@ -153,15 +199,59 @@ impl NameNodeState {
         &self.sampler
     }
 
+    /// Number of volume shards this namenode runs with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index a path routes to.
+    pub fn shard_of(&self, path: &str) -> usize {
+        shard_of_path(path, self.shards.len())
+    }
+
+    fn shard_for_path(&self, path: &str) -> &Shard {
+        &self.shards[self.shard_of(path)]
+    }
+
+    fn shard_of_file(&self, file: FileId) -> DfsResult<usize> {
+        self.file_shards
+            .read()
+            .get(&file)
+            .copied()
+            .ok_or_else(|| DfsError::NotFound(format!("{file}")))
+    }
+
+    fn shard_of_block(&self, block: BlockId) -> DfsResult<usize> {
+        self.block_shards
+            .read()
+            .get(&block)
+            .copied()
+            .ok_or(DfsError::UnknownBlock(block))
+    }
+
+    /// Test hook: runs `f` while holding the namespace lock of the
+    /// shard owning `path`. Lets tests pin one shard busy and prove the
+    /// other shards (and the heartbeat plane) keep moving.
+    pub fn with_shard_locked<R>(&self, path: &str, f: impl FnOnce() -> R) -> R {
+        let _ns = self.shard_for_path(path).namespace.lock();
+        f()
+    }
+
     /// Sweeps heartbeat-expired datanodes, purging their replicas and
-    /// speed records. Returns the newly dead ids.
+    /// speed records. Returns the newly dead ids. The purge visits
+    /// shards one at a time — a busy (or held) shard delays only its
+    /// own slice of the sweep, never heartbeat liveness itself.
     pub fn expire_dead_datanodes(&self) -> Vec<DatanodeId> {
-        let dead = self.datanodes.lock().expire_dead();
+        let dead = self.datanodes.write().expire_dead();
         if !dead.is_empty() {
-            let mut blocks = self.blocks.lock();
-            let mut speeds = self.speeds.lock();
+            for shard in &self.shards {
+                let mut blocks = shard.blocks.lock();
+                for dn in &dead {
+                    blocks.forget_datanode(*dn);
+                }
+            }
+            let mut speeds = self.speeds.write();
             for dn in &dead {
-                blocks.forget_datanode(*dn);
                 speeds.forget_datanode(*dn);
             }
         }
@@ -169,16 +259,17 @@ impl NameNodeState {
     }
 
     fn locality_of(&self, client: ClientId) -> ClientLocality {
-        let sessions = self.clients.lock();
+        let sessions = self.clients.read();
         let session = sessions.get(&client);
         let (host_name, rack) = match session {
             Some(s) => (s.host_name.clone(), s.rack.clone()),
             None => (String::new(), String::new()),
         };
+        drop(sessions);
         // The client is "on" a datanode if host names match (HDFS's
         // first-replica-local rule).
         let local_datanode = {
-            let dns = self.datanodes.lock();
+            let dns = self.datanodes.read();
             dns.alive()
                 .into_iter()
                 .find(|id| dns.info(*id).is_some_and(|i| i.host_name == host_name))
@@ -193,14 +284,16 @@ impl NameNodeState {
     fn allocate_block(
         &self,
         client: ClientId,
-        file_id: smarth_core::ids::FileId,
+        file_id: FileId,
         excluded: &[DatanodeId],
     ) -> DfsResult<LocatedBlock> {
-        let mode = self.namespace.lock().mode_of(file_id)?;
-        let replication = self.namespace.lock().replication_of(file_id)? as usize;
+        let shard_idx = self.shard_of_file(file_id)?;
+        let shard = &self.shards[shard_idx];
+        let mode = shard.namespace.lock().mode_of(file_id)?;
+        let replication = shard.namespace.lock().replication_of(file_id)? as usize;
         let locality = self.locality_of(client);
 
-        let dns = self.datanodes.lock();
+        let dns = self.datanodes.read();
         let alive = dns.alive();
         let topo = dns.topology();
         let mut rng = self.rng.lock();
@@ -211,7 +304,9 @@ impl NameNodeState {
                 Vec::new(),
             ),
             WriteMode::Smarth => {
-                let mut speeds = self.speeds.lock();
+                // Write lock: ageing the registry mutates it even on
+                // this read-mostly path.
+                let mut speeds = self.speeds.write();
                 speeds.age(Obs::now_us());
                 let chosen = smarth_placement(
                     topo,
@@ -240,8 +335,9 @@ impl NameNodeState {
         }
         drop(dns);
 
-        let block = self.blocks.lock().allocate(file_id, &target_ids);
-        self.namespace.lock().append_block(client, file_id, block)?;
+        let block = shard.blocks.lock().allocate(file_id, &target_ids);
+        self.block_shards.write().insert(block.id, shard_idx);
+        shard.namespace.lock().append_block(client, file_id, block)?;
         if mode == WriteMode::Smarth {
             self.obs.metrics().speed_aware_placements.inc();
         }
@@ -298,19 +394,17 @@ impl NameNodeState {
         if matches!(inner, ClientRequest::Idempotent { .. }) {
             return ClientResponse::Error("nested Idempotent envelope".into());
         }
-        if let Some(cached) = self
-            .recent_requests
-            .lock()
-            .get(&client)
-            .and_then(|t| t.get(request_id))
-        {
+        // Route by client id (stable under namespace mutations), so the
+        // replay table shards along with the metadata plane.
+        let table = &self.shards[client.raw() as usize % self.shards.len()].recent_requests;
+        if let Some(cached) = table.lock().get(&client).and_then(|t| t.get(request_id)) {
             return cached;
         }
         let resp = match self.try_handle_client(inner) {
             Ok(resp) => resp,
             Err(e) => ClientResponse::Error(e.to_string()),
         };
-        self.recent_requests
+        table
             .lock()
             .entry(client)
             .or_default()
@@ -331,7 +425,7 @@ impl NameNodeState {
             ClientRequest::Register { host_name, rack } => {
                 let id = ClientId(self.client_ids.allocate());
                 self.clients
-                    .lock()
+                    .write()
                     .insert(id, ClientSession { host_name, rack });
                 Ok(ClientResponse::Registered { client: id })
             }
@@ -355,7 +449,8 @@ impl NameNodeState {
                 if injected {
                     panic!("injected handler panic for {path}");
                 }
-                let file_id = self.namespace.lock().create_file(
+                let shard_idx = self.shard_of(&path);
+                let file_id = self.shards[shard_idx].namespace.lock().create_file(
                     client,
                     &path,
                     replication,
@@ -363,6 +458,7 @@ impl NameNodeState {
                     mode,
                     overwrite,
                 )?;
+                self.file_shards.write().insert(file_id, shard_idx);
                 Ok(ClientResponse::Created { file_id })
             }
             ClientRequest::AddBlock {
@@ -372,7 +468,8 @@ impl NameNodeState {
                 excluded,
             } => {
                 if let Some(prev) = previous {
-                    self.namespace.lock().update_block(client, file_id, prev)?;
+                    let shard = &self.shards[self.shard_of_file(file_id)?];
+                    shard.namespace.lock().update_block(client, file_id, prev)?;
                 }
                 let located = self.allocate_block(client, file_id, &excluded)?;
                 Ok(ClientResponse::BlockAllocated(located))
@@ -382,7 +479,8 @@ impl NameNodeState {
                 file_id,
                 block,
             } => {
-                self.namespace.lock().update_block(client, file_id, block)?;
+                let shard = &self.shards[self.shard_of_file(file_id)?];
+                shard.namespace.lock().update_block(client, file_id, block)?;
                 Ok(ClientResponse::Committed)
             }
             ClientRequest::Complete {
@@ -390,7 +488,8 @@ impl NameNodeState {
                 file_id,
                 last,
             } => {
-                self.namespace.lock().complete_file(client, file_id, last)?;
+                let shard = &self.shards[self.shard_of_file(file_id)?];
+                shard.namespace.lock().complete_file(client, file_id, last)?;
                 Ok(ClientResponse::Completed)
             }
             ClientRequest::AbandonBlock {
@@ -398,8 +497,10 @@ impl NameNodeState {
                 file_id,
                 block,
             } => {
-                self.namespace.lock().remove_block(client, file_id, block)?;
-                self.blocks.lock().retire(block);
+                let shard = &self.shards[self.shard_of_file(file_id)?];
+                shard.namespace.lock().remove_block(client, file_id, block)?;
+                shard.blocks.lock().retire(block);
+                self.block_shards.write().remove(&block);
                 Ok(ClientResponse::Abandoned)
             }
             ClientRequest::GetAdditionalDatanodes {
@@ -408,9 +509,10 @@ impl NameNodeState {
                 existing,
                 wanted,
             } => {
-                let dns = self.datanodes.lock();
+                let shard = &self.shards[self.shard_of_block(block)?];
+                let _ = shard.blocks.lock().generation(block)?; // must exist
+                let dns = self.datanodes.read();
                 let mut rng = self.rng.lock();
-                let _ = self.blocks.lock().generation(block)?; // must exist
                 let replacements = replacement_targets(
                     dns.topology(),
                     &mut *rng,
@@ -423,11 +525,12 @@ impl NameNodeState {
                 })
             }
             ClientRequest::BeginBlockRecovery { client: _, block } => {
-                let new_gen = self.blocks.lock().begin_recovery(block)?;
+                let shard = &self.shards[self.shard_of_block(block)?];
+                let new_gen = shard.blocks.lock().begin_recovery(block)?;
                 Ok(ClientResponse::RecoveryStamp { new_gen })
             }
             ClientRequest::ReportSpeeds { client, records } => {
-                let mut speeds = self.speeds.lock();
+                let mut speeds = self.speeds.write();
                 speeds.age(Obs::now_us());
                 speeds.ingest(client, &records);
                 drop(speeds);
@@ -442,16 +545,19 @@ impl NameNodeState {
                 Ok(ClientResponse::SpeedsAck)
             }
             ClientRequest::GetFileInfo { path } => Ok(ClientResponse::FileInfo(
-                self.namespace.lock().get_file_info(&path),
+                self.shard_for_path(&path).namespace.lock().get_file_info(&path),
             )),
             ClientRequest::GetBlockLocations { client, path } => {
-                let ns = self.namespace.lock();
+                // A file's blocks always live in its own shard, so one
+                // shard's namespace + block map suffice.
+                let shard = self.shard_for_path(&path);
+                let ns = shard.namespace.lock();
                 let file = ns.resolve_file(&path)?;
                 let blocks = ns.blocks_of(file)?;
                 drop(ns);
-                let bm = self.blocks.lock();
-                let dns = self.datanodes.lock();
-                let mut speeds = self.speeds.lock();
+                let bm = shard.blocks.lock();
+                let dns = self.datanodes.read();
+                let mut speeds = self.speeds.write();
                 speeds.age(Obs::now_us());
                 let known: HashMap<DatanodeId, f64> =
                     speeds.records_for(client).into_iter().collect();
@@ -480,7 +586,8 @@ impl NameNodeState {
                 block,
                 datanode,
             } => {
-                let mut bm = self.blocks.lock();
+                let shard = &self.shards[self.shard_of_block(block.id)?];
+                let mut bm = shard.blocks.lock();
                 bm.generation(block.id)?; // unknown blocks are an error
                 let removed = bm.remove_replica(block.id, datanode);
                 let remaining = bm.replica_count(block.id);
@@ -493,7 +600,7 @@ impl NameNodeState {
                 // orderings stop preferring the corrupt copy even before
                 // re-replication restores it elsewhere.
                 {
-                    let mut speeds = self.speeds.lock();
+                    let mut speeds = self.speeds.write();
                     speeds.age(Obs::now_us());
                     speeds.ingest(
                         client,
@@ -511,29 +618,53 @@ impl NameNodeState {
                 Ok(ClientResponse::BadReplicaAck)
             }
             ClientRequest::GetTelemetry => {
-                let rows = self.datanodes.lock().telemetry_rows();
+                // Touches no shard lock at all: a pinned shard cannot
+                // stall the telemetry plane.
+                let rows = self.datanodes.read().telemetry_rows();
                 Ok(ClientResponse::Telemetry {
                     rows,
                     text: prometheus_exposition(self.obs.metrics()),
                     series_json: self.sampler.series().to_json().to_string_compact(),
                 })
             }
-            ClientRequest::List { path } => Ok(ClientResponse::Listing {
-                entries: self.namespace.lock().list(&path)?,
-            }),
+            ClientRequest::List { path } => {
+                if volume_of(&path).is_empty() {
+                    // Root listing spans every shard: visit them one at
+                    // a time (never two namespace locks at once) and
+                    // merge, sorted by path for a stable wire order.
+                    let mut entries = Vec::new();
+                    for shard in &self.shards {
+                        entries.extend(shard.namespace.lock().list(&path)?);
+                    }
+                    entries.sort_by(|a, b| a.path.cmp(&b.path));
+                    Ok(ClientResponse::Listing { entries })
+                } else {
+                    Ok(ClientResponse::Listing {
+                        entries: self.shard_for_path(&path).namespace.lock().list(&path)?,
+                    })
+                }
+            }
             ClientRequest::Delete { path } => {
-                let removed = self.namespace.lock().delete_file(&path)?;
+                let shard = self.shard_for_path(&path);
+                let removed = shard.namespace.lock().delete_file(&path)?;
                 match removed {
-                    Some(blocks) => {
-                        let mut bm = self.blocks.lock();
-                        for b in blocks {
+                    Some((file_id, blocks)) => {
+                        let mut bm = shard.blocks.lock();
+                        for b in &blocks {
                             bm.retire(b.id);
+                        }
+                        drop(bm);
+                        self.file_shards.write().remove(&file_id);
+                        let mut block_map = self.block_shards.write();
+                        for b in &blocks {
+                            block_map.remove(&b.id);
                         }
                         Ok(ClientResponse::Deleted { existed: true })
                     }
                     None => Ok(ClientResponse::Deleted { existed: false }),
                 }
             }
+            ClientRequest::Rename { src, dst } => self.rename(&src, &dst),
             // Unwrapped in handle_client_request / handle_idempotent;
             // reaching here means a nested envelope slipped through.
             ClientRequest::Idempotent { .. } => {
@@ -553,7 +684,7 @@ impl NameNodeState {
             } => {
                 let id =
                     self.datanodes
-                        .lock()
+                        .write()
                         .register(&host_name, &rack, &data_addr, capacity);
                 DatanodeResponse::Registered { id }
             }
@@ -563,9 +694,11 @@ impl NameNodeState {
                 active_transfers,
                 telemetry,
             } => {
+                // Heartbeats never touch a shard lock: metadata traffic
+                // (or a wedged shard) cannot starve liveness tracking.
                 if self
                     .datanodes
-                    .lock()
+                    .write()
                     .heartbeat(id, used, active_transfers, telemetry)
                 {
                     DatanodeResponse::HeartbeatAck
@@ -574,7 +707,11 @@ impl NameNodeState {
                 }
             }
             DatanodeRequest::BlockReceived { id, block } => {
-                match self.blocks.lock().block_received(id, block) {
+                let shard_idx = match self.shard_of_block(block.id) {
+                    Ok(s) => s,
+                    Err(e) => return DatanodeResponse::Error(e.to_string()),
+                };
+                match self.shards[shard_idx].blocks.lock().block_received(id, block) {
                     Ok(()) => DatanodeResponse::BlockReceivedAck,
                     Err(e) => DatanodeResponse::Error(e.to_string()),
                 }
@@ -584,7 +721,7 @@ impl NameNodeState {
 
     /// `dfsadmin -report` equivalent: a snapshot of cluster health.
     pub fn cluster_report(&self) -> ClusterReport {
-        let dns = self.datanodes.lock();
+        let dns = self.datanodes.read();
         let nodes = dns
             .alive()
             .into_iter()
@@ -604,14 +741,23 @@ impl NameNodeState {
             })
             .collect::<Vec<_>>();
         drop(dns);
-        let blocks = self.blocks.lock().block_count();
-        // Take the namespace lock once: lock guards created inside a
-        // struct literal live to the end of the statement, so two
-        // `.lock()` temporaries there would self-deadlock.
-        let ns = self.namespace.lock();
-        let files = ns.inode_count();
-        let safe_mode = ns.safe_mode();
-        drop(ns);
+        // Per-shard snapshots, one lock at a time: the report is a
+        // consistent-enough health view without freezing the namenode.
+        let mut blocks = 0;
+        let mut files = 0;
+        let mut safe_mode = false;
+        for (idx, shard) in self.shards.iter().enumerate() {
+            blocks += shard.blocks.lock().block_count();
+            let ns = shard.namespace.lock();
+            files += ns.inode_count();
+            if idx == 0 {
+                // Safe mode is toggled on every shard in lockstep;
+                // shard 0 is the canonical read.
+                safe_mode = ns.safe_mode();
+            }
+        }
+        // Every shard carries its own root inode; the namespace has one.
+        files -= self.shards.len() - 1;
         ClusterReport {
             blocks,
             files,
@@ -620,18 +766,68 @@ impl NameNodeState {
         }
     }
 
+    /// Moves a complete file from `src` to `dst`, across shards if the
+    /// volumes hash apart. The destination is pre-flighted *before* the
+    /// source file is detached (both shard locks held, ascending index
+    /// order), so a rename either fully happens or leaves the namespace
+    /// untouched — no stranded files.
+    fn rename(&self, src: &str, dst: &str) -> DfsResult<ClientResponse> {
+        let s = self.shard_of(src);
+        let d = self.shard_of(dst);
+        if s == d {
+            let mut ns = self.shards[s].namespace.lock();
+            ns.check_attach(dst)?;
+            let detached = ns.detach_file(src)?;
+            ns.attach_file(dst, detached)?;
+            return Ok(ClientResponse::Renamed);
+        }
+        let lo = s.min(d);
+        let hi = s.max(d);
+        let ns_lo = self.shards[lo].namespace.lock();
+        let ns_hi = self.shards[hi].namespace.lock();
+        let (mut src_ns, mut dst_ns) = if s == lo { (ns_lo, ns_hi) } else { (ns_hi, ns_lo) };
+        dst_ns.check_attach(dst)?;
+        let detached = src_ns.detach_file(src)?;
+        let moved_blocks: Vec<BlockId> = detached.blocks().iter().map(|b| b.id).collect();
+        let file_id = dst_ns.attach_file(dst, detached)?;
+        // Move the block records while still holding both namespaces so
+        // no reader can observe the file without its blocks; blocks
+        // locks nest inside namespace locks per the documented order.
+        {
+            let bl_lo = self.shards[lo].blocks.lock();
+            let bl_hi = self.shards[hi].blocks.lock();
+            let (mut src_bm, mut dst_bm) = if s == lo { (bl_lo, bl_hi) } else { (bl_hi, bl_lo) };
+            for block in &moved_blocks {
+                if let Some(moved) = src_bm.evict(*block) {
+                    dst_bm.adopt(moved, file_id);
+                }
+            }
+            self.file_shards.write().insert(file_id, d);
+            let mut block_map = self.block_shards.write();
+            for block in &moved_blocks {
+                block_map.insert(*block, d);
+            }
+        }
+        drop(src_ns);
+        drop(dst_ns);
+        Ok(ClientResponse::Renamed)
+    }
+
     // --- inspection helpers used by cluster tooling and tests ---
 
     pub fn alive_datanodes(&self) -> Vec<DatanodeId> {
-        self.datanodes.lock().alive()
+        self.datanodes.read().alive()
     }
 
-    pub fn replica_count(&self, block: smarth_core::ids::BlockId) -> usize {
-        self.blocks.lock().replica_count(block)
+    pub fn replica_count(&self, block: BlockId) -> usize {
+        match self.shard_of_block(block) {
+            Ok(idx) => self.shards[idx].blocks.lock().replica_count(block),
+            Err(_) => 0,
+        }
     }
 
     pub fn has_speed_records(&self, client: ClientId) -> bool {
-        let mut speeds = self.speeds.lock();
+        let mut speeds = self.speeds.write();
         speeds.age(Obs::now_us());
         speeds.has_records_for(client)
     }
@@ -639,19 +835,25 @@ impl NameNodeState {
     /// The effective (decayed) speed records currently held for `client`
     /// — what Algorithm 1 would consult right now.
     pub fn speed_records(&self, client: ClientId) -> Vec<(DatanodeId, f64)> {
-        let mut speeds = self.speeds.lock();
+        let mut speeds = self.speeds.write();
         speeds.age(Obs::now_us());
         speeds.records_for(client)
     }
 
     pub fn decommission(&self, dn: DatanodeId) {
-        self.datanodes.lock().decommission(dn);
-        self.blocks.lock().forget_datanode(dn);
-        self.speeds.lock().forget_datanode(dn);
+        self.datanodes.write().decommission(dn);
+        for shard in &self.shards {
+            shard.blocks.lock().forget_datanode(dn);
+        }
+        self.speeds.write().forget_datanode(dn);
     }
 
     pub fn set_safe_mode(&self, on: bool) {
-        self.namespace.lock().set_safe_mode(on);
+        // Toggled on every shard so any shard's namespace enforces it;
+        // `cluster_report` reads shard 0 as canonical.
+        for shard in &self.shards {
+            shard.namespace.lock().set_safe_mode(on);
+        }
     }
 }
 
@@ -1360,5 +1562,198 @@ mod tests {
         assert!(!after.contains(&dns[2]), "corrupt replica still served: {after:?}");
         assert_eq!(after.len(), 2);
         assert_eq!(st.replica_count(lb.block.id), 2);
+    }
+
+    /// Writes a complete single-block file and returns its last block.
+    fn write_file(st: &NameNodeState, client: ClientId, path: &str) -> ExtendedBlock {
+        let file = create(st, client, path, WriteMode::Hdfs);
+        let lb = match st.handle_client_request(ClientRequest::AddBlock {
+            client,
+            file_id: file,
+            previous: None,
+            excluded: vec![],
+        }) {
+            ClientResponse::BlockAllocated(lb) => lb,
+            other => panic!("unexpected {other:?}"),
+        };
+        let done = ExtendedBlock::new(lb.block.id, lb.block.gen, 100);
+        for t in &lb.targets {
+            assert_eq!(
+                st.handle_datanode_request(DatanodeRequest::BlockReceived {
+                    id: t.id,
+                    block: done,
+                }),
+                DatanodeResponse::BlockReceivedAck
+            );
+        }
+        assert_eq!(
+            st.handle_client_request(ClientRequest::Complete {
+                client,
+                file_id: file,
+                last: Some(done),
+            }),
+            ClientResponse::Completed
+        );
+        done
+    }
+
+    /// First volume name (scanning from `start`) landing on a different
+    /// (`want_same = false`) or the same (`true`) shard as `path`.
+    fn volume_with_shard(st: &NameNodeState, path: &str, want_same: bool, start: u32) -> String {
+        let target = st.shard_of(path);
+        (start..)
+            .map(|i| format!("/vol{i}"))
+            .find(|v| (st.shard_of(v) == target) == want_same)
+            .unwrap()
+    }
+
+    #[test]
+    fn rename_moves_files_within_and_across_shards() {
+        let (st, _dns) = state_with_datanodes(9);
+        assert_eq!(st.shard_count(), DfsConfig::test_scale().namenode_shards);
+        let client = register_client(&st);
+
+        let src = "/vol0/a.bin";
+        let done = write_file(&st, client, src);
+        let same = format!("{}/same.bin", volume_with_shard(&st, src, true, 1));
+        let cross = format!("{}/cross.bin", volume_with_shard(&st, src, false, 1));
+
+        // Same-shard rename first, then a cross-shard hop.
+        assert_eq!(
+            st.handle_client_request(ClientRequest::Rename {
+                src: src.into(),
+                dst: same.clone(),
+            }),
+            ClientResponse::Renamed
+        );
+        assert_eq!(
+            st.handle_client_request(ClientRequest::Rename {
+                src: same.clone(),
+                dst: cross.clone(),
+            }),
+            ClientResponse::Renamed
+        );
+
+        // The old paths are gone; the file (and its replicas) followed.
+        for gone in [src.to_string(), same] {
+            match st.handle_client_request(ClientRequest::GetFileInfo { path: gone }) {
+                ClientResponse::FileInfo(None) => {}
+                other => panic!("stale path still resolves: {other:?}"),
+            }
+        }
+        match st.handle_client_request(ClientRequest::GetFileInfo { path: cross.clone() }) {
+            ClientResponse::FileInfo(Some(info)) => {
+                assert!(info.complete);
+                assert_eq!(info.len, 100);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match st.handle_client_request(ClientRequest::GetBlockLocations {
+            client,
+            path: cross.clone(),
+        }) {
+            ClientResponse::BlockLocations { blocks } => {
+                assert_eq!(blocks.len(), 1);
+                assert_eq!(blocks[0].block.id, done.id);
+                assert_eq!(blocks[0].targets.len(), 3, "replicas lost in the move");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(st.replica_count(done.id), 3);
+
+        // Deleting at the new home retires the moved block for real.
+        assert_eq!(
+            st.handle_client_request(ClientRequest::Delete { path: cross }),
+            ClientResponse::Deleted { existed: true }
+        );
+        assert_eq!(st.replica_count(done.id), 0);
+    }
+
+    #[test]
+    fn rename_refuses_open_files_and_occupied_destinations() {
+        let (st, _dns) = state_with_datanodes(9);
+        let client = register_client(&st);
+
+        // Open (under-construction) files cannot move.
+        create(&st, client, "/vol0/open.bin", WriteMode::Hdfs);
+        match st.handle_client_request(ClientRequest::Rename {
+            src: "/vol0/open.bin".into(),
+            dst: "/vol1/moved.bin".into(),
+        }) {
+            ClientResponse::Error(_) => {}
+            other => panic!("open file renamed: {other:?}"),
+        }
+
+        // An occupied destination refuses the move — and the refusal is
+        // atomic: the source must still be intact afterwards.
+        let done = write_file(&st, client, "/vol2/src.bin");
+        write_file(&st, client, "/vol3/taken.bin");
+        match st.handle_client_request(ClientRequest::Rename {
+            src: "/vol2/src.bin".into(),
+            dst: "/vol3/taken.bin".into(),
+        }) {
+            ClientResponse::Error(_) => {}
+            other => panic!("rename onto existing file: {other:?}"),
+        }
+        match st.handle_client_request(ClientRequest::GetFileInfo {
+            path: "/vol2/src.bin".into(),
+        }) {
+            ClientResponse::FileInfo(Some(info)) => assert!(info.complete),
+            other => panic!("failed rename stranded the source: {other:?}"),
+        }
+        assert_eq!(st.replica_count(done.id), 3);
+
+        // Renaming nothing is an error, not a panic.
+        match st.handle_client_request(ClientRequest::Rename {
+            src: "/vol4/missing.bin".into(),
+            dst: "/vol5/x.bin".into(),
+        }) {
+            ClientResponse::Error(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn held_shard_stalls_only_its_own_volume() {
+        let (st, dns) = state_with_datanodes(9);
+        let client = register_client(&st);
+        let pinned = "/vol0/pinned.bin";
+        let elsewhere = format!("{}/free.bin", volume_with_shard(&st, pinned, false, 1));
+
+        // With /vol0's shard lock held, other volumes' metadata ops and
+        // the heartbeat/telemetry plane must all keep moving (this very
+        // closure would deadlock if any of them touched vol0's shard).
+        st.with_shard_locked(pinned, || {
+            create(&st, client, &elsewhere, WriteMode::Hdfs);
+            match st.handle_datanode_request(DatanodeRequest::Heartbeat {
+                id: dns[0],
+                used: 0,
+                active_transfers: 0,
+                telemetry: Default::default(),
+            }) {
+                DatanodeResponse::HeartbeatAck => {}
+                other => panic!("heartbeat stalled by a held shard: {other:?}"),
+            }
+            assert!(!st.expire_dead_datanodes().contains(&dns[0]));
+            match st.handle_client_request(ClientRequest::GetTelemetry) {
+                ClientResponse::Telemetry { rows, .. } => assert_eq!(rows.len(), 9),
+                other => panic!("unexpected {other:?}"),
+            }
+        });
+
+        // Root listings visit the pinned shard, so they serialize with
+        // it — but only after the hold is released.
+        match st.handle_client_request(ClientRequest::List { path: "/".into() }) {
+            ClientResponse::Listing { entries } => {
+                assert!(entries.iter().any(|e| e.path.ends_with(volume_with_shard(
+                    &st,
+                    pinned,
+                    false,
+                    1
+                )
+                .trim_start_matches('/'))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

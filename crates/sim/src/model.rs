@@ -239,8 +239,18 @@ struct Sim {
     next_block: u64,
     /// Monotonic allocation counters, mirroring the namenode's block and
     /// trace id generators (satisfies "real BlockIds in the simulator").
+    /// Like the sharded namenode's generators these are shared across
+    /// shards, which is exactly why digests are invariant in
+    /// `namenode_shards`.
     next_block_id: u64,
     next_trace_id: u64,
+    /// Shard count mirrored from `DfsConfig::namenode_shards`, and the
+    /// per-shard metadata-op tally the sharded namenode would see. The
+    /// modeled upload has one virtual path ([`SIM_UPLOAD_PATH`]), so
+    /// all of its allocations land on that path's shard — the DES twin
+    /// of "a single-volume client serializes on one shard".
+    nn_shards: usize,
+    shard_allocs: Vec<u64>,
     /// Virtual timestamp of the latest FNFA, consumed by the next
     /// allocation — the §III-A overlap latency, same as the real client.
     last_fnfa_vt: Option<u64>,
@@ -273,6 +283,10 @@ struct Sim {
 }
 
 const CLIENT: ClientId = ClientId(1);
+
+/// The virtual namespace path of the modeled upload — what the sharded
+/// namenode would route by.
+const SIM_UPLOAD_PATH: &str = "/sim/upload.bin";
 
 impl Sim {
     fn schedule(&mut self, at: SimInstant, ev: Ev) {
@@ -777,6 +791,12 @@ impl Sim {
         let pipe_idx = self.pipes.len();
         let block = BlockId(self.next_block_id);
         self.next_block_id += 1;
+        // Route the allocation through the mirrored shard map. Ids come
+        // from the shared counters above, so the digest is identical
+        // for any shard count — the tally just records which shard the
+        // traffic serialized on.
+        let shard = smarth_core::shard::shard_of_path(SIM_UPLOAD_PATH, self.nn_shards);
+        self.shard_allocs[shard] += 1;
         let ctx = TraceCtx::new(
             TraceId(self.next_trace_id),
             SpanId(self.next_trace_id + 1),
@@ -1075,7 +1095,7 @@ fn simulate_upload_inner(
             hosts.push(Host {
                 egress: RateServer::new(nic),
                 ingress: RateServer::new(nic),
-                disk: RateServer::new(scenario.config.disk_bandwidth),
+                disk: RateServer::new(h.effective_disk(scenario.config.disk_bandwidth)),
                 rack: h.rack.clone(),
             });
             match h.role {
@@ -1116,6 +1136,8 @@ fn simulate_upload_inner(
             next_block: 0,
             next_block_id: 1,
             next_trace_id: 1,
+            nn_shards: scenario.config.namenode_shards.max(1),
+            shard_allocs: vec![0; scenario.config.namenode_shards.max(1)],
             last_fnfa_vt: None,
             total_blocks,
             blocks_done: 0,

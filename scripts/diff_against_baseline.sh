@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Conformance drift gate: diffs the digests embedded in the current
+# run's results/conformance_*.trace.json against the same-named traces
+# from a previous green run, using the tight same-engine tolerance
+# bands. Point SMARTH_BASELINE_DIR (default: baseline) at the
+# downloaded artifacts; an empty or missing baseline dir passes with a
+# notice so the gate bootstraps itself on the first run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE_DIR="${SMARTH_BASELINE_DIR:-baseline}"
+if [ ! -d "$BASELINE_DIR" ]; then
+  echo "diff_against_baseline: no baseline dir at $BASELINE_DIR; nothing to compare (PASS)"
+  exit 0
+fi
+
+SMARTH_BASELINE_DIR="$BASELINE_DIR" \
+  cargo run -p smarth-bench --release --bin figures -- diff-baseline

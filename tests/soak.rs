@@ -6,7 +6,9 @@
 //! `SMARTH_SOAK_LONG=1` so tier-1 stays fast.
 
 use smarth::cluster::soak::{self, SoakConfig};
+use smarth::cluster::{random_data, replay, MiniCluster};
 use smarth::core::obs::RecoveryCause;
+use smarth::core::{ClusterSpec, DfsConfig, WriteMode};
 
 fn slot(cause: RecoveryCause) -> usize {
     RecoveryCause::ALL
@@ -128,6 +130,165 @@ fn read_heavy_smoke_exercises_striped_reads_under_faults() {
     // The mix survives the report's JSON round trip (replayability).
     let back = SoakConfig::from_json(&report.config.to_json()).unwrap();
     assert_eq!(back.op_mix, cfg.op_mix);
+}
+
+#[test]
+fn rack_partition_profile_replays_with_attributed_recoveries() {
+    // The rack-partition profile severs rack-b twice mid-run: its
+    // clients lose the namenode, its datanodes drop out of every live
+    // pipeline, and both outages heal before heartbeat expiry. All
+    // resulting recoveries must be attributable to the partition
+    // windows (an unattributable recovery is a violation), and the
+    // report's echoed config must replay cleanly — the saved JSON alone
+    // reproduces the run.
+    let cfg = SoakConfig::rack_partition(11);
+    let report = soak::run(&cfg).unwrap();
+    assert_eq!(
+        report.violations,
+        Vec::<String>::new(),
+        "\n{}",
+        report.render()
+    );
+    assert!(report.workers.iter().all(|w| w.integrity_failures == 0));
+    assert!(report.blocks_committed > 0, "\n{}", report.render());
+
+    // Both injected partitions are in the echoed plan and survive the
+    // JSON round trip (class attribution is unit-tested in the soak
+    // module itself).
+    let partitions = report
+        .plan
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, soak::FaultKind::RackPartition { .. }))
+        .count();
+    assert_eq!(partitions, 2, "plan lost its partition events");
+    let back = SoakConfig::from_json(&report.config.to_json()).unwrap();
+    assert_eq!(back.plan, cfg.plan);
+
+    // Replay the saved report verbatim: wall-clock profiles skip the
+    // window-count comparison, but the fresh run must hold the same
+    // invariants under the same partition schedule.
+    let outcome = replay::replay_json(&report.to_json()).unwrap();
+    assert!(outcome.matches(), "\n{}", outcome.render());
+    assert_eq!(
+        outcome.report.violations,
+        Vec::<String>::new(),
+        "replayed run violated invariants:\n{}",
+        outcome.report.render()
+    );
+    assert!(outcome.report.blocks_committed > 0);
+}
+
+#[test]
+fn tiered_cluster_smoke_holds_invariants() {
+    // The heterogeneous profile: Table I's instance mix with per-tier
+    // disk caps on every datanode. Same churn and fault plan as the
+    // homogeneous smoke — slow disks must surface as slower pipelines,
+    // never as violations or integrity failures.
+    let cfg = SoakConfig::tiered_smoke(41);
+    assert!(cfg.tiered_disks);
+    let report = soak::run(&cfg).unwrap();
+    assert_eq!(
+        report.violations,
+        Vec::<String>::new(),
+        "\n{}",
+        report.render()
+    );
+    assert!(report.workers.iter().all(|w| w.ops > 0));
+    assert!(report.workers.iter().all(|w| w.integrity_failures == 0));
+    let back = SoakConfig::from_json(&report.config.to_json()).unwrap();
+    assert!(back.tiered_disks, "tiered_disks lost in the JSON round trip");
+}
+
+#[test]
+fn speed_registry_converges_to_fast_tier_on_reads() {
+    // On the tiered heterogeneous spec the small tier is slow end to
+    // end (216 Mbps NIC vs 376). The reading client must NOT be the
+    // bottleneck, so it runs on an unthrottled fabric host — then each
+    // striped read samples every replica at the replica's own ceiling,
+    // the speed heartbeat feeds those observations to the namenode, and
+    // after a few rounds the registry's descending source order must
+    // put a fast-tier (medium/large) datanode on top with every
+    // small-tier record strictly below it.
+    let spec = ClusterSpec::heterogeneous_tiered();
+    let mut config = DfsConfig::test_scale();
+    // Single-block files and no readahead: each read is one sustained
+    // 3-stripe fetch, long enough to drain the token-bucket burst that
+    // would otherwise mask the per-tier NIC caps at the 256 KiB scale.
+    config.readahead_blocks = 0;
+    config.block_size = smarth::core::units::ByteSize::mib(4);
+    let cluster = MiniCluster::start(&spec, config, 0x7EAD).unwrap();
+    cluster
+        .fabric()
+        .add_host("reader", "rack-a", smarth::core::units::Bandwidth::unlimited());
+    let client = cluster.client_on("reader", "rack-a").unwrap();
+
+    let mut datas = Vec::new();
+    for i in 0..4u64 {
+        let data = random_data(100 + i, 4 * 1024 * 1024);
+        client
+            .put(&format!("/tiers/f{i}.bin"), &data, WriteMode::Smarth)
+            .unwrap();
+        datas.push(data);
+    }
+    for _ in 0..5 {
+        for (i, data) in datas.iter().enumerate() {
+            let got = client.get(&format!("/tiers/f{i}.bin")).unwrap();
+            assert_eq!(&got, data, "read-back mismatch on /tiers/f{i}.bin");
+        }
+        client.flush_speed_report().unwrap();
+    }
+
+    let records = cluster.namenode_state().speed_records(client.id());
+    assert!(records.len() >= 4, "reads must leave speed records: {records:?}");
+    let report = cluster.namenode_state().cluster_report();
+    let tier_of = |id| {
+        report
+            .live_datanodes
+            .iter()
+            .find(|d| d.id == id)
+            .map(|d| {
+                d.host_name
+                    .trim_end_matches(|c: char| c.is_ascii_digit())
+                    .to_string()
+            })
+            .unwrap()
+    };
+    let (top_id, top_rate) = records
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    assert_ne!(
+        tier_of(top_id),
+        "small",
+        "registry order tops out on the slow tier: {records:?}"
+    );
+    let mut small = Vec::new();
+    let mut fast = Vec::new();
+    for (id, rate) in &records {
+        if tier_of(*id) == "small" {
+            assert!(
+                *rate < top_rate,
+                "small-tier {id:?} at {rate:.0} B/s outranks the fast tier \
+                 ({top_rate:.0} B/s): {records:?}"
+            );
+            small.push(*rate);
+        } else {
+            fast.push(*rate);
+        }
+    }
+    // Both tiers must actually have been observed, and on average the
+    // fast tier must rank above the slow one.
+    assert!(!small.is_empty() && !fast.is_empty(), "both tiers sampled: {records:?}");
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&small) < mean(&fast),
+        "small tier mean {:.0} B/s >= fast tier mean {:.0} B/s: {records:?}",
+        mean(&small),
+        mean(&fast)
+    );
+    cluster.shutdown();
 }
 
 #[test]
